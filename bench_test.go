@@ -1,0 +1,179 @@
+package paris
+
+// One benchmark per table and figure of the paper's evaluation section (see
+// DESIGN.md Section 4). Each benchmark runs the same workload as the
+// corresponding cmd/parisbench experiment, so `go test -bench=.` times every
+// reproduced artifact. Corpora are generated once per benchmark and the
+// aligner runs once per b.N iteration.
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/literal"
+	"repro/internal/store"
+)
+
+// benchOpt keeps the default benchmark corpora moderate so the full suite
+// runs in minutes.
+var benchOpt = bench.Options{Seed: 42, Scale: 0.25}
+
+func benchmarkAlign(b *testing.B, d *gen.Dataset, norm store.Normalizer, cfg core.Config) {
+	b.Helper()
+	o1, o2, err := d.Build(norm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.New(o1, o2, cfg).Run()
+		if len(res.Instances) == 0 {
+			b.Fatal("alignment produced nothing")
+		}
+	}
+}
+
+// BenchmarkTable1_Person times the OAEI person reproduction (Table 1).
+func BenchmarkTable1_Person(b *testing.B) {
+	benchmarkAlign(b, gen.Persons(gen.PersonsConfig{Seed: benchOpt.Seed}), nil, core.Config{})
+}
+
+// BenchmarkTable1_Restaurant times the OAEI restaurant reproduction (Table 1).
+func BenchmarkTable1_Restaurant(b *testing.B) {
+	benchmarkAlign(b, gen.Restaurants(gen.RestaurantsConfig{Seed: benchOpt.Seed}), nil, core.Config{})
+}
+
+// BenchmarkTable2_CorpusBuild times ontology construction (dictionary
+// interning, closure, indexes, functionalities) for the Table 2 statistics.
+func BenchmarkTable2_CorpusBuild(b *testing.B) {
+	d := gen.World(gen.WorldConfig{Seed: benchOpt.Seed, People: 1500, Cities: 60,
+		Companies: 50, Movies: 400, Albums: 300, Books: 300})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.Build(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3_WorldAlignment times the YAGO-vs-DBpedia-style alignment
+// (Table 3) at benchmark scale.
+func BenchmarkTable3_WorldAlignment(b *testing.B) {
+	d := gen.World(gen.WorldConfig{Seed: benchOpt.Seed, People: 1500, Cities: 60,
+		Companies: 50, Movies: 400, Albums: 300, Books: 300})
+	benchmarkAlign(b, d, nil, core.Config{})
+}
+
+// BenchmarkTable4_RelationAlignments times extraction of the showcased
+// relation alignments (Table 4): a full run plus the maximal reduction.
+func BenchmarkTable4_RelationAlignments(b *testing.B) {
+	d := gen.World(gen.WorldConfig{Seed: benchOpt.Seed, People: 1500, Cities: 60,
+		Companies: 50, Movies: 400, Albums: 300, Books: 300})
+	o1, o2, err := d.Build(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.New(o1, o2, core.Config{}).Run()
+		if len(core.MaxRelAlignments(res.Relations12)) == 0 {
+			b.Fatal("no relation alignments")
+		}
+	}
+}
+
+// BenchmarkTable5_MovieAlignment times the YAGO-vs-IMDb-style alignment
+// (Table 5).
+func BenchmarkTable5_MovieAlignment(b *testing.B) {
+	d := gen.Movies(gen.MoviesConfig{Seed: benchOpt.Seed, People: 1200, Movies: 400})
+	benchmarkAlign(b, d, nil, core.Config{})
+}
+
+// BenchmarkTable5_LabelBaseline times the rdfs:label baseline the paper
+// compares against in Section 6.4.
+func BenchmarkTable5_LabelBaseline(b *testing.B) {
+	d := gen.Movies(gen.MoviesConfig{Seed: benchOpt.Seed, People: 1200, Movies: 400})
+	o1, o2, err := d.Build(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := d.Gold.Evaluate(baseline.LabelMatch(o1, o2, baseline.Config{}))
+		if m.Precision == 0 {
+			b.Fatal("baseline matched nothing")
+		}
+	}
+}
+
+// BenchmarkFigure1_ClassPrecisionByThreshold times the Figure 1 sweep:
+// class-alignment scoring across nine thresholds after one alignment run.
+func BenchmarkFigure1_ClassPrecisionByThreshold(b *testing.B) {
+	d := gen.World(gen.WorldConfig{Seed: benchOpt.Seed, People: 1500, Cities: 60,
+		Companies: 50, Movies: 400, Albums: 300, Books: 300})
+	o1, o2, err := d.Build(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := core.New(o1, o2, core.Config{}).Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, th := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+			bench.EvalClasses(o1, o2, res.Classes12, d.ClassGold, th)
+		}
+	}
+}
+
+// BenchmarkFigure2_ClassCountByThreshold times the Figure 2 sweep: counting
+// aligned classes per threshold.
+func BenchmarkFigure2_ClassCountByThreshold(b *testing.B) {
+	d := gen.World(gen.WorldConfig{Seed: benchOpt.Seed, People: 1500, Cities: 60,
+		Companies: 50, Movies: 400, Albums: 300, Books: 300})
+	o1, o2, err := d.Build(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := core.New(o1, o2, core.Config{}).Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, th := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+			bench.CountClassAlignments(res.Classes12, th)
+		}
+	}
+}
+
+// BenchmarkAblation_ThetaSweep times one non-default θ run (Section 6.3).
+func BenchmarkAblation_ThetaSweep(b *testing.B) {
+	benchmarkAlign(b, gen.Restaurants(gen.RestaurantsConfig{Seed: benchOpt.Seed}),
+		nil, core.Config{Theta: 0.05})
+}
+
+// BenchmarkAblation_AllPairs times the all-equalities mode (Section 6.3),
+// the paper's slower design alternative.
+func BenchmarkAblation_AllPairs(b *testing.B) {
+	benchmarkAlign(b, gen.Restaurants(gen.RestaurantsConfig{Seed: benchOpt.Seed}),
+		nil, core.Config{AllEqualities: true})
+}
+
+// BenchmarkAblation_NegativeEvidence times the Equation (14) configuration
+// with normalized literals (Section 6.3).
+func BenchmarkAblation_NegativeEvidence(b *testing.B) {
+	benchmarkAlign(b, gen.Restaurants(gen.RestaurantsConfig{Seed: benchOpt.Seed}),
+		literal.AlphaNum, core.Config{NegativeEvidence: true})
+}
+
+// BenchmarkAblation_Functionality times a run under the arithmetic-mean
+// functionality of Appendix A.
+func BenchmarkAblation_Functionality(b *testing.B) {
+	d := gen.Movies(gen.MoviesConfig{Seed: benchOpt.Seed, People: 1200, Movies: 400})
+	benchmarkAlign(b, d, nil, core.Config{FunMode: store.FunArithmeticMean})
+}

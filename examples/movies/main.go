@@ -1,0 +1,60 @@
+// Movie-KB example: align a general-purpose knowledge base against a movie
+// database (Section 6.4 of the paper, YAGO vs IMDb style) and compare PARIS
+// against the rdfs:label exact-match baseline — the paper's headline result
+// is that PARIS beats the baseline's recall by ~20 points at comparable
+// precision, because it keeps matching entities whose names differ (credit
+// order, transliterations) through their relational context.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	paris "repro"
+	"repro/internal/baseline"
+	"repro/internal/gen"
+)
+
+func main() {
+	d := gen.Movies(gen.MoviesConfig{Seed: 42})
+	o1, o2, err := d.Build(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n%s\n\n", o1.Stats(), o2.Stats())
+
+	// Baseline: entities whose rdfs:label matches exactly and uniquely.
+	t0 := time.Now()
+	base := baseline.LabelMatch(o1, o2, baseline.Config{})
+	fmt.Printf("label baseline: %s (%v)\n", d.Gold.Evaluate(base), time.Since(t0).Round(time.Millisecond))
+
+	// PARIS.
+	t1 := time.Now()
+	res := paris.Align(o1, o2, paris.Config{})
+	parisMetrics := d.Gold.Evaluate(res.InstanceMap())
+	fmt.Printf("paris:          %s (%v, %d iterations)\n",
+		parisMetrics, time.Since(t1).Round(time.Millisecond), len(res.Iterations))
+
+	// Show matches PARIS found that the baseline could not: entities whose
+	// labels differ across the two KBs.
+	fmt.Println("\nmatches beyond the baseline (different labels, same entity):")
+	shown := 0
+	for _, a := range res.Instances {
+		k1 := o1.ResourceKey(a.X1)
+		want, ok := d.Gold.Expected(k1)
+		if !ok || want != o2.ResourceKey(a.X2) {
+			continue
+		}
+		if _, baselineGotIt := base[k1]; baselineGotIt {
+			continue
+		}
+		if shown < 8 {
+			fmt.Printf("  %-40s ≡ %-40s p=%.2f\n", k1, want, a.P)
+			shown++
+		}
+	}
+	if shown == 0 {
+		fmt.Println("  (none at this scale)")
+	}
+}

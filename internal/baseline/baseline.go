@@ -1,0 +1,74 @@
+// Package baseline implements the comparison baseline of Section 6.4: align
+// entities whose rdfs:label properties match exactly. The paper reports this
+// baseline at 97% precision and 70% recall on the YAGO/IMDb experiment,
+// which PARIS beats on recall by ~20 points.
+package baseline
+
+import (
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Config controls the label-matching baseline.
+type Config struct {
+	// LabelRelation1 and LabelRelation2 name the label relation in each
+	// ontology. Empty means rdfs:label.
+	LabelRelation1 string
+	LabelRelation2 string
+
+	// Ambiguous keeps matches whose label is shared by several entities on
+	// either side (picking the first by ID). The default (false) aligns
+	// only unambiguous labels, which is what gives the baseline its high
+	// precision.
+	Ambiguous bool
+}
+
+// LabelMatch aligns instances of o1 to instances of o2 whose label literals
+// are identical (under the ontologies' shared normalization). It returns a
+// map from ontology-1 resource keys to ontology-2 resource keys.
+func LabelMatch(o1, o2 *store.Ontology, cfg Config) map[string]string {
+	rel1 := cfg.LabelRelation1
+	if rel1 == "" {
+		rel1 = rdf.RDFSLabel
+	}
+	rel2 := cfg.LabelRelation2
+	if rel2 == "" {
+		rel2 = rdf.RDFSLabel
+	}
+	idx1 := labelIndex(o1, rel1)
+	idx2 := labelIndex(o2, rel2)
+
+	out := make(map[string]string)
+	for lit, xs1 := range idx1 {
+		xs2, ok := idx2[lit]
+		if !ok {
+			continue
+		}
+		if !cfg.Ambiguous && (len(xs1) > 1 || len(xs2) > 1) {
+			continue
+		}
+		out[o1.ResourceKey(xs1[0])] = o2.ResourceKey(xs2[0])
+	}
+	return out
+}
+
+// labelIndex maps each label literal to the instances carrying it, in ID
+// order.
+func labelIndex(o *store.Ontology, labelRel string) map[store.Lit][]store.Resource {
+	idx := make(map[store.Lit][]store.Resource)
+	rel, ok := o.LookupRelation(labelRel)
+	if !ok {
+		return idx
+	}
+	o.EachStatement(rel, func(s, obj store.Node) bool {
+		if s.IsLit() || !obj.IsLit() {
+			return true
+		}
+		if o.IsClass(s.Res()) {
+			return true
+		}
+		idx[obj.Lit()] = append(idx[obj.Lit()], s.Res())
+		return true
+	})
+	return idx
+}

@@ -1,0 +1,106 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+func buildPair(t *testing.T, facts1, facts2 [][3]string) (*store.Ontology, *store.Ontology) {
+	t.Helper()
+	lits := store.NewLiterals()
+	build := func(name string, facts [][3]string) *store.Ontology {
+		b := store.NewBuilder(name, lits, nil)
+		for _, f := range facts {
+			var obj rdf.Term
+			if f[2][0] == '"' {
+				obj = rdf.Literal(f[2][1:])
+			} else {
+				obj = rdf.IRI(f[2])
+			}
+			if err := b.Add(rdf.T(rdf.IRI(f[0]), rdf.IRI(f[1]), obj)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b.Build()
+	}
+	return build("o1", facts1), build("o2", facts2)
+}
+
+func TestLabelMatchBasic(t *testing.T) {
+	o1, o2 := buildPair(t,
+		[][3]string{
+			{"e:a", rdf.RDFSLabel, `"Casablanca`},
+			{"e:b", rdf.RDFSLabel, `"Out 1`},
+		},
+		[][3]string{
+			{"f:a", rdf.RDFSLabel, `"Casablanca`},
+			{"f:c", rdf.RDFSLabel, `"Vertigo`},
+		})
+	got := LabelMatch(o1, o2, Config{})
+	if len(got) != 1 {
+		t.Fatalf("matches = %v", got)
+	}
+	if got[rdf.IRI("e:a").Key()] != rdf.IRI("f:a").Key() {
+		t.Fatalf("wrong match: %v", got)
+	}
+}
+
+func TestLabelMatchSkipsAmbiguous(t *testing.T) {
+	o1, o2 := buildPair(t,
+		[][3]string{
+			{"e:a", rdf.RDFSLabel, `"King Kong`},
+			{"e:b", rdf.RDFSLabel, `"King Kong`},
+		},
+		[][3]string{
+			{"f:a", rdf.RDFSLabel, `"King Kong`},
+		})
+	if got := LabelMatch(o1, o2, Config{}); len(got) != 0 {
+		t.Fatalf("ambiguous label matched: %v", got)
+	}
+	if got := LabelMatch(o1, o2, Config{Ambiguous: true}); len(got) != 1 {
+		t.Fatalf("ambiguous mode should match: %v", got)
+	}
+}
+
+func TestLabelMatchCustomRelation(t *testing.T) {
+	o1, o2 := buildPair(t,
+		[][3]string{{"e:a", "e:title", `"Gilda`}},
+		[][3]string{{"f:a", "f:name", `"Gilda`}})
+	got := LabelMatch(o1, o2, Config{LabelRelation1: "e:title", LabelRelation2: "f:name"})
+	if len(got) != 1 {
+		t.Fatalf("matches = %v", got)
+	}
+}
+
+func TestLabelMatchMissingRelation(t *testing.T) {
+	o1, o2 := buildPair(t,
+		[][3]string{{"e:a", "e:p", `"x`}},
+		[][3]string{{"f:a", "f:q", `"x`}})
+	if got := LabelMatch(o1, o2, Config{}); len(got) != 0 {
+		t.Fatalf("no label relation, but matches = %v", got)
+	}
+}
+
+func TestLabelMatchNormalizationAware(t *testing.T) {
+	// With a shared normalizing literal table, format variants match.
+	lits := store.NewLiterals()
+	norm := func(term rdf.Term) string {
+		out := ""
+		for _, r := range term.Value {
+			if r != ' ' && r != '-' {
+				out += string(r)
+			}
+		}
+		return out
+	}
+	b1 := store.NewBuilder("o1", lits, norm)
+	b1.Add(rdf.T(rdf.IRI("e:a"), rdf.IRI(rdf.RDFSLabel), rdf.Literal("Out-1")))
+	b2 := store.NewBuilder("o2", lits, norm)
+	b2.Add(rdf.T(rdf.IRI("f:a"), rdf.IRI(rdf.RDFSLabel), rdf.Literal("Out 1")))
+	got := LabelMatch(b1.Build(), b2.Build(), Config{})
+	if len(got) != 1 {
+		t.Fatalf("normalized labels should match: %v", got)
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+// Tests documenting the model assumptions of Section 3 of the paper:
+// the domain-restricted unique-name assumption (footnote 10 — the OAEI
+// third dataset violates it and the paper skips it), the deductive-closure
+// assumption, and the clamped literal probabilities.
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// PARIS never aligns two entities of the SAME ontology, even when they are
+// obvious duplicates: the unique-name assumption restricts equivalence to
+// cross-ontology pairs (Section 3, "a given ontology does not contain
+// equivalent resources"). Cross-ontology alignment keeps working around the
+// duplicates.
+func TestUniqueNameAssumption(t *testing.T) {
+	doc1 := `
+<e:dup1> <e:email> "dup@x.com" .
+<e:dup2> <e:email> "dup@x.com" .
+<e:clean> <e:email> "clean@x.com" .
+`
+	doc2 := `
+<f:dup> <f:mail> "dup@x.com" .
+<f:clean> <f:mail> "clean@x.com" .
+`
+	o1, o2 := pair(t, doc1, doc2)
+	res := New(o1, o2, Config{MaxIterations: 3}).Run()
+
+	for _, a := range res.Instances {
+		k1, k2 := o1.ResourceKey(a.X1), o2.ResourceKey(a.X2)
+		// Every assignment must be cross-ontology by construction.
+		if k1[1] != 'e' || k2[1] != 'f' {
+			t.Fatalf("intra-ontology alignment emitted: %s ≡ %s", k1, k2)
+		}
+	}
+	// The clean pair must still align despite the duplicates nearby.
+	got, p := assignmentOf(t, res, "e:clean")
+	if got != key("f:clean") || p < 0.9 {
+		t.Fatalf("clean pair lost: %q p=%v", got, p)
+	}
+	// Both duplicates compete for f:dup; each may be assigned to it (the
+	// gold standard decides which is right — PARIS cannot know), but the
+	// duplicates must never be merged with each other. That is implicit in
+	// the output type, so here we just assert both candidates exist.
+	dup1, _ := o1.LookupResource(key("e:dup1"))
+	dup2, _ := o1.LookupResource(key("e:dup2"))
+	a := New(o1, o2, Config{MaxIterations: 3})
+	a.Run()
+	if len(a.Candidates(dup1)) == 0 || len(a.Candidates(dup2)) == 0 {
+		t.Fatal("duplicate entities should still have cross-ontology candidates")
+	}
+}
+
+// The functionality of a relation is computed upfront per ontology
+// (Section 5.1): duplicates inside one ontology depress the inverse
+// functionality of their shared attribute, weakening the evidence — the
+// exact mechanism that makes intra-ontology duplicates harmful.
+func TestDuplicatesDepressFunctionality(t *testing.T) {
+	clean := mustBuildOntology(t, `
+<e:a> <e:email> "a@x.com" .
+<e:b> <e:email> "b@x.com" .
+`)
+	dups := mustBuildOntology(t, `
+<e:a> <e:email> "a@x.com" .
+<e:a2> <e:email> "a@x.com" .
+<e:b> <e:email> "b@x.com" .
+`)
+	rClean, _ := clean.LookupRelation("e:email")
+	rDups, _ := dups.LookupRelation("e:email")
+	if clean.InvFun(rClean) != 1 {
+		t.Fatalf("clean fun⁻¹ = %v, want 1", clean.InvFun(rClean))
+	}
+	if dups.InvFun(rDups) >= 1 {
+		t.Fatalf("duplicated fun⁻¹ = %v, want < 1", dups.InvFun(rDups))
+	}
+}
+
+// The model never changes the probability that a statement holds — aligning
+// resources cannot make an RDFS ontology inconsistent (Section 5.1). We
+// check the proxy: input ontologies are immutable across a run.
+func TestOntologiesImmutableAcrossRun(t *testing.T) {
+	o1, o2 := pair(t, o1Email, o2Email)
+	facts1, facts2 := o1.NumFacts(), o2.NumFacts()
+	rels1, rels2 := o1.NumRelations(), o2.NumRelations()
+	New(o1, o2, Config{MaxIterations: 5}).Run()
+	if o1.NumFacts() != facts1 || o2.NumFacts() != facts2 ||
+		o1.NumRelations() != rels1 || o2.NumRelations() != rels2 {
+		t.Fatal("alignment mutated an input ontology")
+	}
+}
+
+func mustBuildOntology(t *testing.T, doc string) *store.Ontology {
+	t.Helper()
+	triples, err := rdf.ParseNTriples(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := store.NewBuilder("t", store.NewLiterals(), nil)
+	if err := b.AddAll(triples); err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/store"
+)
+
+// NoResource marks the absence of a maximal assignment.
+const NoResource = store.Resource(^uint32(0))
+
+// Cand is one equality candidate: a resource of the other ontology and the
+// probability that it is equivalent.
+type Cand struct {
+	To store.Resource
+	P  float64
+}
+
+// eqStore holds the sparse instance-equality table of one iteration:
+// candidate lists in both directions plus the maximal assignments
+// (Section 4.2: "the instance from the second ontology with the maximum
+// score"). False and unknown equalities are not stored, which the formulas
+// cannot distinguish anyway (Section 5.2).
+type eqStore struct {
+	fwd [][]Cand // ontology-1 resource -> candidates in ontology 2
+	rev [][]Cand // ontology-2 resource -> candidates in ontology 1
+
+	maxFwd []Cand // per ontology-1 resource; To == NoResource when absent
+	maxRev []Cand
+}
+
+func newEqStore(n1, n2 int) *eqStore {
+	e := &eqStore{
+		fwd:    make([][]Cand, n1),
+		rev:    make([][]Cand, n2),
+		maxFwd: make([]Cand, n1),
+		maxRev: make([]Cand, n2),
+	}
+	for i := range e.maxFwd {
+		e.maxFwd[i] = Cand{To: NoResource}
+	}
+	for i := range e.maxRev {
+		e.maxRev[i] = Cand{To: NoResource}
+	}
+	return e
+}
+
+// setFwd installs the candidate list of one ontology-1 resource (sorted by
+// descending probability, ties broken by ID for determinism) and records the
+// maximal assignment.
+func (e *eqStore) setFwd(x store.Resource, cands []Cand) {
+	if len(cands) == 0 {
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].P != cands[j].P {
+			return cands[i].P > cands[j].P
+		}
+		return cands[i].To < cands[j].To
+	})
+	e.fwd[x] = cands
+	e.maxFwd[x] = cands[0]
+}
+
+// finish builds the reverse index and reverse maximal assignments from the
+// forward candidate lists.
+func (e *eqStore) finish() {
+	for x, cands := range e.fwd {
+		for _, c := range cands {
+			e.rev[c.To] = append(e.rev[c.To], Cand{To: store.Resource(x), P: c.P})
+		}
+	}
+	for y, cands := range e.rev {
+		if len(cands) == 0 {
+			continue
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].P != cands[j].P {
+				return cands[i].P > cands[j].P
+			}
+			return cands[i].To < cands[j].To
+		})
+		e.rev[y] = cands
+		e.maxRev[y] = cands[0]
+	}
+}
+
+// changedFraction compares maximal assignments against a previous iteration
+// and returns the fraction of entities whose target changed, measured over
+// the entities assigned in either iteration (Section 5.1's convergence
+// criterion).
+func (e *eqStore) changedFraction(prev *eqStore) float64 {
+	if prev == nil {
+		return 1
+	}
+	changed, total := 0, 0
+	for x := range e.maxFwd {
+		cur, old := e.maxFwd[x].To, prev.maxFwd[x].To
+		if cur == NoResource && old == NoResource {
+			continue
+		}
+		total++
+		if cur != old {
+			changed++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(changed) / float64(total)
+}
+
+// numAssigned returns the number of ontology-1 resources with an assignment.
+func (e *eqStore) numAssigned() int {
+	n := 0
+	for _, c := range e.maxFwd {
+		if c.To != NoResource {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,60 @@
+package core
+
+import "sync"
+
+// parallelFor runs fn(i) for i in [0, n) across the given number of worker
+// goroutines. Work is dealt in contiguous chunks to keep per-item overhead
+// low; fn must be safe to call concurrently for distinct i.
+//
+// The paper's implementation was single-threaded and IO-bound on an SSD
+// (Section 5.2); our ontologies are memory-resident, so the per-instance
+// equality computations parallelize trivially and this substitutes for the
+// paper's fast-storage requirement.
+func parallelFor(n, workers int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	const chunk = 64
+	var next int
+	var mu sync.Mutex
+	take := func() (int, int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return 0, 0, false
+		}
+		lo := next
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		next = hi
+		return lo, hi, true
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo, hi, ok := take()
+				if !ok {
+					return
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// randomPair builds two random small ontologies over a shared value pool so
+// that literal overlap (and thus alignment work) is guaranteed.
+func randomPair(seed int64) (*store.Ontology, *store.Ontology) {
+	r := rand.New(rand.NewSource(seed))
+	lits := store.NewLiterals()
+	build := func(name, ns string) *store.Ontology {
+		b := store.NewBuilder(name, lits, nil)
+		nInst := 4 + r.Intn(10)
+		nRel := 2 + r.Intn(4)
+		for i := 0; i < 4+r.Intn(25); i++ {
+			subj := rdf.IRI(fmt.Sprintf("%s/i%d", ns, r.Intn(nInst)))
+			rel := rdf.IRI(fmt.Sprintf("%s/r%d", ns, r.Intn(nRel)))
+			var obj rdf.Term
+			if r.Intn(2) == 0 {
+				obj = rdf.Literal(fmt.Sprintf("v%d", r.Intn(12)))
+			} else {
+				obj = rdf.IRI(fmt.Sprintf("%s/i%d", ns, r.Intn(nInst)))
+			}
+			if err := b.Add(rdf.T(subj, rel, obj)); err != nil {
+				panic(err)
+			}
+		}
+		return b.Build()
+	}
+	return build("o1", "http://a.org"), build("o2", "http://b.org")
+}
+
+// Property: every probability anywhere in a result is within [0, 1], under
+// every configuration variant.
+func TestQuickResultProbabilityBounds(t *testing.T) {
+	f := func(seed int64, negative, allEq bool) bool {
+		o1, o2 := randomPair(seed)
+		cfg := Config{
+			MaxIterations:    4,
+			NegativeEvidence: negative,
+			AllEqualities:    allEq,
+			Workers:          1 + int(seed&3),
+		}
+		res := New(o1, o2, cfg).Run()
+		for _, a := range res.Instances {
+			if a.P < 0 || a.P > 1 {
+				return false
+			}
+		}
+		for _, ra := range append(res.Relations12, res.Relations21...) {
+			if ra.P < 0 || ra.P > 1 {
+				return false
+			}
+		}
+		for _, ca := range append(res.Classes12, res.Classes21...) {
+			if ca.P < 0 || ca.P > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a maximal assignment never repeats an ontology-1 instance, and
+// every assigned pair consists of instances of the correct ontologies.
+func TestQuickAssignmentIsFunctional(t *testing.T) {
+	f := func(seed int64) bool {
+		o1, o2 := randomPair(seed)
+		res := New(o1, o2, Config{MaxIterations: 3}).Run()
+		seen := map[store.Resource]bool{}
+		for _, a := range res.Instances {
+			if seen[a.X1] {
+				return false
+			}
+			seen[a.X1] = true
+			if int(a.X1) >= o1.NumResources() || int(a.X2) >= o2.NumResources() {
+				return false
+			}
+			if o1.IsClass(a.X1) || o2.IsClass(a.X2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: alignment is deterministic regardless of worker count.
+func TestQuickParallelDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		o1, o2 := randomPair(seed)
+		r1 := New(o1, o2, Config{MaxIterations: 3, Workers: 1}).Run()
+		r8 := New(o1, o2, Config{MaxIterations: 3, Workers: 8}).Run()
+		if len(r1.Instances) != len(r8.Instances) {
+			return false
+		}
+		for i := range r1.Instances {
+			if r1.Instances[i] != r8.Instances[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: swapping the two ontologies preserves the bidirectional
+// sub-relation score sets (Relations12 of one run equals Relations21 of the
+// swapped run) on literal-only corpora, where the single-direction instance
+// traversal is symmetric.
+func TestQuickSwapSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lits := store.NewLiterals()
+		build := func(name, ns string) *store.Ontology {
+			b := store.NewBuilder(name, lits, nil)
+			for i := 0; i < 5+r.Intn(15); i++ {
+				subj := rdf.IRI(fmt.Sprintf("%s/i%d", ns, r.Intn(8)))
+				rel := rdf.IRI(fmt.Sprintf("%s/r%d", ns, r.Intn(3)))
+				obj := rdf.Literal(fmt.Sprintf("v%d", r.Intn(10)))
+				if err := b.Add(rdf.T(subj, rel, obj)); err != nil {
+					panic(err)
+				}
+			}
+			return b.Build()
+		}
+		o1 := build("o1", "http://a.org")
+		o2 := build("o2", "http://b.org")
+
+		fwd := New(o1, o2, Config{MaxIterations: 1, Convergence: -1}).Run()
+		rev := New(o2, o1, Config{MaxIterations: 1, Convergence: -1}).Run()
+
+		key := func(src, dst *store.Ontology, as []RelAlignment) map[string]float64 {
+			m := map[string]float64{}
+			for _, ra := range as {
+				m[src.RelationName(ra.Sub)+"|"+dst.RelationName(ra.Super)] = ra.P
+			}
+			return m
+		}
+		a := key(o1, o2, fwd.Relations12)
+		b := key(o1, o2, rev.Relations21)
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if d := b[k] - v; d > 1e-9 || d < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding a statement that shares a fresh unique literal between a
+// specific pair never decreases that pair's equality probability
+// (monotonicity of Equation 4 in positive evidence).
+func TestQuickEvidenceMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		base := fmt.Sprintf(`<http://a.org/x> <http://a.org/p> "s%d" .`, seed&0xff)
+		base2 := fmt.Sprintf(`<http://b.org/x> <http://b.org/q> "s%d" .`, seed&0xff)
+		extra := fmt.Sprintf(`<http://a.org/x> <http://a.org/p2> "t%d" .`, seed&0xff)
+		extra2 := fmt.Sprintf(`<http://b.org/x> <http://b.org/q2> "t%d" .`, seed&0xff)
+
+		run := func(doc1, doc2 string) float64 {
+			lits := store.NewLiterals()
+			mk := func(name, doc string) *store.Ontology {
+				ts, err := rdf.ParseNTriples(doc)
+				if err != nil {
+					panic(err)
+				}
+				b := store.NewBuilder(name, lits, nil)
+				if err := b.AddAll(ts); err != nil {
+					panic(err)
+				}
+				return b.Build()
+			}
+			res := New(mk("o1", doc1), mk("o2", doc2), Config{MaxIterations: 1, Convergence: -1}).Run()
+			for _, a := range res.Instances {
+				return a.P
+			}
+			return 0
+		}
+		p1 := run(base, base2)
+		p2 := run(base+"\n"+extra, base2+"\n"+extra2)
+		return p2 >= p1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Failure injection: ontologies where one side has no literals at all, or
+// no statements, must align nothing without panicking.
+func TestDegenerateOntologies(t *testing.T) {
+	lits := store.NewLiterals()
+	b1 := store.NewBuilder("o1", lits, nil)
+	b1.Add(rdf.T(rdf.IRI("a:x"), rdf.IRI("a:p"), rdf.IRI("a:y")))
+	b2 := store.NewBuilder("o2", lits, nil)
+	b2.Add(rdf.T(rdf.IRI("b:x"), rdf.IRI("b:q"), rdf.Literal("only literals here")))
+	res := New(b1.Build(), b2.Build(), Config{}).Run()
+	if len(res.Instances) != 0 {
+		t.Fatalf("no shared evidence, but instances = %v", res.Instances)
+	}
+}
+
+// Failure injection: self-referential statements must not break traversal.
+func TestSelfLoops(t *testing.T) {
+	lits := store.NewLiterals()
+	b1 := store.NewBuilder("o1", lits, nil)
+	b1.Add(rdf.T(rdf.IRI("a:x"), rdf.IRI("a:knows"), rdf.IRI("a:x")))
+	b1.Add(rdf.T(rdf.IRI("a:x"), rdf.IRI("a:mail"), rdf.Literal("x@e.com")))
+	b2 := store.NewBuilder("o2", lits, nil)
+	b2.Add(rdf.T(rdf.IRI("b:x"), rdf.IRI("b:friend"), rdf.IRI("b:x")))
+	b2.Add(rdf.T(rdf.IRI("b:x"), rdf.IRI("b:mail"), rdf.Literal("x@e.com")))
+	res := New(b1.Build(), b2.Build(), Config{MaxIterations: 4}).Run()
+	if len(res.Instances) != 1 {
+		t.Fatalf("self-loop corpus: %v", res.Instances)
+	}
+	if p := res.Instances[0].P; p < 0.9 {
+		t.Fatalf("self-loop pair p = %v", p)
+	}
+}

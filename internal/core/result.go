@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Assignment is a maximal instance alignment: the ontology-2 instance with
+// the highest equality probability for an ontology-1 instance.
+type Assignment struct {
+	X1 store.Resource
+	X2 store.Resource
+	P  float64
+}
+
+// RelAlignment is one directed sub-relation score Pr(Sub ⊆ Super). Sub lives
+// in one ontology and Super in the other; which is which depends on the
+// direction the alignment was reported for.
+type RelAlignment struct {
+	Sub   store.Relation
+	Super store.Relation
+	P     float64
+}
+
+// ClassAlignment is one directed subclass score Pr(Sub ⊆ Super).
+type ClassAlignment struct {
+	Sub   store.Resource
+	Super store.Resource
+	P     float64
+}
+
+// Result is the outcome of an alignment run.
+type Result struct {
+	O1, O2 *store.Ontology
+
+	// Instances holds the final maximal assignments (ontology 1 -> 2).
+	Instances []Assignment
+
+	// Relations12 holds Pr(r ⊆ r') for r in ontology 1, r' in ontology 2;
+	// Relations21 the opposite direction. Only scores above the threshold
+	// are stored.
+	Relations12, Relations21 []RelAlignment
+
+	// Classes12 holds Pr(c ⊆ c') for c in ontology 1; Classes21 the
+	// opposite direction.
+	Classes12, Classes21 []ClassAlignment
+
+	Iterations []IterationStats
+	ClassTime  time.Duration
+}
+
+// InstanceMap returns the assignment as a map from ontology-1 resource keys
+// to ontology-2 resource keys, the form gold standards use.
+func (r *Result) InstanceMap() map[string]string {
+	m := make(map[string]string, len(r.Instances))
+	for _, a := range r.Instances {
+		m[r.O1.ResourceKey(a.X1)] = r.O2.ResourceKey(a.X2)
+	}
+	return m
+}
+
+// MaxRelAlignments reduces a directed alignment list to the maximally
+// assigned super-relation per sub-relation (the paper's evaluation considers
+// "only the maximally assigned relation").
+func MaxRelAlignments(as []RelAlignment) []RelAlignment {
+	best := map[store.Relation]RelAlignment{}
+	for _, a := range as {
+		if b, ok := best[a.Sub]; !ok || a.P > b.P || (a.P == b.P && a.Super < b.Super) {
+			best[a.Sub] = a
+		}
+	}
+	out := make([]RelAlignment, 0, len(best))
+	for _, a := range best {
+		out = append(out, a)
+	}
+	sortRelAlignments(out)
+	return out
+}
+
+// FilterClassAlignments returns the alignments with probability of at least
+// the threshold (used for the Figure 1/2 sweeps).
+func FilterClassAlignments(as []ClassAlignment, threshold float64) []ClassAlignment {
+	out := make([]ClassAlignment, 0, len(as))
+	for _, a := range as {
+		if a.P >= threshold {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// EquivalentClasses returns the class pairs whose inclusion holds in both
+// directions with probability at least threshold — the class-equivalence
+// view (c ≡ c' iff c ⊆ c' and c' ⊆ c) derived from the subclass scores.
+func (r *Result) EquivalentClasses(threshold float64) []ClassAlignment {
+	back := make(map[[2]store.Resource]float64, len(r.Classes21))
+	for _, ca := range r.Classes21 {
+		back[[2]store.Resource{ca.Super, ca.Sub}] = ca.P
+	}
+	var out []ClassAlignment
+	for _, ca := range r.Classes12 {
+		if ca.P < threshold {
+			continue
+		}
+		if p2 := back[[2]store.Resource{ca.Sub, ca.Super}]; p2 >= threshold {
+			p := ca.P
+			if p2 < p {
+				p = p2
+			}
+			out = append(out, ClassAlignment{Sub: ca.Sub, Super: ca.Super, P: p})
+		}
+	}
+	SortClassAlignments(out)
+	return out
+}
+
+// String summarizes the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("alignment %s vs %s: %d instance assignments, %d+%d relation scores, %d+%d class scores, %d iterations",
+		r.O1.Name(), r.O2.Name(), len(r.Instances),
+		len(r.Relations12), len(r.Relations21),
+		len(r.Classes12), len(r.Classes21), len(r.Iterations))
+}
+
+func sortRelAlignments(as []RelAlignment) {
+	sort.Slice(as, func(i, j int) bool {
+		if as[i].Sub != as[j].Sub {
+			return as[i].Sub < as[j].Sub
+		}
+		if as[i].P != as[j].P {
+			return as[i].P > as[j].P
+		}
+		return as[i].Super < as[j].Super
+	})
+}
+
+// SortClassAlignments orders class alignments by sub-class then descending
+// probability, for stable reporting.
+func SortClassAlignments(as []ClassAlignment) {
+	sort.Slice(as, func(i, j int) bool {
+		if as[i].Sub != as[j].Sub {
+			return as[i].Sub < as[j].Sub
+		}
+		if as[i].P != as[j].P {
+			return as[i].P > as[j].P
+		}
+		return as[i].Super < as[j].Super
+	})
+}

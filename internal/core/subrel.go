@@ -1,0 +1,195 @@
+package core
+
+import (
+	"repro/internal/store"
+)
+
+// subRelStore holds the directed sub-relation scores of one iteration.
+// Missing entries are zero; before the first iteration (nil store) every
+// pair scores the bootstrap value θ (Section 5.1).
+type subRelStore struct {
+	to2 []map[store.Relation]float64 // ontology-1 relation -> P(r1 ⊆ r2)
+	to1 []map[store.Relation]float64 // ontology-2 relation -> P(r2 ⊆ r1)
+}
+
+// p12 returns P(r1 ⊆ r2) for r1 of ontology 1 and r2 of ontology 2.
+func (a *Aligner) p12(r1, r2 store.Relation) float64 {
+	if a.rel == nil {
+		return a.cfg.Theta
+	}
+	return a.rel.to2[r1][r2]
+}
+
+// p21 returns P(r2 ⊆ r1) for r2 of ontology 2 and r1 of ontology 1.
+func (a *Aligner) p21(r2, r1 store.Relation) float64 {
+	if a.rel == nil {
+		return a.cfg.Theta
+	}
+	return a.rel.to1[r2][r1]
+}
+
+// relLink pairs one ontology-2 relation with its inclusion scores against a
+// fixed ontology-1 relation.
+type relLink struct {
+	rel store.Relation // ontology-2 relation
+	p12 float64        // P(r1 ⊆ rel)
+	p21 float64        // P(rel ⊆ r1)
+}
+
+// linkedRelations returns the ontology-2 relations with a positive inclusion
+// score against r1 in either direction. During the bootstrap iteration every
+// ontology-2 relation is linked with θ.
+func (a *Aligner) linkedRelations(r1 store.Relation) []relLink {
+	if a.rel == nil {
+		out := make([]relLink, a.o2.NumRelations())
+		for i := range out {
+			out[i] = relLink{rel: store.Relation(i), p12: a.cfg.Theta, p21: a.cfg.Theta}
+		}
+		return out
+	}
+	seen := make(map[store.Relation]relLink)
+	for r2, p := range a.rel.to2[r1] {
+		seen[r2] = relLink{rel: r2, p12: p}
+	}
+	for r2 := range a.rel.to1 {
+		if p := a.rel.to1[r2][r1]; p > 0 {
+			l := seen[store.Relation(r2)]
+			l.rel = store.Relation(r2)
+			l.p21 = p
+			seen[store.Relation(r2)] = l
+		}
+	}
+	out := make([]relLink, 0, len(seen))
+	for _, l := range seen {
+		out = append(out, l)
+	}
+	return out
+}
+
+// subRelationPass evaluates Equation (12) in both directions:
+//
+//	P(r ⊆ r') = Σ_{r(x,y)} (1 - Π_{r'(x',y')} (1 - P(x≡x')·P(y≡y')))
+//	          / Σ_{r(x,y)} (1 - Π_{x',y'}    (1 - P(x≡x')·P(y≡y')))
+//
+// following the Section 5.2 optimizations: only the equalities of the
+// previous maximal assignment are considered (unless AllEqualities), at most
+// PairLimit statements per relation are evaluated, and scores below θ are
+// dropped. Scores for inverse relations are derived from the base pair,
+// since P(r⁻¹ ⊆ r'⁻¹) = P(r ⊆ r') holds exactly.
+func (a *Aligner) subRelationPass() *subRelStore {
+	s := &subRelStore{
+		to2: make([]map[store.Relation]float64, a.o1.NumRelations()),
+		to1: make([]map[store.Relation]float64, a.o2.NumRelations()),
+	}
+	a.subRelDirection(a.o1, a.o2, a.equalsOf1, s.to2)
+	a.subRelDirection(a.o2, a.o1, a.equalsOf2, s.to1)
+	return s
+}
+
+// subRelDirection fills out[r] = {r': P(r ⊆ r')} for every relation r of
+// src, with r' ranging over relations of dst.
+func (a *Aligner) subRelDirection(
+	src, dst *store.Ontology,
+	equals func(store.Node, []weighted) []weighted,
+	out []map[store.Relation]float64,
+) {
+	nBase := src.NumRelations() / 2
+	rows := make([][2]map[store.Relation]float64, nBase)
+	parallelFor(nBase, a.cfg.Workers, func(i int) {
+		base := store.Relation(2 * i)
+		num, den := a.subRelRow(src, dst, base, equals)
+		if den == 0 {
+			return
+		}
+		direct := make(map[store.Relation]float64)
+		inverse := make(map[store.Relation]float64)
+		for r2, v := range num {
+			p := v / den
+			if p < a.cfg.Truncation || p == 0 {
+				continue
+			}
+			if p > 1 {
+				p = 1
+			}
+			direct[r2] = p
+			inverse[r2.Inverse()] = p
+		}
+		if len(direct) > 0 {
+			rows[i] = [2]map[store.Relation]float64{direct, inverse}
+		}
+	})
+	for i, row := range rows {
+		out[2*i] = row[0]
+		out[2*i+1] = row[1]
+	}
+}
+
+// subRelRow accumulates the numerator per destination relation and the
+// shared denominator for one base relation of src.
+func (a *Aligner) subRelRow(
+	src, dst *store.Ontology,
+	r store.Relation,
+	equals func(store.Node, []weighted) []weighted,
+) (map[store.Relation]float64, float64) {
+	num := make(map[store.Relation]float64)
+	den := 0.0
+	count := 0
+	var xBuf, yBuf []weighted
+	perStmt := make(map[store.Relation]float64)
+	src.EachStatement(r, func(s, o store.Node) bool {
+		count++
+		if count > a.cfg.PairLimit {
+			return false
+		}
+		xBuf = equals(s, xBuf[:0])
+		if len(xBuf) == 0 {
+			return true
+		}
+		yBuf = equals(o, yBuf[:0])
+		if len(yBuf) == 0 {
+			return true
+		}
+		// Denominator term: 1 - Π over all equal pairs (x', y').
+		denProd := 1.0
+		for k := range perStmt {
+			delete(perStmt, k)
+		}
+		for _, wx := range xBuf {
+			for _, wy := range yBuf {
+				pp := wx.p * wy.p
+				denProd *= 1 - pp
+				// Numerator: which dst relations connect x' to y'?
+				forEachConnecting(dst, wx.node, wy.node, func(r2 store.Relation) {
+					if cur, ok := perStmt[r2]; ok {
+						perStmt[r2] = cur * (1 - pp)
+					} else {
+						perStmt[r2] = 1 - pp
+					}
+				})
+			}
+		}
+		den += 1 - denProd
+		for r2, prod := range perStmt {
+			num[r2] += 1 - prod
+		}
+		return true
+	})
+	return num, den
+}
+
+// forEachConnecting calls fn(r2) for every dst relation r2 with r2(x, y).
+func forEachConnecting(dst *store.Ontology, x, y store.Node, fn func(store.Relation)) {
+	if x.IsLit() {
+		for _, e := range dst.LitEdges(x.Lit()) {
+			if e.To == y {
+				fn(e.Rel)
+			}
+		}
+		return
+	}
+	for _, e := range dst.Edges(x.Res()) {
+		if e.To == y {
+			fn(e.Rel)
+		}
+	}
+}

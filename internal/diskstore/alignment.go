@@ -1,0 +1,114 @@
+package diskstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Alignment persistence: the original PARIS kept its equality tables in
+// Berkeley DB between iterations; this file provides the equivalent
+// round-trip for final results. Keys are namespaced:
+//
+//	i\x00<key1>          -> <key2> + float64(P)   instance assignments
+//	r\x00<dir><sub name> -> <super name> + P      maximal relation scores
+//	c\x00<dir><sub key>\x00<super key> -> P       class scores
+type recordKind byte
+
+const (
+	kindInstance = "i\x00"
+	kindRelation = "r\x00"
+	kindClass    = "c\x00"
+)
+
+// SaveResult persists an alignment result. Existing alignment records in
+// the store are overwritten key-wise, not cleared.
+func SaveResult(s *Store, res *core.Result) error {
+	buf := make([]byte, 0, 256)
+	for _, a := range res.Instances {
+		k := kindInstance + res.O1.ResourceKey(a.X1)
+		buf = append(buf[:0], res.O2.ResourceKey(a.X2)...)
+		buf = appendFloat(buf, a.P)
+		if err := s.Put([]byte(k), buf); err != nil {
+			return err
+		}
+	}
+	for dir, as := range map[string][]core.RelAlignment{
+		"12": core.MaxRelAlignments(res.Relations12),
+		"21": core.MaxRelAlignments(res.Relations21),
+	} {
+		src, dst := res.O1, res.O2
+		if dir == "21" {
+			src, dst = res.O2, res.O1
+		}
+		for _, ra := range as {
+			k := kindRelation + dir + src.RelationName(ra.Sub)
+			buf = append(buf[:0], dst.RelationName(ra.Super)...)
+			buf = appendFloat(buf, ra.P)
+			if err := s.Put([]byte(k), buf); err != nil {
+				return err
+			}
+		}
+	}
+	for dir, as := range map[string][]core.ClassAlignment{
+		"12": res.Classes12, "21": res.Classes21,
+	} {
+		src, dst := res.O1, res.O2
+		if dir == "21" {
+			src, dst = res.O2, res.O1
+		}
+		for _, ca := range as {
+			k := kindClass + dir + src.ResourceKey(ca.Sub) + "\x00" + dst.ResourceKey(ca.Super)
+			buf = appendFloat(buf[:0], ca.P)
+			if err := s.Put([]byte(k), buf); err != nil {
+				return err
+			}
+		}
+	}
+	return s.Sync()
+}
+
+// LoadInstanceMap reads back the persisted instance assignment as a map
+// from ontology-1 keys to ontology-2 keys (dropping probabilities), the
+// form evaluation consumes.
+func LoadInstanceMap(s *Store) (map[string]string, error) {
+	out := map[string]string{}
+	var iterErr error
+	err := s.Each(func(key, value []byte) bool {
+		k := string(key)
+		if !strings.HasPrefix(k, kindInstance) {
+			return true
+		}
+		if len(value) < 8 {
+			iterErr = fmt.Errorf("diskstore: truncated instance record %q", k)
+			return false
+		}
+		out[strings.TrimPrefix(k, kindInstance)] = string(value[:len(value)-8])
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, iterErr
+}
+
+// InstanceProbability returns the persisted probability of one assignment.
+func InstanceProbability(s *Store, key1 string) (float64, error) {
+	v, err := s.Get([]byte(kindInstance + key1))
+	if err != nil {
+		return 0, err
+	}
+	if len(v) < 8 {
+		return 0, fmt.Errorf("diskstore: truncated instance record %q", key1)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(v[len(v)-8:])), nil
+}
+
+func appendFloat(buf []byte, f float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+	return append(buf, b[:]...)
+}

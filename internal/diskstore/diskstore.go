@@ -1,0 +1,408 @@
+// Package diskstore is a small embedded key-value store: the stand-in for
+// the Berkeley DB instance the original PARIS implementation kept its
+// ontologies and equality tables in (Section 5.2 of the paper; the authors
+// report the algorithm was IO-bound on this store).
+//
+// The design is a CRC-checked append-only log with an in-memory index,
+// rebuilt by a sequential scan on open — the access pattern PARIS needs
+// (bulk writes, random reads, full scans) on modern storage. Compact
+// rewrites the log dropping overwritten and deleted records.
+package diskstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// ErrNotFound is returned by Get for missing keys.
+var ErrNotFound = errors.New("diskstore: key not found")
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("diskstore: store is closed")
+
+const (
+	opPut    = byte(1)
+	opDelete = byte(2)
+
+	// maxKeyLen and maxValueLen bound record sizes; anything larger is
+	// rejected at Put and treated as corruption when read back.
+	maxKeyLen   = 1 << 16
+	maxValueLen = 1 << 28
+)
+
+// Store is an embedded key-value store backed by one log file. It is safe
+// for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	path   string
+	file   *os.File
+	w      *bufio.Writer
+	offset int64 // next write offset
+
+	// index maps key -> value location in the log.
+	index map[string]recordLoc
+
+	// garbage counts superseded bytes, driving compaction heuristics.
+	garbage int64
+
+	closed bool
+}
+
+type recordLoc struct {
+	off  int64 // offset of the value bytes
+	size int32 // length of the value
+}
+
+// Open opens or creates a store at path, rebuilding the index by scanning
+// the log. A torn final record (crash during write) is truncated away.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		path:  path,
+		file:  f,
+		index: make(map[string]recordLoc),
+	}
+	if err := s.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.w = bufio.NewWriterSize(f, 1<<20)
+	return s, nil
+}
+
+// recover scans the log, rebuilding the index and truncating a torn tail.
+func (s *Store) recover() error {
+	r := bufio.NewReaderSize(s.file, 1<<20)
+	var off int64
+	for {
+		rec, n, err := readRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn or corrupt tail: everything before off is intact.
+			break
+		}
+		switch rec.op {
+		case opPut:
+			if old, ok := s.index[string(rec.key)]; ok {
+				s.garbage += int64(old.size) + recordOverhead(len(rec.key))
+			}
+			valOff := off + int64(n) - int64(len(rec.value))
+			s.index[string(rec.key)] = recordLoc{off: valOff, size: int32(len(rec.value))}
+		case opDelete:
+			if old, ok := s.index[string(rec.key)]; ok {
+				s.garbage += int64(old.size) + recordOverhead(len(rec.key))
+				delete(s.index, string(rec.key))
+			}
+		}
+		off += int64(n)
+	}
+	s.offset = off
+	if err := s.file.Truncate(off); err != nil {
+		return err
+	}
+	if _, err := s.file.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	return nil
+}
+
+// record is one log entry.
+type record struct {
+	op    byte
+	key   []byte
+	value []byte
+}
+
+// Layout: crc32(4) op(1) keyLen(4) valLen(4) key val.
+func recordOverhead(keyLen int) int64 { return int64(13 + keyLen) }
+
+func readRecord(r *bufio.Reader) (record, int, error) {
+	var hdr [13]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return record{}, 0, io.ErrUnexpectedEOF
+		}
+		return record{}, 0, err
+	}
+	crc := binary.LittleEndian.Uint32(hdr[0:4])
+	op := hdr[4]
+	keyLen := binary.LittleEndian.Uint32(hdr[5:9])
+	valLen := binary.LittleEndian.Uint32(hdr[9:13])
+	if op != opPut && op != opDelete {
+		return record{}, 0, fmt.Errorf("diskstore: bad op %d", op)
+	}
+	if keyLen > maxKeyLen || valLen > maxValueLen {
+		return record{}, 0, fmt.Errorf("diskstore: oversized record")
+	}
+	body := make([]byte, keyLen+valLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return record{}, 0, io.ErrUnexpectedEOF
+	}
+	h := crc32.NewIEEE()
+	h.Write(hdr[4:])
+	h.Write(body)
+	if h.Sum32() != crc {
+		return record{}, 0, fmt.Errorf("diskstore: checksum mismatch")
+	}
+	rec := record{op: op, key: body[:keyLen], value: body[keyLen:]}
+	return rec, 13 + len(body), nil
+}
+
+func appendRecord(w io.Writer, op byte, key, value []byte) (int, error) {
+	var hdr [13]byte
+	hdr[4] = op
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(value)))
+	h := crc32.NewIEEE()
+	h.Write(hdr[4:])
+	h.Write(key)
+	h.Write(value)
+	binary.LittleEndian.PutUint32(hdr[0:4], h.Sum32())
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(key); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(value); err != nil {
+		return 0, err
+	}
+	return 13 + len(key) + len(value), nil
+}
+
+// Put stores value under key, overwriting any previous value.
+func (s *Store) Put(key, value []byte) error {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return fmt.Errorf("diskstore: invalid key length %d", len(key))
+	}
+	if len(value) > maxValueLen {
+		return fmt.Errorf("diskstore: value too large (%d bytes)", len(value))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	n, err := appendRecord(s.w, opPut, key, value)
+	if err != nil {
+		return err
+	}
+	if old, ok := s.index[string(key)]; ok {
+		s.garbage += int64(old.size) + recordOverhead(len(key))
+	}
+	valOff := s.offset + int64(n) - int64(len(value))
+	s.index[string(key)] = recordLoc{off: valOff, size: int32(len(value))}
+	s.offset += int64(n)
+	return nil
+}
+
+// Get returns the value stored under key, or ErrNotFound.
+func (s *Store) Get(key []byte) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	loc, ok := s.index[string(key)]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if err := s.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := make([]byte, loc.size)
+	if _, err := s.file.ReadAt(out, loc.off); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Has reports whether key is present.
+func (s *Store) Has(key []byte) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.index[string(key)]
+	return ok && !s.closed
+}
+
+// Delete removes key. Deleting a missing key is a no-op.
+func (s *Store) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.index[string(key)]; !ok {
+		return nil
+	}
+	n, err := appendRecord(s.w, opDelete, key, nil)
+	if err != nil {
+		return err
+	}
+	old := s.index[string(key)]
+	s.garbage += int64(old.size) + recordOverhead(len(key)) + int64(n)
+	delete(s.index, string(key))
+	s.offset += int64(n)
+	return nil
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Garbage returns the number of superseded bytes in the log.
+func (s *Store) Garbage() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.garbage
+}
+
+// Each calls fn for every live key-value pair in ascending key order.
+// Iteration stops early if fn returns false. The key and value slices are
+// owned by the callback.
+func (s *Store) Each(fn func(key, value []byte) bool) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		v, err := s.Get([]byte(k))
+		if err == ErrNotFound {
+			continue // deleted concurrently
+		}
+		if err != nil {
+			return err
+		}
+		if !fn([]byte(k), v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Sync flushes buffered writes to the operating system and disk.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	return s.file.Sync()
+}
+
+// Compact rewrites the log with only live records, reclaiming the space of
+// overwritten and deleted entries.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	tmpPath := s.path + ".compact"
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	newIndex := make(map[string]recordLoc, len(s.index))
+	var off int64
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		loc := s.index[k]
+		val := make([]byte, loc.size)
+		if _, err := s.file.ReadAt(val, loc.off); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+		n, err := appendRecord(bw, opPut, []byte(k), val)
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+		newIndex[k] = recordLoc{off: off + int64(n) - int64(len(val)), size: loc.size}
+		off += int64(n)
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := s.file.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	s.file = f
+	s.w = bufio.NewWriterSize(f, 1<<20)
+	s.index = newIndex
+	s.offset = off
+	s.garbage = 0
+	return nil
+}
+
+// Close flushes and closes the store. The store cannot be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.closed = true
+	if err := s.w.Flush(); err != nil {
+		s.file.Close()
+		return err
+	}
+	return s.file.Close()
+}

@@ -1,0 +1,355 @@
+package diskstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func open(t *testing.T) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.kv")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, path
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s, _ := open(t)
+	if err := s.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get([]byte("k1"))
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if !s.Has([]byte("k1")) || s.Has([]byte("k2")) {
+		t.Fatal("Has wrong")
+	}
+	if err := s.Put([]byte("k1"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Get([]byte("k1"))
+	if string(got) != "v2" {
+		t.Fatalf("overwrite failed: %q", got)
+	}
+	if err := s.Delete([]byte("k1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get([]byte("k1")); err != ErrNotFound {
+		t.Fatalf("deleted key: %v", err)
+	}
+	if err := s.Delete([]byte("missing")); err != nil {
+		t.Fatalf("delete of missing key should be a no-op: %v", err)
+	}
+}
+
+func TestEmptyValueAndBinaryData(t *testing.T) {
+	s, _ := open(t)
+	if err := s.Put([]byte("empty"), nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get([]byte("empty"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty value: %q, %v", got, err)
+	}
+	bin := []byte{0, 1, 2, 255, 254, '\n', 0}
+	s.Put(bin, bin)
+	got, _ = s.Get(bin)
+	if !bytes.Equal(got, bin) {
+		t.Fatal("binary round trip failed")
+	}
+}
+
+func TestInvalidKeys(t *testing.T) {
+	s, _ := open(t)
+	if err := s.Put(nil, []byte("v")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := s.Put(make([]byte, maxKeyLen+1), nil); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+}
+
+func TestReopenRecoversState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "re.kv")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	s.Delete([]byte("k050"))
+	s.Put([]byte("k000"), []byte("updated"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 99 {
+		t.Fatalf("recovered %d keys, want 99", s2.Len())
+	}
+	got, _ := s2.Get([]byte("k000"))
+	if string(got) != "updated" {
+		t.Fatalf("recovered k000 = %q", got)
+	}
+	if _, err := s2.Get([]byte("k050")); err != ErrNotFound {
+		t.Fatal("deleted key resurrected")
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.kv")
+	s, _ := Open(path)
+	s.Put([]byte("good"), []byte("value"))
+	s.Close()
+
+	// Append garbage simulating a torn write.
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	f.Write([]byte{1, 2, 3, 4, 5})
+	f.Close()
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err := s2.Get([]byte("good"))
+	if err != nil || string(got) != "value" {
+		t.Fatalf("recovery lost good record: %q, %v", got, err)
+	}
+	// The store must stay writable after truncation.
+	if err := s2.Put([]byte("after"), []byte("crash")); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if got, _ := s3.Get([]byte("after")); string(got) != "crash" {
+		t.Fatalf("post-crash write lost: %q", got)
+	}
+}
+
+func TestCorruptMiddleStopsRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.kv")
+	s, _ := Open(path)
+	s.Put([]byte("a"), []byte("1"))
+	s.Put([]byte("b"), []byte("2"))
+	s.Close()
+
+	// Flip a byte inside the second record's value.
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Get([]byte("a")); err != nil {
+		t.Fatal("first record should survive")
+	}
+	if _, err := s2.Get([]byte("b")); err != ErrNotFound {
+		t.Fatal("corrupt record should be dropped")
+	}
+}
+
+func TestEachOrderedAndEarlyStop(t *testing.T) {
+	s, _ := open(t)
+	for _, k := range []string{"c", "a", "b"} {
+		s.Put([]byte(k), []byte("v"+k))
+	}
+	var keys []string
+	s.Each(func(k, v []byte) bool {
+		keys = append(keys, string(k))
+		return true
+	})
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Fatalf("order = %v", keys)
+	}
+	n := 0
+	s.Each(func(k, v []byte) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop ignored: %d", n)
+	}
+}
+
+func TestCompactReclaimsSpace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "compact.kv")
+	s, _ := Open(path)
+	defer s.Close()
+	val := bytes.Repeat([]byte("x"), 1000)
+	for i := 0; i < 50; i++ {
+		s.Put([]byte("key"), val) // 49 overwrites
+	}
+	s.Put([]byte("other"), []byte("small"))
+	s.Delete([]byte("other"))
+	s.Sync()
+	before, _ := os.Stat(path)
+	if s.Garbage() == 0 {
+		t.Fatal("no garbage tracked")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Sync()
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink: %d -> %d", before.Size(), after.Size())
+	}
+	got, err := s.Get([]byte("key"))
+	if err != nil || !bytes.Equal(got, val) {
+		t.Fatal("live key lost by compaction")
+	}
+	if s.Garbage() != 0 {
+		t.Fatal("garbage not reset")
+	}
+	// Store must remain usable and recoverable after compaction.
+	s.Put([]byte("post"), []byte("compact"))
+	s.Close()
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got, _ := s2.Get([]byte("post")); string(got) != "compact" {
+		t.Fatal("post-compaction write lost")
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s, _ := open(t)
+	s.Close()
+	if err := s.Put([]byte("k"), nil); err != ErrClosed {
+		t.Fatalf("Put on closed = %v", err)
+	}
+	if _, err := s.Get([]byte("k")); err != ErrClosed {
+		t.Fatalf("Get on closed = %v", err)
+	}
+	if err := s.Delete([]byte("k")); err != ErrClosed {
+		t.Fatalf("Delete on closed = %v", err)
+	}
+	if err := s.Each(func(k, v []byte) bool { return true }); err != ErrClosed {
+		t.Fatalf("Each on closed = %v", err)
+	}
+	if err := s.Close(); err != ErrClosed {
+		t.Fatalf("double Close = %v", err)
+	}
+}
+
+// Property: a random operation sequence leaves the store equivalent to a
+// map, across a reopen.
+func TestQuickRandomOpsMatchMap(t *testing.T) {
+	f := func(seed int64) bool {
+		path := filepath.Join(t.TempDir(), fmt.Sprintf("q%d.kv", seed&0xffff))
+		os.Remove(path)
+		s, err := Open(path)
+		if err != nil {
+			return false
+		}
+		r := rand.New(rand.NewSource(seed))
+		model := map[string]string{}
+		for i := 0; i < 300; i++ {
+			k := fmt.Sprintf("k%d", r.Intn(40))
+			switch r.Intn(3) {
+			case 0, 1:
+				v := fmt.Sprintf("v%d", r.Int())
+				if s.Put([]byte(k), []byte(v)) != nil {
+					return false
+				}
+				model[k] = v
+			case 2:
+				if s.Delete([]byte(k)) != nil {
+					return false
+				}
+				delete(model, k)
+			}
+		}
+		if r.Intn(2) == 0 {
+			if s.Compact() != nil {
+				return false
+			}
+		}
+		s.Close()
+		s2, err := Open(path)
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		if s2.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, err := s2.Get([]byte(k))
+			if err != nil || string(got) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlignmentRoundTrip(t *testing.T) {
+	d := gen.Persons(gen.PersonsConfig{N: 30, Seed: 9})
+	o1, o2, err := d.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.New(o1, o2, core.Config{}).Run()
+	if len(res.Instances) == 0 {
+		t.Fatal("no alignments to persist")
+	}
+
+	s, _ := open(t)
+	if err := SaveResult(s, res); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadInstanceMap(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.InstanceMap()
+	if len(m) != len(want) {
+		t.Fatalf("loaded %d assignments, want %d", len(m), len(want))
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Fatalf("assignment %s: got %s, want %s", k, m[k], v)
+		}
+	}
+	// Probabilities must round-trip exactly.
+	a := res.Instances[0]
+	p, err := InstanceProbability(s, res.O1.ResourceKey(a.X1))
+	if err != nil || p != a.P {
+		t.Fatalf("probability = %v, %v; want %v", p, err, a.P)
+	}
+	if _, err := InstanceProbability(s, "<missing>"); err != ErrNotFound {
+		t.Fatalf("missing probability: %v", err)
+	}
+	// Evaluation through the persisted map matches the in-memory one.
+	if d.Gold.Evaluate(m) != d.Gold.Evaluate(want) {
+		t.Fatal("persisted evaluation differs")
+	}
+}

@@ -1,0 +1,86 @@
+package diskstore
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// TripleLog persists an ontology's triples as an N-Triples stream so large
+// inputs can be parsed once and re-loaded without re-parsing arbitrary RDF —
+// the role Berkeley DB played for the original implementation's ontologies.
+// The log is plain N-Triples plus a header line, so it doubles as an export.
+type TripleLog struct {
+	path string
+}
+
+const tripleLogHeader = "# paris triple log v1"
+
+// NewTripleLog returns a log handle at path (the file need not exist yet).
+func NewTripleLog(path string) *TripleLog { return &TripleLog{path: path} }
+
+// Write persists the given triples, replacing any previous content.
+func (l *TripleLog) Write(triples []rdf.Triple) error {
+	f, err := os.Create(l.path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if _, err := fmt.Fprintln(w, tripleLogHeader); err != nil {
+		f.Close()
+		return err
+	}
+	for _, t := range triples {
+		if _, err := fmt.Fprintln(w, t.String()); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load streams the log into an ontology builder and freezes it. The literal
+// table and normalizer follow the usual sharing rules (see store.NewBuilder).
+func (l *TripleLog) Load(name string, lits *store.Literals, norm store.Normalizer) (*store.Ontology, error) {
+	f, err := os.Open(l.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: reading triple log header: %w", err)
+	}
+	if header != tripleLogHeader+"\n" {
+		return nil, fmt.Errorf("diskstore: %s is not a triple log", l.path)
+	}
+	b := store.NewBuilder(name, lits, norm)
+	r := rdf.NewNTriplesReader(br)
+	r.Strict = true
+	for {
+		t, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("diskstore: corrupt triple log %s: %w", l.path, err)
+		}
+		if err := b.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}

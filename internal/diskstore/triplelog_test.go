@@ -1,0 +1,82 @@
+package diskstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/store"
+)
+
+func TestTripleLogRoundTrip(t *testing.T) {
+	d := gen.Persons(gen.PersonsConfig{N: 40, Seed: 3})
+	dir := t.TempDir()
+
+	log1 := NewTripleLog(filepath.Join(dir, "o1.ntlog"))
+	log2 := NewTripleLog(filepath.Join(dir, "o2.ntlog"))
+	if err := log1.Write(d.Triples1); err != nil {
+		t.Fatal(err)
+	}
+	if err := log2.Write(d.Triples2); err != nil {
+		t.Fatal(err)
+	}
+
+	lits := store.NewLiterals()
+	o1, err := log1.Load("o1", lits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := log2.Load("o2", lits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Alignment over the reloaded ontologies must be as good as over the
+	// originals (the persons corpus aligns perfectly).
+	res := core.New(o1, o2, core.Config{}).Run()
+	m := d.Gold.Evaluate(res.InstanceMap())
+	if m.F1 < 0.99 {
+		t.Fatalf("reloaded alignment degraded: %s", m)
+	}
+
+	// Direct build for structural comparison.
+	b1, b2, err := d.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.NumFacts() != b1.NumFacts() || o2.NumFacts() != b2.NumFacts() {
+		t.Fatalf("fact counts differ after round trip: %d/%d vs %d/%d",
+			o1.NumFacts(), o2.NumFacts(), b1.NumFacts(), b2.NumFacts())
+	}
+}
+
+func TestTripleLogRejectsForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "not-a-log.nt")
+	os.WriteFile(path, []byte("<a> <b> <c> .\n"), 0o644)
+	if _, err := NewTripleLog(path).Load("x", nil, nil); err == nil {
+		t.Fatal("missing header accepted")
+	}
+	missing := NewTripleLog(filepath.Join(dir, "absent.ntlog"))
+	if _, err := missing.Load("x", nil, nil); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestTripleLogRejectsCorruption(t *testing.T) {
+	d := gen.Persons(gen.PersonsConfig{N: 5, Seed: 3})
+	dir := t.TempDir()
+	log := NewTripleLog(filepath.Join(dir, "o1.ntlog"))
+	if err := log.Write(d.Triples1); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a line in the middle.
+	data, _ := os.ReadFile(log.path)
+	data[len(data)/2] = '|'
+	os.WriteFile(log.path, data, 0o644)
+	if _, err := log.Load("x", nil, nil); err == nil {
+		t.Fatal("corrupt log accepted")
+	}
+}

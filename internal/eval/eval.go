@@ -1,0 +1,137 @@
+// Package eval implements the evaluation protocol of Section 6.1: computed
+// maximal assignments are compared against a gold standard using precision,
+// recall, and F-measure.
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Gold is a gold-standard bijection between entities of two ontologies,
+// keyed by resource keys (rdf.Term.Key form).
+type Gold struct {
+	fwd map[string]string
+	rev map[string]string
+}
+
+// NewGold returns an empty gold standard.
+func NewGold() *Gold {
+	return &Gold{fwd: map[string]string{}, rev: map[string]string{}}
+}
+
+// Add records that k1 (ontology 1) and k2 (ontology 2) denote the same
+// real-world entity. Adding a conflicting pair for an already-mapped entity
+// returns an error, since gold standards must be functional in both
+// directions.
+func (g *Gold) Add(k1, k2 string) error {
+	if prev, ok := g.fwd[k1]; ok && prev != k2 {
+		return fmt.Errorf("eval: %s already mapped to %s", k1, prev)
+	}
+	if prev, ok := g.rev[k2]; ok && prev != k1 {
+		return fmt.Errorf("eval: %s already mapped from %s", k2, prev)
+	}
+	g.fwd[k1] = k2
+	g.rev[k2] = k1
+	return nil
+}
+
+// Len returns the number of gold pairs.
+func (g *Gold) Len() int { return len(g.fwd) }
+
+// Expected returns the ontology-2 entity for an ontology-1 entity.
+func (g *Gold) Expected(k1 string) (string, bool) {
+	k2, ok := g.fwd[k1]
+	return k2, ok
+}
+
+// Pairs returns all gold pairs sorted by the ontology-1 key.
+func (g *Gold) Pairs() [][2]string {
+	out := make([][2]string, 0, len(g.fwd))
+	for k1, k2 := range g.fwd {
+		out = append(out, [2]string{k1, k2})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Invert returns the gold standard with the ontology roles swapped.
+func (g *Gold) Invert() *Gold {
+	inv := NewGold()
+	for k1, k2 := range g.fwd {
+		inv.fwd[k2] = k1
+		inv.rev[k1] = k2
+	}
+	return inv
+}
+
+// Metrics holds the standard precision/recall/F-measure triple together with
+// the underlying counts.
+type Metrics struct {
+	TP, FP, FN int
+	Precision  float64
+	Recall     float64
+	F1         float64
+}
+
+// String renders the metrics in the paper's percentage style.
+func (m Metrics) String() string {
+	return fmt.Sprintf("prec %.1f%%  rec %.1f%%  F %.1f%%",
+		100*m.Precision, 100*m.Recall, 100*m.F1)
+}
+
+// finish derives the ratios from the counts.
+func (m Metrics) finish() Metrics {
+	if m.TP+m.FP > 0 {
+		m.Precision = float64(m.TP) / float64(m.TP+m.FP)
+	}
+	if m.TP+m.FN > 0 {
+		m.Recall = float64(m.TP) / float64(m.TP+m.FN)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// Evaluate scores a computed assignment (ontology-1 key to ontology-2 key)
+// against the gold standard. An assignment for an entity outside the gold
+// standard counts as a false positive; a gold entity that is unassigned or
+// misassigned counts as a false negative.
+func (g *Gold) Evaluate(assign map[string]string) Metrics {
+	var m Metrics
+	for k1, k2 := range assign {
+		if want, ok := g.fwd[k1]; ok && want == k2 {
+			m.TP++
+		} else {
+			m.FP++
+		}
+	}
+	m.FN = g.Len() - m.TP
+	return m.finish()
+}
+
+// EvaluateWhere scores only the assignments and gold pairs whose ontology-1
+// entity satisfies keep. It implements restricted evaluations such as the
+// paper's "entities with more than 10 facts in DBpedia".
+func (g *Gold) EvaluateWhere(assign map[string]string, keep func(k1 string) bool) Metrics {
+	var m Metrics
+	goldKept := 0
+	for k1 := range g.fwd {
+		if keep(k1) {
+			goldKept++
+		}
+	}
+	for k1, k2 := range assign {
+		if !keep(k1) {
+			continue
+		}
+		if want, ok := g.fwd[k1]; ok && want == k2 {
+			m.TP++
+		} else {
+			m.FP++
+		}
+	}
+	m.FN = goldKept - m.TP
+	return m.finish()
+}

@@ -1,0 +1,164 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGoldAddAndLookup(t *testing.T) {
+	g := NewGold()
+	if err := g.Add("a", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add("b", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	if got, ok := g.Expected("a"); !ok || got != "x" {
+		t.Fatalf("Expected(a) = %q, %v", got, ok)
+	}
+	if _, ok := g.Expected("zz"); ok {
+		t.Fatal("found missing entity")
+	}
+}
+
+func TestGoldRejectsConflicts(t *testing.T) {
+	g := NewGold()
+	g.Add("a", "x")
+	if err := g.Add("a", "y"); err == nil {
+		t.Fatal("conflicting forward pair accepted")
+	}
+	if err := g.Add("b", "x"); err == nil {
+		t.Fatal("conflicting reverse pair accepted")
+	}
+	if err := g.Add("a", "x"); err != nil {
+		t.Fatal("idempotent re-add rejected")
+	}
+}
+
+func TestGoldPairsSorted(t *testing.T) {
+	g := NewGold()
+	g.Add("b", "y")
+	g.Add("a", "x")
+	p := g.Pairs()
+	if len(p) != 2 || p[0][0] != "a" || p[1][0] != "b" {
+		t.Fatalf("pairs = %v", p)
+	}
+}
+
+func TestGoldInvert(t *testing.T) {
+	g := NewGold()
+	g.Add("a", "x")
+	inv := g.Invert()
+	if got, ok := inv.Expected("x"); !ok || got != "a" {
+		t.Fatalf("inverted = %q, %v", got, ok)
+	}
+}
+
+func TestEvaluatePerfect(t *testing.T) {
+	g := NewGold()
+	g.Add("a", "x")
+	g.Add("b", "y")
+	m := g.Evaluate(map[string]string{"a": "x", "b": "y"})
+	if m.Precision != 1 || m.Recall != 1 || m.F1 != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestEvaluateMixed(t *testing.T) {
+	g := NewGold()
+	g.Add("a", "x")
+	g.Add("b", "y")
+	g.Add("c", "z")
+	g.Add("d", "w")
+	// a correct, b wrong, e spurious, c+d missed.
+	m := g.Evaluate(map[string]string{"a": "x", "b": "wrong", "e": "x"})
+	if m.TP != 1 || m.FP != 2 || m.FN != 3 {
+		t.Fatalf("counts = %+v", m)
+	}
+	if math.Abs(m.Precision-1.0/3) > 1e-12 {
+		t.Fatalf("precision = %v", m.Precision)
+	}
+	if math.Abs(m.Recall-0.25) > 1e-12 {
+		t.Fatalf("recall = %v", m.Recall)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	g := NewGold()
+	m := g.Evaluate(nil)
+	if m.Precision != 0 || m.Recall != 0 || m.F1 != 0 {
+		t.Fatalf("empty metrics = %+v", m)
+	}
+	g.Add("a", "x")
+	m = g.Evaluate(nil)
+	if m.FN != 1 || m.Recall != 0 {
+		t.Fatalf("no-assignment metrics = %+v", m)
+	}
+}
+
+func TestEvaluateWhere(t *testing.T) {
+	g := NewGold()
+	g.Add("big:a", "x")
+	g.Add("small:b", "y")
+	assign := map[string]string{"big:a": "x", "small:b": "wrong"}
+	m := g.EvaluateWhere(assign, func(k string) bool { return k[:3] == "big" })
+	if m.TP != 1 || m.FP != 0 || m.FN != 0 {
+		t.Fatalf("filtered metrics = %+v", m)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	g := NewGold()
+	g.Add("a", "x")
+	s := g.Evaluate(map[string]string{"a": "x"}).String()
+	if s != "prec 100.0%  rec 100.0%  F 100.0%" {
+		t.Fatalf("string = %q", s)
+	}
+}
+
+// Property: precision and recall are always within [0,1] and F1 is between
+// min and max of the two (harmonic-mean property) for arbitrary overlap.
+func TestQuickMetricsBounds(t *testing.T) {
+	f := func(correct, wrong, missed uint8) bool {
+		g := NewGold()
+		assign := map[string]string{}
+		id := 0
+		for i := 0; i < int(correct)%50; i++ {
+			k := fmtKey(id)
+			id++
+			g.Add(k, k+"'")
+			assign[k] = k + "'"
+		}
+		for i := 0; i < int(wrong)%50; i++ {
+			k := fmtKey(id)
+			id++
+			g.Add(k, k+"'")
+			assign[k] = "bogus" + k
+		}
+		for i := 0; i < int(missed)%50; i++ {
+			k := fmtKey(id)
+			id++
+			g.Add(k, k+"'")
+		}
+		m := g.Evaluate(assign)
+		if m.Precision < 0 || m.Precision > 1 || m.Recall < 0 || m.Recall > 1 {
+			return false
+		}
+		lo, hi := m.Precision, m.Recall
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return m.F1 >= lo-1e-9 && m.F1 <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fmtKey(i int) string {
+	return string(rune('a'+i%26)) + string(rune('0'+(i/26)%10)) + string(rune('0'+i/260))
+}

@@ -1,0 +1,105 @@
+package gen
+
+// Name pools shared by the generators. The pools are intentionally small
+// enough that low-functionality values (cities, cuisines) repeat across
+// entities, and large enough that composite names (first + last, adjective +
+// noun) are near-unique — the same skew the paper's corpora exhibit.
+
+var firstNames = []string{
+	"James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael",
+	"Linda", "William", "Elizabeth", "David", "Barbara", "Richard", "Susan",
+	"Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Christopher",
+	"Nancy", "Daniel", "Lisa", "Matthew", "Betty", "Anthony", "Margaret",
+	"Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul",
+	"Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Dorothy",
+	"Kevin", "Carol", "Brian", "Amanda", "George", "Melissa", "Edward",
+	"Deborah",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+	"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+	"Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+	"Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+	"Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+	"Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+	"Carter", "Roberts",
+}
+
+var cities = []string{
+	"Springfield", "Riverton", "Fairview", "Kingsport", "Maplewood",
+	"Lakeside", "Brookfield", "Ashland", "Clayton", "Dayton", "Easton",
+	"Franklin", "Georgetown", "Hamilton", "Irvington", "Jasper", "Kenton",
+	"Lancaster", "Madison", "Newport", "Oakdale", "Plainfield", "Quincy",
+	"Redmond", "Salem", "Trenton", "Union City", "Vernon", "Westfield",
+	"Yorktown",
+}
+
+var countries = []string{
+	"Arbenia", "Bolvania", "Cestaria", "Dorvland", "Elbonia", "Freldonia",
+	"Gallivia", "Hestia", "Ilvania", "Jorland", "Kestovia", "Lurdania",
+	"Morsland", "Novaria", "Ostreland",
+}
+
+var streets = []string{
+	"Main", "Oak", "Pine", "Maple", "Cedar", "Elm", "Washington", "Lake",
+	"Hill", "Park", "Walnut", "Spring", "North", "Ridge", "Church",
+	"Willow", "Mill", "Sunset", "Railroad", "Jefferson", "Center", "Highland",
+	"Forest", "Jackson", "River",
+}
+
+var cuisines = []string{
+	"Italian", "French", "Chinese", "Mexican", "Thai", "Indian", "Japanese",
+	"Greek", "Spanish", "American", "Korean", "Vietnamese", "Lebanese",
+	"Turkish", "Ethiopian",
+}
+
+var restaurantTypes = []string{
+	"Bistro", "Grill", "Deli", "Kitchen", "Cafe", "Diner", "Tavern", "House",
+	"Garden", "Corner", "Table", "Room",
+}
+
+var restaurantAdjectives = []string{
+	"Golden", "Silver", "Blue", "Red", "Old", "New", "Royal", "Grand",
+	"Little", "Happy", "Lucky", "Green", "White", "Black", "Sunny",
+}
+
+var movieWords = []string{
+	"Shadow", "Night", "River", "Storm", "Garden", "Empire", "Secret",
+	"Winter", "Summer", "Crimson", "Silent", "Broken", "Hidden", "Last",
+	"First", "Lost", "Golden", "Iron", "Glass", "Paper", "Stone", "Velvet",
+	"Burning", "Frozen", "Endless", "Distant", "Falling", "Rising", "Wild",
+	"Quiet", "Scarlet", "Hollow", "Sacred", "Savage", "Gentle", "Bitter",
+	"Radiant", "Moonlit",
+}
+
+var movieNouns = []string{
+	"Dawn", "City", "Road", "Heart", "Dream", "Journey", "Promise", "Return",
+	"Whisper", "Echo", "Horizon", "Kingdom", "Voyage", "Letter", "Memory",
+	"Harvest", "Crossing", "Refuge", "Covenant", "Paradox", "Mirage",
+	"Symphony", "Legacy", "Labyrinth", "Eclipse", "Reckoning", "Serenade",
+	"Requiem", "Odyssey", "Masquerade",
+}
+
+var universities = []string{
+	"Northgate University", "Westbrook College", "Harlow Institute",
+	"Calder University", "Eastfield College", "Marlin Technical Institute",
+	"Ravenwood University", "Stanmore College", "Drayton University",
+	"Fenwick Polytechnic", "Alderton University", "Briarcliff College",
+}
+
+var prizes = []string{
+	"Meridian Prize", "Aurora Award", "Golden Quill", "Laurel Medal",
+	"Zenith Honor", "Beacon Prize", "Vanguard Award", "Pinnacle Medal",
+}
+
+var professions = []string{
+	"singer", "writer", "scientist", "politician", "athlete", "painter",
+	"composer", "architect", "economist", "philosopher",
+}
+
+var genres = []string{
+	"drama", "comedy", "thriller", "documentary", "western", "noir",
+	"musical", "adventure", "romance", "mystery",
+}

@@ -1,0 +1,160 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+)
+
+// PersonsConfig scales the OAEI-style person corpus (Section 6.2, Table 1,
+// "Person" row: 500 gold instance pairs, 4 class pairs, 20 relation pairs).
+type PersonsConfig struct {
+	// N is the number of matched persons (each with an address entity, so
+	// the instance gold has 2N pairs at most; the paper's gold counts 500
+	// person entries). Zero means 500.
+	N int
+	// Seed drives all randomness.
+	Seed int64
+	// TypoRate is the fraction of ontology-2 given names carrying a typo.
+	// Identifying attributes (SSN, phone, e-mail) are never perturbed, so
+	// the dataset stays perfectly resolvable, like OAEI person. Zero means
+	// 0.05; negative means none.
+	TypoRate float64
+}
+
+func (c PersonsConfig) withDefaults() PersonsConfig {
+	if c.N == 0 {
+		c.N = 500
+	}
+	if c.TypoRate == 0 {
+		c.TypoRate = 0.05
+	}
+	if c.TypoRate < 0 {
+		c.TypoRate = 0
+	}
+	return c
+}
+
+// Persons generates the person corpus: one synthetic population emitted
+// into two ontologies with disjoint vocabularies (the paper renames all
+// classes and relations of one copy so that nothing is shared, Section 6.2).
+func Persons(cfg PersonsConfig) *Dataset {
+	cfg = cfg.withDefaults()
+	r := newRNG(cfg.Seed)
+	s1 := newSink("http://person1.example.org/")
+	s2 := newSink("http://person2.example.org/")
+	gold := eval.NewGold()
+
+	// Vocabulary of ontology 1 / ontology 2.
+	const (
+		c1Person, c2Person   = "Person", "Human"
+		c1Address, c2Address = "Address", "Location"
+	)
+	rel := map[string]string{ // o1 name -> o2 name
+		"has_first_name":   "givenName",
+		"has_surname":      "familyName",
+		"soc_sec_id":       "ssn",
+		"phone_number":     "telephone",
+		"has_email":        "emailAddress",
+		"date_of_birth":    "birthDate",
+		"has_age":          "age",
+		"has_address":      "livesAt",
+		"knows":            "acquaintanceOf",
+		"has_street":       "street",
+		"has_house_number": "houseNumber",
+		"is_in_city":       "city",
+		"has_postcode":     "zipCode",
+		"in_state":         "state",
+	}
+
+	states := []string{"North State", "South State", "East State", "West State", "Mid State"}
+
+	for i := 0; i < cfg.N; i++ {
+		p1 := fmt.Sprintf("person%04d", i)
+		p2 := fmt.Sprintf("hum%04d", i)
+		a1 := fmt.Sprintf("address%04d", i)
+		a2 := fmt.Sprintf("loc%04d", i)
+
+		first := r.pick(firstNames)
+		last := r.pick(lastNames)
+		ssn := fmt.Sprintf("%03d-%02d-%04d", i/100+100, i%100, r.Intn(10000))
+		phone := fmt.Sprintf("555-%04d", i)
+		email := fmt.Sprintf("%s.%s.%d@example.com", first, last, i)
+		dob := fmt.Sprintf("19%02d-%02d-%02d", 20+r.Intn(80), 1+r.Intn(12), 1+r.Intn(28))
+		age := fmt.Sprintf("%d", 18+r.Intn(70))
+		street := r.pick(streets) + " Street"
+		houseNo := fmt.Sprintf("%d", 1+r.Intn(400))
+		city := r.pick(cities)
+		postcode := r.digits(5)
+		state := r.pick(states)
+
+		first2 := first
+		if r.chance(cfg.TypoRate) {
+			first2 = r.typo(first2)
+		}
+
+		s1.typed(p1, c1Person)
+		s1.lit(p1, "has_first_name", first)
+		s1.lit(p1, "has_surname", last)
+		s1.lit(p1, "soc_sec_id", ssn)
+		s1.lit(p1, "phone_number", phone)
+		s1.lit(p1, "has_email", email)
+		s1.lit(p1, "date_of_birth", dob)
+		s1.lit(p1, "has_age", age)
+		s1.fact(p1, "has_address", a1)
+		s1.typed(a1, c1Address)
+		s1.lit(a1, "has_street", street)
+		s1.lit(a1, "has_house_number", houseNo)
+		s1.lit(a1, "is_in_city", city)
+		s1.lit(a1, "has_postcode", postcode)
+		s1.lit(a1, "in_state", state)
+
+		s2.typed(p2, c2Person)
+		s2.lit(p2, "givenName", first2)
+		s2.lit(p2, "familyName", last)
+		s2.lit(p2, "ssn", ssn)
+		s2.lit(p2, "telephone", phone)
+		s2.lit(p2, "emailAddress", email)
+		s2.lit(p2, "birthDate", dob)
+		s2.lit(p2, "age", age)
+		s2.fact(p2, "livesAt", a2)
+		s2.typed(a2, c2Address)
+		s2.lit(a2, "street", street)
+		s2.lit(a2, "houseNumber", houseNo)
+		s2.lit(a2, "city", city)
+		s2.lit(a2, "zipCode", postcode)
+		s2.lit(a2, "state", state)
+
+		gold.Add(s1.key(p1), s2.key(p2))
+		gold.Add(s1.key(a1), s2.key(a2))
+	}
+
+	// A sparse social graph, mirrored in both copies, giving the corpus
+	// resource-to-resource statements beyond person->address.
+	for i := 0; i < cfg.N/4; i++ {
+		a := r.Intn(cfg.N)
+		b := r.Intn(cfg.N)
+		if a == b {
+			continue
+		}
+		s1.fact(fmt.Sprintf("person%04d", a), "knows", fmt.Sprintf("person%04d", b))
+		s2.fact(fmt.Sprintf("hum%04d", a), "acquaintanceOf", fmt.Sprintf("hum%04d", b))
+	}
+
+	relGold := make(map[string]string, len(rel))
+	for r1, r2 := range rel {
+		relGold[s1.ns+r1] = s2.ns + r2
+	}
+	return &Dataset{
+		Name1:    "person1",
+		Name2:    "person2",
+		Triples1: s1.triples,
+		Triples2: s2.triples,
+		Gold:     gold,
+		RelGold:  relGold,
+		ClassGold: map[string]string{
+			s1.ns + c1Person:  s2.ns + c2Person,
+			s1.ns + c1Address: s2.ns + c2Address,
+		},
+	}
+}

@@ -1,0 +1,105 @@
+package literal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJaroWinklerKnownValues(t *testing.T) {
+	j := JaroWinkler{}
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.9611},
+		{"DIXON", "DICKSONX", 0.8133},
+		{"JELLYFISH", "SMELLYFISH", 0.8962}, // no common prefix: plain Jaro
+		{"same", "same", 1},
+		{"", "", 1},
+		{"abc", "", 0},
+		{"", "abc", 0},
+		{"abc", "xyz", 0},
+	}
+	for _, tc := range cases {
+		got := j.Sim(tc.a, tc.b)
+		if math.Abs(got-tc.want) > 0.001 {
+			t.Errorf("JaroWinkler(%q,%q) = %.4f, want %.4f", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestJaroWinklerPrefixBonus(t *testing.T) {
+	plain := JaroWinkler{PrefixScale: 0.0001} // effectively no bonus
+	boosted := JaroWinkler{PrefixScale: 0.25}
+	a, b := "prefixed-one", "prefixed-two"
+	if boosted.Sim(a, b) <= plain.Sim(a, b) {
+		t.Fatal("prefix bonus had no effect")
+	}
+	clamped := JaroWinkler{PrefixScale: 5} // must clamp, not exceed 1
+	if s := clamped.Sim(a, b); s > 1 {
+		t.Fatalf("score above 1: %v", s)
+	}
+}
+
+func TestJaroWinklerMinSim(t *testing.T) {
+	j := JaroWinkler{MinSim: 0.95}
+	if j.Sim("DIXON", "DICKSONX") != 0 {
+		t.Fatal("floor not applied")
+	}
+}
+
+func TestQuickJaroWinklerAxioms(t *testing.T) {
+	j := JaroWinkler{}
+	f := func(a, b string) bool {
+		ab, ba := j.Sim(a, b), j.Sim(b, a)
+		if math.Abs(ab-ba) > 1e-9 {
+			return false
+		}
+		if ab < 0 || ab > 1 {
+			return false
+		}
+		return j.Sim(a, a) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDateProximity(t *testing.T) {
+	d := DateProximity{YearSim: 0.3}
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"1935-01-08", "1935-01-08", 1},
+		{"1935-01-08", "08/01/1935", 1}, // format divergence repaired
+		{"08/01/1935", "1935-01-08", 1},
+		{"1935-01-08", "1935-06-20", 0.3}, // same year
+		{"1935-01-08", "1999-01-08", 0},
+		{"not a date", "not a date", 1}, // Exact fallback
+		{"not a date", "other thing", 0},
+		{"1935-01-08", "garbage", 0},
+	}
+	for _, tc := range cases {
+		if got := d.Sim(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("DateProximity(%q,%q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+	strict := DateProximity{}
+	if strict.Sim("1935-01-08", "1935-06-20") != 0 {
+		t.Fatal("zero YearSim should give no partial credit")
+	}
+}
+
+func TestParseDateRejectsMalformed(t *testing.T) {
+	bad := []string{"1935-1-08", "1935/01/08", "aa/bb/cccc", "1935-01-0x", "  "}
+	for _, s := range bad {
+		if _, _, _, ok := parseDate(s); ok {
+			t.Errorf("parseDate(%q) accepted", s)
+		}
+	}
+	if _, _, _, ok := parseDate(" 1935-01-08 "); !ok {
+		t.Error("surrounding whitespace should be tolerated")
+	}
+}

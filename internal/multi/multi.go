@@ -1,0 +1,176 @@
+// Package multi extends PARIS to more than two ontologies — the future-work
+// direction named in the paper's conclusion ("It would also be interesting
+// to apply paris to more than two ontologies").
+//
+// The approach aligns every ontology pair independently with the two-ontology
+// algorithm and then merges the pairwise maximal assignments into entity
+// clusters. Only reciprocal assignments (x's maximal partner is y and y's
+// maximal partner is x) join entities, which keeps the transitive closure
+// from chaining through one-directional, low-confidence matches.
+package multi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// Entity names one resource inside one ontology of the ensemble.
+type Entity struct {
+	Ontology int // index into the input ontology slice
+	Key      string
+}
+
+// Cluster is one group of entities believed to denote the same real-world
+// object, with the minimum pairwise probability that joined it.
+type Cluster struct {
+	Members []Entity
+	MinP    float64
+}
+
+// Result is the outcome of a multi-ontology alignment.
+type Result struct {
+	// Pairwise holds the two-ontology results, indexed by [i][j] for
+	// i < j.
+	Pairwise map[[2]int]*core.Result
+	// Clusters lists all multi-entity clusters, largest first.
+	Clusters []Cluster
+}
+
+// Align aligns every pair of the given ontologies and clusters the
+// reciprocal maximal assignments. All ontologies must share one literal
+// table. The configuration applies to every pairwise run.
+func Align(ontos []*store.Ontology, cfg core.Config) (*Result, error) {
+	if len(ontos) < 2 {
+		return nil, fmt.Errorf("multi: need at least two ontologies, got %d", len(ontos))
+	}
+	for i := 1; i < len(ontos); i++ {
+		if ontos[i].Literals() != ontos[0].Literals() {
+			return nil, fmt.Errorf("multi: ontology %d does not share the literal table", i)
+		}
+	}
+
+	res := &Result{Pairwise: make(map[[2]int]*core.Result)}
+	uf := newUnionFind()
+	minP := map[string]float64{}
+
+	for i := 0; i < len(ontos); i++ {
+		for j := i + 1; j < len(ontos); j++ {
+			pr := core.New(ontos[i], ontos[j], cfg).Run()
+			res.Pairwise[[2]int{i, j}] = pr
+
+			// Reciprocity check: keep x≡y only if y's best partner in
+			// the reverse direction is x again.
+			bestRev := make(map[store.Resource]core.Assignment, len(pr.Instances))
+			for _, a := range pr.Instances {
+				if b, ok := bestRev[a.X2]; !ok || a.P > b.P {
+					bestRev[a.X2] = a
+				}
+			}
+			for _, a := range pr.Instances {
+				if bestRev[a.X2].X1 != a.X1 {
+					continue
+				}
+				e1 := entityID(i, ontos[i].ResourceKey(a.X1))
+				e2 := entityID(j, ontos[j].ResourceKey(a.X2))
+				root := uf.union(e1, e2)
+				for _, id := range []string{e1, e2, root} {
+					if p, ok := minP[id]; !ok || a.P < p {
+						minP[id] = a.P
+					}
+				}
+			}
+		}
+	}
+
+	// Collect clusters.
+	groups := map[string][]Entity{}
+	groupP := map[string]float64{}
+	for id := range uf.parent {
+		root := uf.find(id)
+		var ont int
+		var key string
+		fmt.Sscanf(id, "%d\x00", &ont)
+		key = id[indexByte(id, 0)+1:]
+		groups[root] = append(groups[root], Entity{Ontology: ont, Key: key})
+		if p, ok := minP[id]; ok {
+			if cur, seen := groupP[root]; !seen || p < cur {
+				groupP[root] = p
+			}
+		}
+	}
+	for root, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		sort.Slice(members, func(a, b int) bool {
+			if members[a].Ontology != members[b].Ontology {
+				return members[a].Ontology < members[b].Ontology
+			}
+			return members[a].Key < members[b].Key
+		})
+		res.Clusters = append(res.Clusters, Cluster{Members: members, MinP: groupP[root]})
+	}
+	sort.Slice(res.Clusters, func(a, b int) bool {
+		ca, cb := res.Clusters[a], res.Clusters[b]
+		if len(ca.Members) != len(cb.Members) {
+			return len(ca.Members) > len(cb.Members)
+		}
+		return ca.Members[0].Key < cb.Members[0].Key
+	})
+	return res, nil
+}
+
+func entityID(ont int, key string) string {
+	return fmt.Sprintf("%d\x00%s", ont, key)
+}
+
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// unionFind is a string-keyed disjoint-set forest with path compression.
+type unionFind struct {
+	parent map[string]string
+	rank   map[string]int
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: map[string]string{}, rank: map[string]int{}}
+}
+
+func (u *unionFind) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := u.find(p)
+	u.parent[x] = root
+	return root
+}
+
+func (u *unionFind) union(a, b string) string {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return ra
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	return ra
+}

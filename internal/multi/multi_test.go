@@ -1,0 +1,147 @@
+package multi
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// triKB builds three ontologies describing the same two people under three
+// vocabularies, sharing one literal table.
+func triKB(t *testing.T) []*store.Ontology {
+	t.Helper()
+	lits := store.NewLiterals()
+	docs := []string{
+		`<http://a.org/x> <http://a.org/email> "x@ex.com" .
+<http://a.org/y> <http://a.org/email> "y@ex.com" .`,
+		`<http://b.org/x> <http://b.org/mail> "x@ex.com" .
+<http://b.org/y> <http://b.org/mail> "y@ex.com" .`,
+		`<http://c.org/x> <http://c.org/courriel> "x@ex.com" .
+<http://c.org/y> <http://c.org/courriel> "y@ex.com" .`,
+	}
+	var out []*store.Ontology
+	for i, doc := range docs {
+		triples, err := rdf.ParseNTriples(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := store.NewBuilder(string(rune('a'+i)), lits, nil)
+		if err := b.AddAll(triples); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b.Build())
+	}
+	return out
+}
+
+func TestAlignThreeOntologies(t *testing.T) {
+	ontos := triKB(t)
+	res, err := Align(ontos, core.Config{MaxIterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairwise) != 3 {
+		t.Fatalf("pairwise results = %d, want 3", len(res.Pairwise))
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2: %+v", len(res.Clusters), res.Clusters)
+	}
+	for _, c := range res.Clusters {
+		if len(c.Members) != 3 {
+			t.Fatalf("cluster size = %d, want 3: %+v", len(c.Members), c)
+		}
+		// All members must refer to the same local entity (x or y).
+		suffix := c.Members[0].Key[len(c.Members[0].Key)-3:]
+		for _, m := range c.Members[1:] {
+			if m.Key[len(m.Key)-3:] != suffix {
+				t.Fatalf("mixed cluster: %+v", c)
+			}
+		}
+		if c.MinP <= 0 || c.MinP > 1 {
+			t.Fatalf("cluster MinP out of range: %v", c.MinP)
+		}
+	}
+	// Clusters must span all three ontologies.
+	onts := map[int]bool{}
+	for _, m := range res.Clusters[0].Members {
+		onts[m.Ontology] = true
+	}
+	if len(onts) != 3 {
+		t.Fatalf("cluster does not span all ontologies: %+v", res.Clusters[0])
+	}
+}
+
+func TestAlignInputValidation(t *testing.T) {
+	ontos := triKB(t)
+	if _, err := Align(ontos[:1], core.Config{}); err == nil {
+		t.Fatal("single ontology accepted")
+	}
+	foreign := store.NewBuilder("z", store.NewLiterals(), nil).Build()
+	if _, err := Align([]*store.Ontology{ontos[0], foreign}, core.Config{}); err == nil {
+		t.Fatal("mismatched literal tables accepted")
+	}
+}
+
+func TestReciprocityFiltersOneWayMatches(t *testing.T) {
+	lits := store.NewLiterals()
+	mk := func(name, doc string) *store.Ontology {
+		triples, err := rdf.ParseNTriples(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := store.NewBuilder(name, lits, nil)
+		if err := b.AddAll(triples); err != nil {
+			t.Fatal(err)
+		}
+		return b.Build()
+	}
+	// Ontology a's entity shares a weak value with two b entities; the
+	// reciprocal filter must not chain a cluster through the weaker one.
+	a := mk("a", `<http://a.org/p> <http://a.org/city> "Springfield" .
+<http://a.org/p> <http://a.org/email> "p@ex.com" .`)
+	b := mk("b", `<http://b.org/p> <http://b.org/town> "Springfield" .
+<http://b.org/p> <http://b.org/mail> "p@ex.com" .
+<http://b.org/q> <http://b.org/town> "Springfield" .`)
+	res, err := Align([]*store.Ontology{a, b}, core.Config{MaxIterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Clusters {
+		for _, m := range c.Members {
+			if m.Key == "<http://b.org/q>" {
+				t.Fatalf("one-way match clustered: %+v", c)
+			}
+		}
+	}
+}
+
+func TestEquivalentClassesHelper(t *testing.T) {
+	lits := store.NewLiterals()
+	mk := func(name, doc string) *store.Ontology {
+		triples, err := rdf.ParseNTriples(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bld := store.NewBuilder(name, lits, nil)
+		if err := bld.AddAll(triples); err != nil {
+			t.Fatal(err)
+		}
+		return bld.Build()
+	}
+	typeIRI := "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>"
+	o1 := mk("o1", `<http://a.org/x> <http://a.org/email> "x@ex.com" .
+<http://a.org/x> `+typeIRI+` <http://a.org/singer> .`)
+	o2 := mk("o2", `<http://b.org/x> <http://b.org/mail> "x@ex.com" .
+<http://b.org/x> `+typeIRI+` <http://b.org/musician> .`)
+	res := core.New(o1, o2, core.Config{MaxIterations: 3}).Run()
+	eq := res.EquivalentClasses(0.9)
+	if len(eq) != 1 {
+		t.Fatalf("equivalent classes = %v", eq)
+	}
+	if o1.ResourceKey(eq[0].Sub) != "<http://a.org/singer>" ||
+		o2.ResourceKey(eq[0].Super) != "<http://b.org/musician>" {
+		t.Fatalf("wrong equivalence: %v", eq)
+	}
+}

@@ -1,0 +1,155 @@
+package rdf
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseNTriplesBasic(t *testing.T) {
+	doc := `
+# a comment
+<http://ex.org/Elvis> <http://ex.org/type> <http://ex.org/Singer> .
+<http://ex.org/Elvis> <http://ex.org/name> "Elvis Presley" .
+
+<http://ex.org/Elvis> <http://ex.org/born> "1935-01-08"^^<http://www.w3.org/2001/XMLSchema#date> .
+_:b0 <http://ex.org/knows> <http://ex.org/Elvis> . # trailing comment
+<http://ex.org/Elvis> <http://ex.org/label> "le Roi"@fr .
+`
+	triples, err := ParseNTriples(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 5 {
+		t.Fatalf("got %d triples, want 5", len(triples))
+	}
+	if triples[2].Object.Datatype != XSDDate {
+		t.Errorf("datatype = %q, want xsd:date", triples[2].Object.Datatype)
+	}
+	if !triples[3].Subject.IsBlank() || triples[3].Subject.Value != "b0" {
+		t.Errorf("blank subject parsed as %+v", triples[3].Subject)
+	}
+	if triples[4].Object.Lang != "fr" {
+		t.Errorf("lang = %q, want fr", triples[4].Object.Lang)
+	}
+}
+
+func TestParseNTriplesEscapes(t *testing.T) {
+	doc := `<s> <p> "line1\nline2\ttab \"quoted\" \\ é \U0001F600" .`
+	triples, err := ParseNTriples(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "line1\nline2\ttab \"quoted\" \\ é 😀"
+	if got := triples[0].Object.Value; got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestParseNTriplesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"missing dot", `<s> <p> <o>`},
+		{"unterminated iri", `<s> <p> <o .`},
+		{"unterminated literal", `<s> <p> "abc .`},
+		{"literal predicate", `<s> "p" <o> .`},
+		{"trailing garbage", `<s> <p> <o> . extra`},
+		{"dangling escape", `<s> <p> "abc\" .`},
+		{"bad unicode escape", `<s> <p> "\uZZZZ" .`},
+		{"empty iri", `<> <p> <o> .`},
+		{"iri with space", `<a b> <p> <o> .`},
+		{"empty blank label", `_: <p> <o> .`},
+		{"junk term", `@s <p> <o> .`},
+		{"truncated u escape", `<s> <p> "\u12" .`},
+		{"unknown escape", `<s> <p> "\z" .`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseNTriples(tc.doc); err == nil {
+				t.Fatalf("expected error for %q", tc.doc)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := ParseNTriples("<s> <p> <o> .\n<s> <p> bad .")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *ParseError", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("line = %d, want 2", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 2") {
+		t.Errorf("message %q lacks position", pe.Error())
+	}
+}
+
+func TestNTriplesNonStrictSkipsBadLines(t *testing.T) {
+	doc := "<s> <p> <o> .\ngarbage line\n<s2> <p> <o2> .\n"
+	r := NewNTriplesReader(strings.NewReader(doc))
+	all, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("got %d triples, want 2", len(all))
+	}
+	if r.Skipped != 1 {
+		t.Fatalf("Skipped = %d, want 1", r.Skipped)
+	}
+}
+
+func TestNTriplesStrictFailsFast(t *testing.T) {
+	r := NewNTriplesReader(strings.NewReader("garbage\n"))
+	r.Strict = true
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Fatalf("want parse error, got %v", err)
+	}
+}
+
+func TestNTriplesEmptyInput(t *testing.T) {
+	r := NewNTriplesReader(strings.NewReader("\n# only comments\n\n"))
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+}
+
+func TestWriteNTriplesRoundTrip(t *testing.T) {
+	in := []Triple{
+		T(IRI("http://ex.org/a"), IRI("http://ex.org/p"), IRI("http://ex.org/b")),
+		T(IRI("http://ex.org/a"), IRI("http://ex.org/name"), Literal("Ann \"The Hammer\" Lee")),
+		T(Blank("x"), IRI("http://ex.org/age"), TypedLiteral("42", XSDInteger)),
+		T(IRI("http://ex.org/a"), IRI("http://ex.org/label"), LangLiteral("höhe", "de")),
+	}
+	var sb strings.Builder
+	if err := WriteNTriples(&sb, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseNTriples(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d triples, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if !in[i].Equal(out[i]) {
+			t.Errorf("triple %d: got %v, want %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestXSDStringDatatypeDropped(t *testing.T) {
+	doc := `<s> <p> "v"^^<http://www.w3.org/2001/XMLSchema#string> .`
+	triples, err := ParseNTriples(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if triples[0].Object.Datatype != "" {
+		t.Fatalf("xsd:string should normalize to plain, got %q", triples[0].Object.Datatype)
+	}
+}

@@ -1,0 +1,231 @@
+// Package rdf implements the RDFS data model used by PARIS: IRIs, blank
+// nodes, typed literals, triples, and parsers/serializers for N-Triples and a
+// practical subset of Turtle.
+//
+// The model follows Section 3 of the paper: an ontology is a set of triples
+// over resources, properties, and literals. Inverse relations are not part of
+// this package; they are materialized by the store layer.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates the three kinds of RDF terms.
+type TermKind uint8
+
+// The possible kinds of a Term.
+const (
+	// KindIRI is an IRI reference, e.g. <http://example.org/London>.
+	KindIRI TermKind = iota
+	// KindBlank is a blank node, e.g. _:b42.
+	KindBlank
+	// KindLiteral is a literal with optional datatype or language tag.
+	KindLiteral
+)
+
+// String returns a human-readable name of the kind.
+func (k TermKind) String() string {
+	switch k {
+	case KindIRI:
+		return "IRI"
+	case KindBlank:
+		return "blank"
+	case KindLiteral:
+		return "literal"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Well-known vocabulary IRIs used throughout the system.
+const (
+	RDFType           = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+	RDFSSubClassOf    = "http://www.w3.org/2000/01/rdf-schema#subClassOf"
+	RDFSSubPropertyOf = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf"
+	RDFSLabel         = "http://www.w3.org/2000/01/rdf-schema#label"
+	RDFSClass         = "http://www.w3.org/2000/01/rdf-schema#Class"
+	XSDString         = "http://www.w3.org/2001/XMLSchema#string"
+	XSDInteger        = "http://www.w3.org/2001/XMLSchema#integer"
+	XSDDecimal        = "http://www.w3.org/2001/XMLSchema#decimal"
+	XSDDouble         = "http://www.w3.org/2001/XMLSchema#double"
+	XSDBoolean        = "http://www.w3.org/2001/XMLSchema#boolean"
+	XSDDate           = "http://www.w3.org/2001/XMLSchema#date"
+)
+
+// Term is a single RDF term: an IRI, a blank node, or a literal.
+//
+// For IRIs, Value holds the IRI string without angle brackets. For blank
+// nodes, Value holds the label without the "_:" prefix. For literals, Value
+// holds the lexical form, Datatype the datatype IRI (empty means a plain
+// string), and Lang the language tag (mutually exclusive with Datatype).
+type Term struct {
+	Kind     TermKind
+	Value    string
+	Datatype string
+	Lang     string
+}
+
+// IRI returns an IRI term.
+func IRI(value string) Term { return Term{Kind: KindIRI, Value: value} }
+
+// Blank returns a blank-node term with the given label (no "_:" prefix).
+func Blank(label string) Term { return Term{Kind: KindBlank, Value: label} }
+
+// Literal returns a plain string literal.
+func Literal(value string) Term { return Term{Kind: KindLiteral, Value: value} }
+
+// TypedLiteral returns a literal with an explicit datatype IRI.
+func TypedLiteral(value, datatype string) Term {
+	return Term{Kind: KindLiteral, Value: value, Datatype: datatype}
+}
+
+// LangLiteral returns a language-tagged string literal.
+func LangLiteral(value, lang string) Term {
+	return Term{Kind: KindLiteral, Value: value, Lang: lang}
+}
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == KindIRI }
+
+// IsBlank reports whether the term is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == KindBlank }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == KindLiteral }
+
+// IsResource reports whether the term can denote a resource (IRI or blank
+// node), as opposed to a literal.
+func (t Term) IsResource() bool { return t.Kind == KindIRI || t.Kind == KindBlank }
+
+// Key returns a canonical string key for the term, unique across kinds.
+// It is used for dictionary interning: two terms are the same RDF node if and
+// only if their keys are equal.
+func (t Term) Key() string {
+	switch t.Kind {
+	case KindIRI:
+		return "<" + t.Value + ">"
+	case KindBlank:
+		return "_:" + t.Value
+	default:
+		var b strings.Builder
+		b.Grow(len(t.Value) + len(t.Datatype) + len(t.Lang) + 6)
+		b.WriteByte('"')
+		b.WriteString(t.Value)
+		b.WriteByte('"')
+		if t.Lang != "" {
+			b.WriteByte('@')
+			b.WriteString(t.Lang)
+		} else if t.Datatype != "" && t.Datatype != XSDString {
+			b.WriteString("^^")
+			b.WriteString(t.Datatype)
+		}
+		return b.String()
+	}
+}
+
+// String renders the term in N-Triples syntax (with escaping).
+func (t Term) String() string {
+	var b strings.Builder
+	t.write(&b)
+	return b.String()
+}
+
+func (t Term) write(b *strings.Builder) {
+	switch t.Kind {
+	case KindIRI:
+		b.WriteByte('<')
+		b.WriteString(t.Value)
+		b.WriteByte('>')
+	case KindBlank:
+		b.WriteString("_:")
+		b.WriteString(t.Value)
+	default:
+		b.WriteByte('"')
+		escapeInto(b, t.Value)
+		b.WriteByte('"')
+		if t.Lang != "" {
+			b.WriteByte('@')
+			b.WriteString(t.Lang)
+		} else if t.Datatype != "" && t.Datatype != XSDString {
+			b.WriteString("^^<")
+			b.WriteString(t.Datatype)
+			b.WriteByte('>')
+		}
+	}
+}
+
+// Equal reports whether two terms denote the same RDF node.
+func (t Term) Equal(u Term) bool {
+	return t.Kind == u.Kind && t.Value == u.Value &&
+		normDatatype(t.Datatype) == normDatatype(u.Datatype) && t.Lang == u.Lang
+}
+
+// normDatatype treats xsd:string as equivalent to an absent datatype,
+// following RDF 1.1 semantics.
+func normDatatype(dt string) string {
+	if dt == XSDString {
+		return ""
+	}
+	return dt
+}
+
+// Triple is a single RDF statement: subject, predicate, object.
+// Following the paper, the subject may be a literal only in materialized
+// inverse statements, which this package never produces itself.
+type Triple struct {
+	Subject   Term
+	Predicate Term
+	Object    Term
+}
+
+// T is shorthand for constructing a triple.
+func T(s, p, o Term) Triple { return Triple{Subject: s, Predicate: p, Object: o} }
+
+// String renders the triple as an N-Triples line (without trailing newline).
+func (tr Triple) String() string {
+	var b strings.Builder
+	tr.Subject.write(&b)
+	b.WriteByte(' ')
+	tr.Predicate.write(&b)
+	b.WriteByte(' ')
+	tr.Object.write(&b)
+	b.WriteString(" .")
+	return b.String()
+}
+
+// Equal reports whether two triples are term-wise equal.
+func (tr Triple) Equal(other Triple) bool {
+	return tr.Subject.Equal(other.Subject) &&
+		tr.Predicate.Equal(other.Predicate) &&
+		tr.Object.Equal(other.Object)
+}
+
+// escapeInto writes s with N-Triples string escaping applied.
+func escapeInto(b *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+// Escape returns s with N-Triples string escaping applied.
+func Escape(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	escapeInto(&b, s)
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructors(t *testing.T) {
+	tests := []struct {
+		name string
+		term Term
+		kind TermKind
+	}{
+		{"iri", IRI("http://example.org/x"), KindIRI},
+		{"blank", Blank("b1"), KindBlank},
+		{"plain literal", Literal("hello"), KindLiteral},
+		{"typed literal", TypedLiteral("3", XSDInteger), KindLiteral},
+		{"lang literal", LangLiteral("bonjour", "fr"), KindLiteral},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.term.Kind != tc.kind {
+				t.Fatalf("kind = %v, want %v", tc.term.Kind, tc.kind)
+			}
+		})
+	}
+}
+
+func TestTermPredicates(t *testing.T) {
+	iri := IRI("http://example.org/x")
+	if !iri.IsIRI() || !iri.IsResource() || iri.IsLiteral() || iri.IsBlank() {
+		t.Errorf("IRI predicates wrong: %+v", iri)
+	}
+	b := Blank("n")
+	if !b.IsBlank() || !b.IsResource() || b.IsIRI() || b.IsLiteral() {
+		t.Errorf("blank predicates wrong: %+v", b)
+	}
+	l := Literal("v")
+	if !l.IsLiteral() || l.IsResource() {
+		t.Errorf("literal predicates wrong: %+v", l)
+	}
+}
+
+func TestTermKeyUniqueAcrossKinds(t *testing.T) {
+	terms := []Term{
+		IRI("x"), Blank("x"), Literal("x"),
+		TypedLiteral("x", XSDInteger), LangLiteral("x", "en"),
+	}
+	seen := map[string]Term{}
+	for _, term := range terms {
+		k := term.Key()
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("key collision between %v and %v: %q", prev, term, k)
+		}
+		seen[k] = term
+	}
+}
+
+func TestTermKeyTreatsXSDStringAsPlain(t *testing.T) {
+	plain := Literal("v")
+	typed := TypedLiteral("v", XSDString)
+	if plain.Key() != typed.Key() {
+		t.Fatalf("plain %q != xsd:string %q", plain.Key(), typed.Key())
+	}
+	if !plain.Equal(typed) {
+		t.Fatal("plain literal should Equal xsd:string literal")
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	if KindIRI.String() != "IRI" || KindBlank.String() != "blank" || KindLiteral.String() != "literal" {
+		t.Fatal("TermKind.String mismatch")
+	}
+	if got := TermKind(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("unknown kind rendered as %q", got)
+	}
+}
+
+func TestTripleString(t *testing.T) {
+	tr := T(IRI("s"), IRI("p"), LangLiteral(`say "hi"`, "en"))
+	want := `<s> <p> "say \"hi\""@en .`
+	if got := tr.String(); got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestTripleEqual(t *testing.T) {
+	a := T(IRI("s"), IRI("p"), Literal("o"))
+	b := T(IRI("s"), IRI("p"), TypedLiteral("o", XSDString))
+	if !a.Equal(b) {
+		t.Fatal("triples with equivalent literals should be equal")
+	}
+	c := T(IRI("s"), IRI("p"), Literal("other"))
+	if a.Equal(c) {
+		t.Fatal("different triples reported equal")
+	}
+}
+
+func TestEscapeRoundTrip(t *testing.T) {
+	cases := []string{
+		"plain",
+		"with \"quotes\"",
+		"tab\tand\nnewline",
+		`back\slash`,
+		"unicode: héllo wörld 日本語",
+		"",
+	}
+	for _, s := range cases {
+		lit := Literal(s)
+		doc := T(IRI("s"), IRI("p"), lit).String()
+		got, err := ParseNTriples(doc)
+		if err != nil {
+			t.Fatalf("parse %q: %v", doc, err)
+		}
+		if len(got) != 1 || got[0].Object.Value != s {
+			t.Fatalf("round trip of %q gave %q", s, got[0].Object.Value)
+		}
+	}
+}
+
+// Property: any literal value survives a serialize-parse round trip.
+func TestQuickLiteralRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		if !validUTF8NoControl(s) {
+			return true // skip values N-Triples cannot carry verbatim
+		}
+		doc := T(IRI("s"), IRI("p"), Literal(s)).String()
+		got, err := ParseNTriples(doc)
+		if err != nil {
+			return false
+		}
+		return len(got) == 1 && got[0].Object.Value == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Key is injective over distinct simple literals.
+func TestQuickKeyInjective(t *testing.T) {
+	f := func(a, b string) bool {
+		la, lb := Literal(a), Literal(b)
+		return (a == b) == (la.Key() == lb.Key())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func validUTF8NoControl(s string) bool {
+	for _, r := range s {
+		if r == 0xFFFD || r < 0x20 && r != '\t' && r != '\n' && r != '\r' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,496 @@
+package rdf
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+)
+
+// TurtleReader parses a practical subset of the Turtle language sufficient
+// for knowledge-base dumps: @prefix and PREFIX directives, prefixed names,
+// the "a" keyword, predicate-object lists (";"), object lists (","), string
+// literals with language tags and datatypes, and integer/decimal/boolean
+// shorthand. Collections, anonymous blank nodes in brackets, and multi-line
+// ("""...""") strings are not supported.
+type TurtleReader struct {
+	src      []rune
+	pos      int
+	line     int
+	prefixes map[string]string
+	base     string
+	pending  []Triple
+}
+
+// NewTurtleReader parses the entire input eagerly and returns a reader over
+// the resulting triples. Parse errors are reported by Next or ReadAll.
+func NewTurtleReader(r io.Reader) (*TurtleReader, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return &TurtleReader{
+		src:      []rune(string(data)),
+		line:     1,
+		prefixes: map[string]string{},
+	}, nil
+}
+
+// ParseTurtle parses a complete Turtle document held in a string.
+func ParseTurtle(doc string) ([]Triple, error) {
+	tr, err := NewTurtleReader(strings.NewReader(doc))
+	if err != nil {
+		return nil, err
+	}
+	return tr.ReadAll()
+}
+
+// ReadAll parses the document and returns all triples.
+func (t *TurtleReader) ReadAll() ([]Triple, error) {
+	var out []Triple
+	for {
+		tr, err := t.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, tr)
+	}
+}
+
+// Next returns the next parsed triple or io.EOF.
+func (t *TurtleReader) Next() (Triple, error) {
+	if len(t.pending) > 0 {
+		tr := t.pending[0]
+		t.pending = t.pending[1:]
+		return tr, nil
+	}
+	for {
+		t.skipSpace()
+		if t.pos >= len(t.src) {
+			return Triple{}, io.EOF
+		}
+		if t.peekDirective() {
+			if err := t.directive(); err != nil {
+				return Triple{}, err
+			}
+			continue
+		}
+		if err := t.statement(); err != nil {
+			return Triple{}, err
+		}
+		if len(t.pending) > 0 {
+			tr := t.pending[0]
+			t.pending = t.pending[1:]
+			return tr, nil
+		}
+	}
+}
+
+func (t *TurtleReader) errorf(format string, args ...any) error {
+	return &ParseError{Line: t.line, Col: 1, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (t *TurtleReader) skipSpace() {
+	for t.pos < len(t.src) {
+		r := t.src[t.pos]
+		if r == '#' {
+			for t.pos < len(t.src) && t.src[t.pos] != '\n' {
+				t.pos++
+			}
+			continue
+		}
+		if r == '\n' {
+			t.line++
+			t.pos++
+			continue
+		}
+		if unicode.IsSpace(r) {
+			t.pos++
+			continue
+		}
+		return
+	}
+}
+
+func (t *TurtleReader) peekDirective() bool {
+	rest := string(t.src[t.pos:min(t.pos+8, len(t.src))])
+	lower := strings.ToLower(rest)
+	return strings.HasPrefix(rest, "@prefix") || strings.HasPrefix(rest, "@base") ||
+		strings.HasPrefix(lower, "prefix ") || strings.HasPrefix(lower, "base ")
+}
+
+func (t *TurtleReader) directive() error {
+	sparqlStyle := t.src[t.pos] != '@'
+	if !sparqlStyle {
+		t.pos++ // consume '@'
+	}
+	word := t.bareword()
+	switch strings.ToLower(word) {
+	case "prefix":
+		t.skipSpace()
+		name, err := t.prefixName()
+		if err != nil {
+			return err
+		}
+		t.skipSpace()
+		iri, err := t.iriRef()
+		if err != nil {
+			return err
+		}
+		t.prefixes[name] = iri
+	case "base":
+		t.skipSpace()
+		iri, err := t.iriRef()
+		if err != nil {
+			return err
+		}
+		t.base = iri
+	default:
+		return t.errorf("unknown directive %q", word)
+	}
+	t.skipSpace()
+	if !sparqlStyle {
+		if t.pos >= len(t.src) || t.src[t.pos] != '.' {
+			return t.errorf("@%s directive must end with '.'", word)
+		}
+		t.pos++
+	}
+	return nil
+}
+
+func (t *TurtleReader) bareword() string {
+	start := t.pos
+	for t.pos < len(t.src) && (unicode.IsLetter(t.src[t.pos]) || t.src[t.pos] == '_') {
+		t.pos++
+	}
+	return string(t.src[start:t.pos])
+}
+
+// prefixName parses "name:" and returns name (possibly empty).
+func (t *TurtleReader) prefixName() (string, error) {
+	start := t.pos
+	for t.pos < len(t.src) && t.src[t.pos] != ':' && !unicode.IsSpace(t.src[t.pos]) {
+		t.pos++
+	}
+	if t.pos >= len(t.src) || t.src[t.pos] != ':' {
+		return "", t.errorf("expected prefix name ending in ':'")
+	}
+	name := string(t.src[start:t.pos])
+	t.pos++
+	return name, nil
+}
+
+func (t *TurtleReader) iriRef() (string, error) {
+	if t.pos >= len(t.src) || t.src[t.pos] != '<' {
+		return "", t.errorf("expected '<'")
+	}
+	t.pos++
+	start := t.pos
+	for t.pos < len(t.src) && t.src[t.pos] != '>' {
+		if t.src[t.pos] == '\n' {
+			return "", t.errorf("newline in IRI")
+		}
+		t.pos++
+	}
+	if t.pos >= len(t.src) {
+		return "", t.errorf("unterminated IRI")
+	}
+	iri := string(t.src[start:t.pos])
+	t.pos++
+	if t.base != "" && !strings.Contains(iri, ":") {
+		iri = t.base + iri
+	}
+	return iri, nil
+}
+
+// statement parses one "subject predicateObjectList ." statement, appending
+// all resulting triples to t.pending.
+func (t *TurtleReader) statement() error {
+	subj, err := t.subject()
+	if err != nil {
+		return err
+	}
+	for {
+		t.skipSpace()
+		pred, err := t.predicate()
+		if err != nil {
+			return err
+		}
+		for {
+			t.skipSpace()
+			obj, err := t.object()
+			if err != nil {
+				return err
+			}
+			t.pending = append(t.pending, Triple{Subject: subj, Predicate: pred, Object: obj})
+			t.skipSpace()
+			if t.pos < len(t.src) && t.src[t.pos] == ',' {
+				t.pos++
+				continue
+			}
+			break
+		}
+		if t.pos < len(t.src) && t.src[t.pos] == ';' {
+			t.pos++
+			t.skipSpace()
+			// A ';' may be followed directly by '.' (trailing semicolon).
+			if t.pos < len(t.src) && t.src[t.pos] == '.' {
+				break
+			}
+			continue
+		}
+		break
+	}
+	t.skipSpace()
+	if t.pos >= len(t.src) || t.src[t.pos] != '.' {
+		return t.errorf("expected '.' at end of statement")
+	}
+	t.pos++
+	return nil
+}
+
+func (t *TurtleReader) subject() (Term, error) {
+	t.skipSpace()
+	if t.pos >= len(t.src) {
+		return Term{}, t.errorf("unexpected end of input")
+	}
+	switch {
+	case t.src[t.pos] == '<':
+		iri, err := t.iriRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return IRI(iri), nil
+	case t.src[t.pos] == '_':
+		return t.blankNode()
+	default:
+		return t.prefixedName()
+	}
+}
+
+func (t *TurtleReader) predicate() (Term, error) {
+	if t.pos < len(t.src) && t.src[t.pos] == 'a' {
+		if t.pos+1 >= len(t.src) || unicode.IsSpace(t.src[t.pos+1]) {
+			t.pos++
+			return IRI(RDFType), nil
+		}
+	}
+	if t.pos < len(t.src) && t.src[t.pos] == '<' {
+		iri, err := t.iriRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return IRI(iri), nil
+	}
+	return t.prefixedName()
+}
+
+func (t *TurtleReader) object() (Term, error) {
+	if t.pos >= len(t.src) {
+		return Term{}, t.errorf("unexpected end of input")
+	}
+	switch c := t.src[t.pos]; {
+	case c == '<':
+		iri, err := t.iriRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return IRI(iri), nil
+	case c == '_':
+		return t.blankNode()
+	case c == '"':
+		return t.stringLiteral()
+	case c == '+' || c == '-' || unicode.IsDigit(c):
+		return t.numericLiteral()
+	case c == 't' || c == 'f':
+		if t.matchKeyword("true") {
+			return TypedLiteral("true", XSDBoolean), nil
+		}
+		if t.matchKeyword("false") {
+			return TypedLiteral("false", XSDBoolean), nil
+		}
+		return t.prefixedName()
+	default:
+		return t.prefixedName()
+	}
+}
+
+func (t *TurtleReader) matchKeyword(kw string) bool {
+	if t.pos+len(kw) > len(t.src) {
+		return false
+	}
+	if string(t.src[t.pos:t.pos+len(kw)]) != kw {
+		return false
+	}
+	end := t.pos + len(kw)
+	if end < len(t.src) && !isTurtleBoundary(t.src[end]) {
+		return false
+	}
+	t.pos = end
+	return true
+}
+
+func isTurtleBoundary(r rune) bool {
+	return unicode.IsSpace(r) || r == '.' || r == ';' || r == ',' || r == ')' || r == '#'
+}
+
+func (t *TurtleReader) blankNode() (Term, error) {
+	if t.pos+1 >= len(t.src) || t.src[t.pos+1] != ':' {
+		return Term{}, t.errorf("malformed blank node")
+	}
+	t.pos += 2
+	start := t.pos
+	for t.pos < len(t.src) && !isTurtleBoundary(t.src[t.pos]) {
+		t.pos++
+	}
+	label := string(t.src[start:t.pos])
+	if label == "" {
+		return Term{}, t.errorf("empty blank node label")
+	}
+	// A trailing '.' is a statement terminator, not part of the label.
+	label = strings.TrimSuffix(label, ".")
+	return Blank(label), nil
+}
+
+func (t *TurtleReader) prefixedName() (Term, error) {
+	start := t.pos
+	for t.pos < len(t.src) && t.src[t.pos] != ':' && !unicode.IsSpace(t.src[t.pos]) {
+		t.pos++
+	}
+	if t.pos >= len(t.src) || t.src[t.pos] != ':' {
+		return Term{}, t.errorf("expected prefixed name near %q", string(t.src[start:min(t.pos+1, len(t.src))]))
+	}
+	prefix := string(t.src[start:t.pos])
+	t.pos++
+	localStart := t.pos
+	for t.pos < len(t.src) && !isTurtleBoundary(t.src[t.pos]) {
+		t.pos++
+	}
+	local := string(t.src[localStart:t.pos])
+	// A terminating '.' directly after the local name belongs to the
+	// statement, not the name.
+	for strings.HasSuffix(local, ".") {
+		local = local[:len(local)-1]
+		t.pos--
+	}
+	ns, ok := t.prefixes[prefix]
+	if !ok {
+		return Term{}, t.errorf("undefined prefix %q", prefix)
+	}
+	return IRI(ns + local), nil
+}
+
+func (t *TurtleReader) stringLiteral() (Term, error) {
+	t.pos++ // consume opening quote
+	var b strings.Builder
+	for {
+		if t.pos >= len(t.src) {
+			return Term{}, t.errorf("unterminated string literal")
+		}
+		r := t.src[t.pos]
+		if r == '"' {
+			t.pos++
+			break
+		}
+		if r == '\n' {
+			return Term{}, t.errorf("newline in string literal")
+		}
+		if r == '\\' {
+			raw := string(t.src[t.pos:min(t.pos+10, len(t.src))])
+			dec, n, err := decodeEscape(raw)
+			if err != nil {
+				return Term{}, t.errorf("%v", err)
+			}
+			b.WriteString(dec)
+			t.pos += n
+			continue
+		}
+		b.WriteRune(r)
+		t.pos++
+	}
+	lit := Term{Kind: KindLiteral, Value: b.String()}
+	if t.pos < len(t.src) {
+		switch t.src[t.pos] {
+		case '@':
+			t.pos++
+			start := t.pos
+			for t.pos < len(t.src) && (isAlnumRune(t.src[t.pos]) || t.src[t.pos] == '-') {
+				t.pos++
+			}
+			lit.Lang = string(t.src[start:t.pos])
+		case '^':
+			if t.pos+1 >= len(t.src) || t.src[t.pos+1] != '^' {
+				return Term{}, t.errorf("malformed datatype marker")
+			}
+			t.pos += 2
+			var dt string
+			var err error
+			if t.pos < len(t.src) && t.src[t.pos] == '<' {
+				dt, err = t.iriRef()
+			} else {
+				var term Term
+				term, err = t.prefixedName()
+				dt = term.Value
+			}
+			if err != nil {
+				return Term{}, err
+			}
+			if dt != XSDString {
+				lit.Datatype = dt
+			}
+		}
+	}
+	return lit, nil
+}
+
+func (t *TurtleReader) numericLiteral() (Term, error) {
+	start := t.pos
+	if t.src[t.pos] == '+' || t.src[t.pos] == '-' {
+		t.pos++
+	}
+	seenDot, seenExp := false, false
+	for t.pos < len(t.src) {
+		r := t.src[t.pos]
+		if unicode.IsDigit(r) {
+			t.pos++
+			continue
+		}
+		if r == '.' && !seenDot && t.pos+1 < len(t.src) && unicode.IsDigit(t.src[t.pos+1]) {
+			seenDot = true
+			t.pos++
+			continue
+		}
+		if (r == 'e' || r == 'E') && !seenExp {
+			seenExp = true
+			t.pos++
+			if t.pos < len(t.src) && (t.src[t.pos] == '+' || t.src[t.pos] == '-') {
+				t.pos++
+			}
+			continue
+		}
+		break
+	}
+	text := string(t.src[start:t.pos])
+	switch {
+	case seenExp:
+		return TypedLiteral(text, XSDDouble), nil
+	case seenDot:
+		return TypedLiteral(text, XSDDecimal), nil
+	default:
+		return TypedLiteral(text, XSDInteger), nil
+	}
+}
+
+func isAlnumRune(r rune) bool {
+	return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9'
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTurtleBasic(t *testing.T) {
+	doc := `
+@prefix ex: <http://ex.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+ex:Elvis a ex:Singer ;
+    rdfs:label "Elvis Presley" , "The King"@en ;
+    ex:born "1935"^^<http://www.w3.org/2001/XMLSchema#integer> .
+
+ex:Priscilla ex:marriedTo ex:Elvis .
+`
+	triples, err := ParseTurtle(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 5 {
+		t.Fatalf("got %d triples, want 5: %v", len(triples), triples)
+	}
+	if triples[0].Predicate.Value != RDFType {
+		t.Errorf("'a' should expand to rdf:type, got %q", triples[0].Predicate.Value)
+	}
+	if triples[0].Subject.Value != "http://ex.org/Elvis" {
+		t.Errorf("prefixed subject = %q", triples[0].Subject.Value)
+	}
+	if triples[2].Object.Lang != "en" {
+		t.Errorf("lang literal = %+v", triples[2].Object)
+	}
+	if triples[3].Object.Datatype != XSDInteger {
+		t.Errorf("typed literal = %+v", triples[3].Object)
+	}
+}
+
+func TestParseTurtleNumericAndBoolean(t *testing.T) {
+	doc := `
+@prefix ex: <http://ex.org/> .
+ex:x ex:int 42 ; ex:neg -7 ; ex:dec 3.25 ; ex:exp 1.5e3 ; ex:yes true ; ex:no false .
+`
+	triples, err := ParseTurtle(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDT := []string{XSDInteger, XSDInteger, XSDDecimal, XSDDouble, XSDBoolean, XSDBoolean}
+	wantVal := []string{"42", "-7", "3.25", "1.5e3", "true", "false"}
+	if len(triples) != len(wantDT) {
+		t.Fatalf("got %d triples, want %d", len(triples), len(wantDT))
+	}
+	for i, tr := range triples {
+		if tr.Object.Datatype != wantDT[i] || tr.Object.Value != wantVal[i] {
+			t.Errorf("triple %d: got %q^^%q, want %q^^%q",
+				i, tr.Object.Value, tr.Object.Datatype, wantVal[i], wantDT[i])
+		}
+	}
+}
+
+func TestParseTurtleSparqlDirectives(t *testing.T) {
+	doc := `
+PREFIX ex: <http://ex.org/>
+BASE <http://base.org/>
+ex:a ex:rel <rel-target> .
+`
+	triples, err := ParseTurtle(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 1 {
+		t.Fatalf("got %d triples", len(triples))
+	}
+	if triples[0].Object.Value != "http://base.org/rel-target" {
+		t.Errorf("base not applied: %q", triples[0].Object.Value)
+	}
+}
+
+func TestParseTurtleBlankNodes(t *testing.T) {
+	doc := `
+@prefix ex: <http://ex.org/> .
+_:a ex:knows _:b .
+_:b ex:name "Bea" .
+`
+	triples, err := ParseTurtle(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 2 {
+		t.Fatalf("got %d triples", len(triples))
+	}
+	if !triples[0].Subject.IsBlank() || triples[0].Subject.Value != "a" {
+		t.Errorf("subject = %+v", triples[0].Subject)
+	}
+	if !triples[0].Object.IsBlank() || triples[0].Object.Value != "b" {
+		t.Errorf("object = %+v", triples[0].Object)
+	}
+}
+
+func TestParseTurtleComments(t *testing.T) {
+	doc := `
+@prefix ex: <http://ex.org/> . # namespace
+# full-line comment
+ex:a ex:p ex:b . # trailing
+`
+	triples, err := ParseTurtle(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 1 {
+		t.Fatalf("got %d triples, want 1", len(triples))
+	}
+}
+
+func TestParseTurtleTrailingSemicolon(t *testing.T) {
+	doc := `
+@prefix ex: <http://ex.org/> .
+ex:a ex:p ex:b ;
+     ex:q ex:c ;
+.
+`
+	triples, err := ParseTurtle(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 2 {
+		t.Fatalf("got %d triples, want 2", len(triples))
+	}
+}
+
+func TestParseTurtleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"undefined prefix", `ex:a ex:p ex:b .`},
+		{"missing dot", "@prefix ex: <http://e/> .\nex:a ex:p ex:b"},
+		{"unterminated string", "@prefix ex: <http://e/> .\nex:a ex:p \"abc ."},
+		{"bad directive", `@frobnicate <x> .`},
+		{"unterminated iri", `@prefix ex: <http://e/ .`},
+		{"newline in literal", "@prefix ex: <http://e/> .\nex:a ex:p \"ab\ncd\" ."},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseTurtle(tc.doc); err == nil {
+				t.Fatalf("expected error for %q", tc.doc)
+			}
+		})
+	}
+}
+
+func TestTurtleAgainstNTriplesEquivalence(t *testing.T) {
+	ttl := `
+@prefix ex: <http://ex.org/> .
+ex:London ex:locatedIn ex:UK .
+ex:London ex:population 8900000 .
+`
+	nt := `
+<http://ex.org/London> <http://ex.org/locatedIn> <http://ex.org/UK> .
+<http://ex.org/London> <http://ex.org/population> "8900000"^^<http://www.w3.org/2001/XMLSchema#integer> .
+`
+	a, err := ParseTurtle(ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseNTriples(nt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("turtle %d triples vs ntriples %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Errorf("triple %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTurtleReaderStreaming(t *testing.T) {
+	doc := `
+@prefix ex: <http://ex.org/> .
+ex:a ex:p ex:b .
+ex:c ex:p ex:d .
+`
+	tr, err := NewTurtleReader(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for {
+		_, err := tr.Next()
+		if err != nil {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("streamed %d triples, want 2", n)
+	}
+}

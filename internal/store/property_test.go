@@ -1,0 +1,192 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+// randomOntology builds a small random ontology with facts, types, and
+// schema edges.
+func randomOntology(seed int64) *Ontology {
+	r := rand.New(rand.NewSource(seed))
+	b := NewBuilder("q", NewLiterals(), nil)
+	nInst, nClass, nRel := 3+r.Intn(8), 2+r.Intn(4), 1+r.Intn(4)
+	inst := func(i int) rdf.Term { return rdf.IRI(fmt.Sprintf("i%d", i)) }
+	class := func(i int) rdf.Term { return rdf.IRI(fmt.Sprintf("c%d", i)) }
+	rel := func(i int) rdf.Term { return rdf.IRI(fmt.Sprintf("r%d", i)) }
+	for i := 0; i < 5+r.Intn(30); i++ {
+		switch r.Intn(5) {
+		case 0:
+			b.Add(rdf.T(inst(r.Intn(nInst)), rdf.IRI(rdf.RDFType), class(r.Intn(nClass))))
+		case 1:
+			// Random subclass edge (may form cycles — must be tolerated).
+			b.Add(rdf.T(class(r.Intn(nClass)), rdf.IRI(rdf.RDFSSubClassOf), class(r.Intn(nClass))))
+		case 2:
+			b.Add(rdf.T(inst(r.Intn(nInst)), rel(r.Intn(nRel)), rdf.Literal(fmt.Sprintf("v%d", r.Intn(6)))))
+		default:
+			b.Add(rdf.T(inst(r.Intn(nInst)), rel(r.Intn(nRel)), inst(r.Intn(nInst))))
+		}
+	}
+	return b.Build()
+}
+
+// Property: the adjacency index is exactly the statement set — every base
+// statement appears once under its subject and its inverse once under a
+// resource object, and the per-relation statement lists agree with the
+// adjacency totals.
+func TestQuickIndexConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		o := randomOntology(seed)
+		edgeCount := 0
+		for _, x := range allResources(o) {
+			for _, e := range o.Edges(x) {
+				_ = e
+				edgeCount++
+			}
+		}
+		litEdgeCount := 0
+		for id := 0; id < o.Literals().Len(); id++ {
+			litEdgeCount += len(o.LitEdges(Lit(id)))
+		}
+		// Each fact contributes exactly two first-argument entries (base +
+		// inverse), whether the object is a resource or a literal.
+		if edgeCount+litEdgeCount != 2*o.NumFacts() {
+			return false
+		}
+		// Statement lists cover each base fact exactly once.
+		stmts := 0
+		for i := 0; i < o.NumRelations(); i += 2 {
+			stmts += o.NumStatements(Relation(i))
+		}
+		return stmts == o.NumFacts()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every edge at a resource corresponds to a statement reachable
+// through EachStatement of its relation, with matching arguments.
+func TestQuickEdgesMatchStatements(t *testing.T) {
+	f := func(seed int64) bool {
+		o := randomOntology(seed)
+		for _, x := range allResources(o) {
+			for _, e := range o.Edges(x) {
+				found := false
+				o.EachStatement(e.Rel, func(s, obj Node) bool {
+					if s == ResNode(x) && obj == e.To {
+						found = true
+						return false
+					}
+					return true
+				})
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the type closure is a fixpoint — every class of an instance has
+// all its superclasses among the instance's classes too.
+func TestQuickTypeClosureIsClosed(t *testing.T) {
+	f := func(seed int64) bool {
+		o := randomOntology(seed)
+		for _, x := range o.Instances() {
+			classes := map[Resource]bool{}
+			for _, c := range o.ClassesOf(x) {
+				classes[c] = true
+			}
+			for c := range classes {
+				for _, sup := range o.Superclasses(c) {
+					if !classes[sup] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: class-instance maps are mutually consistent.
+func TestQuickClassInstanceDuality(t *testing.T) {
+	f := func(seed int64) bool {
+		o := randomOntology(seed)
+		for _, c := range o.Classes() {
+			for _, x := range o.InstancesOf(c) {
+				found := false
+				for _, c2 := range o.ClassesOf(x) {
+					if c2 == c {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rebuilding from the serialized triples yields identical stats —
+// the store is a pure function of its input triple set.
+func TestQuickRebuildStability(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var triples []rdf.Triple
+		for i := 0; i < 5+r.Intn(20); i++ {
+			triples = append(triples, rdf.T(
+				rdf.IRI(fmt.Sprintf("i%d", r.Intn(6))),
+				rdf.IRI(fmt.Sprintf("r%d", r.Intn(3))),
+				rdf.Literal(fmt.Sprintf("v%d", r.Intn(5)))))
+		}
+		b1 := NewBuilder("a", NewLiterals(), nil)
+		if err := b1.AddAll(triples); err != nil {
+			return false
+		}
+		o1 := b1.Build()
+		// Serialize and re-parse.
+		var doc string
+		for _, tr := range triples {
+			doc += tr.String() + "\n"
+		}
+		parsed, err := rdf.ParseNTriples(doc)
+		if err != nil {
+			return false
+		}
+		b2 := NewBuilder("a", NewLiterals(), nil)
+		if err := b2.AddAll(parsed); err != nil {
+			return false
+		}
+		o2 := b2.Build()
+		return o1.Stats() == o2.Stats()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func allResources(o *Ontology) []Resource {
+	out := make([]Resource, o.NumResources())
+	for i := range out {
+		out[i] = Resource(i)
+	}
+	return out
+}

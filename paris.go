@@ -1,0 +1,188 @@
+// Package paris is a from-scratch Go implementation of PARIS — Probabilistic
+// Alignment of Relations, Instances, and Schema (Suchanek, Abiteboul,
+// Senellart; PVLDB 5(3), 2011).
+//
+// PARIS aligns two RDFS ontologies holistically: it computes equivalence
+// probabilities between instances, sub-relation probabilities between
+// relations (including inverses), and subclass probabilities between
+// classes, letting instance and schema evidence reinforce each other in a
+// fixpoint, with no training data and no dataset-specific tuning.
+//
+// Quick start:
+//
+//	lits := paris.NewLiterals()
+//	o1, err := paris.LoadFile("kb1.nt", "kb1", lits, nil)
+//	o2, err := paris.LoadFile("kb2.nt", "kb2", lits, nil)
+//	res := paris.Align(o1, o2, paris.Config{})
+//	for _, a := range res.Instances {
+//	    fmt.Println(o1.ResourceKey(a.X1), "≡", o2.ResourceKey(a.X2), a.P)
+//	}
+//
+// The two ontologies must share one literal table (the lits argument) so
+// that the clamped literal-equality function of Section 5.3 of the paper is
+// an identity check. Pass a Normalizer (for example paris.AlphaNum) to both
+// loads to align under normalized literals.
+package paris
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/literal"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Core data model types, re-exported from the implementation packages.
+type (
+	// Ontology is a frozen, indexed RDFS ontology (see store.Ontology).
+	Ontology = store.Ontology
+	// Builder accumulates triples and freezes them into an Ontology.
+	Builder = store.Builder
+	// Literals is a literal dictionary shared between two ontologies.
+	Literals = store.Literals
+	// Normalizer canonicalizes literals before interning.
+	Normalizer = store.Normalizer
+	// Resource identifies an interned resource within one ontology.
+	Resource = store.Resource
+	// Relation identifies an interned relation (inverses included).
+	Relation = store.Relation
+	// Term is one RDF term (IRI, blank node, or literal).
+	Term = rdf.Term
+	// Triple is one RDF statement.
+	Triple = rdf.Triple
+
+	// Config controls an alignment run; the zero value uses the paper's
+	// defaults (θ = 0.1, harmonic-mean functionality, positive evidence).
+	Config = core.Config
+	// Aligner runs the PARIS fixpoint step by step.
+	Aligner = core.Aligner
+	// Result is the outcome of an alignment.
+	Result = core.Result
+	// Assignment is one maximal instance alignment.
+	Assignment = core.Assignment
+	// RelAlignment is one directed sub-relation score.
+	RelAlignment = core.RelAlignment
+	// ClassAlignment is one directed subclass score.
+	ClassAlignment = core.ClassAlignment
+	// IterationStats describes one fixpoint iteration.
+	IterationStats = core.IterationStats
+
+	// Gold is a gold-standard entity mapping for evaluation.
+	Gold = eval.Gold
+	// Metrics is a precision/recall/F-measure triple.
+	Metrics = eval.Metrics
+)
+
+// Literal normalizers (Section 5.3 of the paper).
+var (
+	// Identity compares lexical forms verbatim (the paper's default).
+	Identity Normalizer = literal.Identity
+	// AlphaNum lowercases and strips non-alphanumeric characters.
+	AlphaNum Normalizer = literal.AlphaNum
+	// Numeric canonicalizes numeric lexical forms.
+	Numeric Normalizer = literal.Numeric
+)
+
+// NewLiterals returns an empty literal table to share across the two
+// ontologies of an alignment.
+func NewLiterals() *Literals { return store.NewLiterals() }
+
+// NewBuilder returns a builder for an ontology named name. All builders of
+// one alignment must share the same lits. A nil norm means Identity.
+func NewBuilder(name string, lits *Literals, norm Normalizer) *Builder {
+	return store.NewBuilder(name, lits, norm)
+}
+
+// NewGold returns an empty gold standard.
+func NewGold() *Gold { return eval.NewGold() }
+
+// Align runs the full PARIS fixpoint over two frozen ontologies and returns
+// instance, relation, and class alignments. It panics if the ontologies do
+// not share a literal table.
+func Align(o1, o2 *Ontology, cfg Config) *Result {
+	return core.New(o1, o2, cfg).Run()
+}
+
+// NewAligner returns an aligner for step-by-step execution (per-iteration
+// inspection, custom convergence policies). Most callers should use Align.
+func NewAligner(o1, o2 *Ontology, cfg Config) *Aligner {
+	return core.New(o1, o2, cfg)
+}
+
+// MaxRelAlignments reduces a directed relation-alignment list to the
+// maximally assigned super-relation per sub-relation.
+func MaxRelAlignments(as []RelAlignment) []RelAlignment {
+	return core.MaxRelAlignments(as)
+}
+
+// FilterClassAlignments keeps class alignments with probability at least
+// threshold.
+func FilterClassAlignments(as []ClassAlignment, threshold float64) []ClassAlignment {
+	return core.FilterClassAlignments(as, threshold)
+}
+
+// LoadFile parses an RDF file into a frozen ontology. The format is chosen
+// by extension: .nt/.ntriples for N-Triples, .ttl/.turtle for Turtle.
+// name is the ontology's display name; lits must be shared across the
+// alignment; a nil norm means Identity.
+func LoadFile(path, name string, lits *Literals, norm Normalizer) (*Ontology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	b := store.NewBuilder(name, lits, norm)
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".nt", ".ntriples":
+		if err := b.Load(rdf.NewNTriplesReader(f)); err != nil {
+			return nil, fmt.Errorf("paris: loading %s: %w", path, err)
+		}
+	case ".ttl", ".turtle":
+		tr, err := rdf.NewTurtleReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("paris: loading %s: %w", path, err)
+		}
+		if err := b.Load(tr); err != nil {
+			return nil, fmt.Errorf("paris: loading %s: %w", path, err)
+		}
+	default:
+		return nil, fmt.Errorf("paris: unsupported RDF format %q (want .nt or .ttl)", ext)
+	}
+	return b.Build(), nil
+}
+
+// ParseNTriples parses a complete N-Triples document held in a string.
+func ParseNTriples(doc string) ([]Triple, error) { return rdf.ParseNTriples(doc) }
+
+// ParseTurtle parses a complete Turtle document held in a string.
+func ParseTurtle(doc string) ([]Triple, error) { return rdf.ParseTurtle(doc) }
+
+// LoadGoldTSV reads a tab-separated gold standard (ontology-1 key, tab,
+// ontology-2 key per line) as written by the dataset generators.
+func LoadGoldTSV(path string) (*Gold, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	g := eval.NewGold()
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("paris: gold line %d: want two tab-separated keys", i+1)
+		}
+		if err := g.Add(parts[0], parts[1]); err != nil {
+			return nil, fmt.Errorf("paris: gold line %d: %w", i+1, err)
+		}
+	}
+	return g, nil
+}
