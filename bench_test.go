@@ -7,6 +7,9 @@ package paris
 // aligner runs once per b.N iteration.
 
 import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
 	"testing"
 
 	"repro/internal/baseline"
@@ -14,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/literal"
+	"repro/internal/server"
 	"repro/internal/store"
 )
 
@@ -176,4 +180,47 @@ func BenchmarkAblation_NegativeEvidence(b *testing.B) {
 func BenchmarkAblation_Functionality(b *testing.B) {
 	d := gen.Movies(gen.MoviesConfig{Seed: benchOpt.Seed, People: 1200, Movies: 400})
 	benchmarkAlign(b, d, nil, core.Config{FunMode: store.FunArithmeticMean})
+}
+
+// BenchmarkSameAsLookup times the alignment service's hot read path: exact
+// /sameas lookups through the HTTP handler against a published snapshot,
+// run in parallel, so future PRs can track read-path latency alongside
+// alignment throughput.
+func BenchmarkSameAsLookup(b *testing.B) {
+	d := gen.Persons(gen.PersonsConfig{Seed: benchOpt.Seed})
+	o1, o2, err := d.Build(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := core.New(o1, o2, core.Config{}).Run()
+	srv, err := server.New(server.Options{StateDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.PublishResult(res); err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	pairs := d.Gold.Pairs()
+	urls := make([]string, len(pairs))
+	for i, p := range pairs {
+		urls[i] = "/sameas?kb=1&key=" + url.QueryEscape(p[0])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, urls[i%len(urls)], nil))
+			if w.Code != http.StatusOK {
+				// Errorf, not Fatalf: FailNow must not run on a
+				// RunParallel worker goroutine.
+				b.Errorf("lookup %s: %d", urls[i%len(urls)], w.Code)
+				return
+			}
+			i++
+		}
+	})
 }

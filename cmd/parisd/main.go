@@ -1,0 +1,96 @@
+// Command parisd is the PARIS alignment daemon: a long-running HTTP service
+// that computes ontology alignments asynchronously and serves sameAs lookups
+// from persistent snapshots.
+//
+// Usage:
+//
+//	parisd -state /var/lib/parisd [-addr :7171] [-workers 2]
+//
+// API:
+//
+//	POST /jobs       {"kb1": "a.nt", "kb2": "b.nt", ...}  submit a job
+//	GET  /jobs       list jobs
+//	GET  /jobs/{id}  job state with per-iteration progress
+//	GET  /sameas?kb=1&key=<iri>   entity lookup (kb=2 for the reverse)
+//	GET  /relations?dir=12&min=0.1
+//	GET  /classes?dir=12&min=0.1
+//	GET  /snapshots  persisted snapshot versions
+//	GET  /stats      serving statistics
+//	GET  /healthz    liveness probe
+//
+// Completed alignments are persisted under -state and recovered on restart;
+// the newest snapshot is served immediately, with no re-alignment.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7171", "HTTP listen address")
+	state := flag.String("state", "", "state directory for persistent snapshots (required)")
+	workers := flag.Int("workers", 2, "concurrent alignment jobs")
+	queue := flag.Int("queue", 16, "pending-job queue depth")
+	cache := flag.Int("cache", 4096, "normalized-lookup LRU cache entries")
+	flag.Parse()
+
+	if *state == "" {
+		fmt.Fprintln(os.Stderr, "usage: parisd -state DIR [-addr :7171]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	srv, err := server.New(server.Options{
+		StateDir:   *state,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cache,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("parisd: listening on %s, state in %s", *addr, *state)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case s := <-sig:
+		log.Printf("parisd: %v, shutting down", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("parisd: HTTP shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("parisd: closing state: %v", err)
+	}
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/store"
+)
+
+// ResultSnapshot is the portable, ontology-independent form of a Result:
+// every resource and relation is denoted by its key string rather than an
+// interned ID, so a snapshot can be persisted, shipped, and served without
+// the ontologies it was computed from. This is the unit the alignment
+// service stores per completed job (the role Berkeley DB tables played for
+// the original PARIS between runs).
+type ResultSnapshot struct {
+	// KB1, KB2 are the display names of the two aligned ontologies.
+	KB1, KB2 string
+
+	// Instances holds the maximal assignments, ontology-1 key to
+	// ontology-2 key.
+	Instances []SnapshotAssignment
+
+	// Relations12 holds Pr(r ⊆ r') for r in ontology 1; Relations21 the
+	// opposite direction. Names are relation IRIs ("-" prefixed when the
+	// relation is an inverse, matching store.RelationName).
+	Relations12, Relations21 []SnapshotRelation
+
+	// Classes12 holds Pr(c ⊆ c') for c in ontology 1; Classes21 the
+	// opposite direction.
+	Classes12, Classes21 []SnapshotClass
+
+	// Iterations carries the fixpoint statistics for reporting.
+	Iterations []IterationStats
+
+	// ClassTime is the duration of the final subclass pass.
+	ClassTime time.Duration
+
+	// CreatedAt records when the snapshot was published (set by the
+	// alignment service, not by Result.Snapshot). Zero means unknown.
+	CreatedAt time.Time
+}
+
+// SnapshotAssignment is one instance assignment by resource key.
+type SnapshotAssignment struct {
+	Key1, Key2 string
+	P          float64
+}
+
+// SnapshotRelation is one directed sub-relation score by relation name.
+type SnapshotRelation struct {
+	Sub, Super string
+	P          float64
+}
+
+// SnapshotClass is one directed subclass score by class key.
+type SnapshotClass struct {
+	Sub, Super string
+	P          float64
+}
+
+// Snapshot converts the result into its portable form, resolving every
+// interned ID through the result's ontologies.
+func (r *Result) Snapshot() *ResultSnapshot {
+	s := &ResultSnapshot{
+		KB1:        r.O1.Name(),
+		KB2:        r.O2.Name(),
+		Iterations: append([]IterationStats(nil), r.Iterations...),
+		ClassTime:  r.ClassTime,
+	}
+	s.Instances = make([]SnapshotAssignment, 0, len(r.Instances))
+	for _, a := range r.Instances {
+		s.Instances = append(s.Instances, SnapshotAssignment{
+			Key1: r.O1.ResourceKey(a.X1),
+			Key2: r.O2.ResourceKey(a.X2),
+			P:    a.P,
+		})
+	}
+	rels := func(as []RelAlignment, sub, super *store.Ontology) []SnapshotRelation {
+		out := make([]SnapshotRelation, 0, len(as))
+		for _, ra := range as {
+			out = append(out, SnapshotRelation{
+				Sub:   sub.RelationName(ra.Sub),
+				Super: super.RelationName(ra.Super),
+				P:     ra.P,
+			})
+		}
+		return out
+	}
+	s.Relations12 = rels(r.Relations12, r.O1, r.O2)
+	s.Relations21 = rels(r.Relations21, r.O2, r.O1)
+	classes := func(as []ClassAlignment, sub, super *store.Ontology) []SnapshotClass {
+		out := make([]SnapshotClass, 0, len(as))
+		for _, ca := range as {
+			out = append(out, SnapshotClass{
+				Sub:   sub.ResourceKey(ca.Sub),
+				Super: super.ResourceKey(ca.Super),
+				P:     ca.P,
+			})
+		}
+		return out
+	}
+	s.Classes12 = classes(r.Classes12, r.O1, r.O2)
+	s.Classes21 = classes(r.Classes21, r.O2, r.O1)
+	return s
+}
+
+// Binary snapshot format, versioned for forward evolution:
+//
+//	magic "PSNAP" (5) version byte (1)
+//	string  = uvarint length + bytes
+//	float64 = 8 bytes little-endian
+//	KB1 KB2
+//	instances:   uvarint count, then (Key1 Key2 P) each
+//	relations12: uvarint count, then (Sub Super P) each
+//	relations21, classes12, classes21 likewise
+//	iterations:  uvarint count, then
+//	             (uvarint Iteration, ChangedFraction, uvarint Assigned,
+//	              varint InstanceTime, varint RelationTime) each
+//	varint ClassTime
+//	varint CreatedAt as Unix nanoseconds (0 = unset)
+
+const (
+	snapshotMagic   = "PSNAP"
+	snapshotVersion = 1
+)
+
+// MarshalBinary encodes the snapshot in the versioned binary format.
+func (s *ResultSnapshot) MarshalBinary() ([]byte, error) {
+	var b []byte
+	b = append(b, snapshotMagic...)
+	b = append(b, snapshotVersion)
+	b = appendString(b, s.KB1)
+	b = appendString(b, s.KB2)
+	b = binary.AppendUvarint(b, uint64(len(s.Instances)))
+	for _, a := range s.Instances {
+		b = appendString(b, a.Key1)
+		b = appendString(b, a.Key2)
+		b = appendFloat64(b, a.P)
+	}
+	for _, rs := range [][]SnapshotRelation{s.Relations12, s.Relations21} {
+		b = binary.AppendUvarint(b, uint64(len(rs)))
+		for _, ra := range rs {
+			b = appendString(b, ra.Sub)
+			b = appendString(b, ra.Super)
+			b = appendFloat64(b, ra.P)
+		}
+	}
+	for _, cs := range [][]SnapshotClass{s.Classes12, s.Classes21} {
+		b = binary.AppendUvarint(b, uint64(len(cs)))
+		for _, ca := range cs {
+			b = appendString(b, ca.Sub)
+			b = appendString(b, ca.Super)
+			b = appendFloat64(b, ca.P)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.Iterations)))
+	for _, it := range s.Iterations {
+		b = binary.AppendUvarint(b, uint64(it.Iteration))
+		b = appendFloat64(b, it.ChangedFraction)
+		b = binary.AppendUvarint(b, uint64(it.Assigned))
+		b = binary.AppendVarint(b, int64(it.InstanceTime))
+		b = binary.AppendVarint(b, int64(it.RelationTime))
+	}
+	b = binary.AppendVarint(b, int64(s.ClassTime))
+	var created int64
+	if !s.CreatedAt.IsZero() {
+		created = s.CreatedAt.UnixNano()
+	}
+	b = binary.AppendVarint(b, created)
+	return b, nil
+}
+
+// UnmarshalBinary decodes a snapshot previously encoded by MarshalBinary.
+func (s *ResultSnapshot) UnmarshalBinary(data []byte) error {
+	if len(data) < len(snapshotMagic)+1 || string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return fmt.Errorf("core: not a snapshot (bad magic)")
+	}
+	if v := data[len(snapshotMagic)]; v != snapshotVersion {
+		return fmt.Errorf("core: unsupported snapshot version %d", v)
+	}
+	d := &snapDecoder{buf: data[len(snapshotMagic)+1:]}
+	*s = ResultSnapshot{}
+	s.KB1 = d.string()
+	s.KB2 = d.string()
+	n := d.count()
+	if n > 0 {
+		s.Instances = make([]SnapshotAssignment, 0, n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		s.Instances = append(s.Instances, SnapshotAssignment{
+			Key1: d.string(), Key2: d.string(), P: d.float64(),
+		})
+	}
+	for _, dst := range []*[]SnapshotRelation{&s.Relations12, &s.Relations21} {
+		n = d.count()
+		if n > 0 {
+			*dst = make([]SnapshotRelation, 0, n)
+		}
+		for i := 0; i < n && d.err == nil; i++ {
+			*dst = append(*dst, SnapshotRelation{
+				Sub: d.string(), Super: d.string(), P: d.float64(),
+			})
+		}
+	}
+	for _, dst := range []*[]SnapshotClass{&s.Classes12, &s.Classes21} {
+		n = d.count()
+		if n > 0 {
+			*dst = make([]SnapshotClass, 0, n)
+		}
+		for i := 0; i < n && d.err == nil; i++ {
+			*dst = append(*dst, SnapshotClass{
+				Sub: d.string(), Super: d.string(), P: d.float64(),
+			})
+		}
+	}
+	n = d.count()
+	if n > 0 {
+		s.Iterations = make([]IterationStats, 0, n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		s.Iterations = append(s.Iterations, IterationStats{
+			Iteration:       int(d.uvarint()),
+			ChangedFraction: d.float64(),
+			Assigned:        int(d.uvarint()),
+			InstanceTime:    time.Duration(d.varint()),
+			RelationTime:    time.Duration(d.varint()),
+		})
+	}
+	s.ClassTime = time.Duration(d.varint())
+	if created := d.varint(); created != 0 {
+		s.CreatedAt = time.Unix(0, created).UTC()
+	}
+	if d.err != nil {
+		return fmt.Errorf("core: corrupt snapshot: %w", d.err)
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("core: corrupt snapshot: %d trailing bytes", len(d.buf))
+	}
+	return nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendFloat64(b []byte, f float64) []byte {
+	var v [8]byte
+	binary.LittleEndian.PutUint64(v[:], math.Float64bits(f))
+	return append(b, v[:]...)
+}
+
+// snapDecoder reads the snapshot wire format, latching the first error so
+// the field-by-field decode above stays linear.
+type snapDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *snapDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *snapDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+// count reads a collection length, bounding it by the bytes that remain so
+// a corrupt length cannot drive a huge allocation.
+func (d *snapDecoder) count() int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(len(d.buf)) {
+		d.err = fmt.Errorf("count %d exceeds remaining %d bytes", v, len(d.buf))
+		return 0
+	}
+	return int(v)
+}
+
+func (d *snapDecoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)) {
+		d.err = io.ErrUnexpectedEOF
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *snapDecoder) float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	f := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[:8]))
+	d.buf = d.buf[8:]
+	return f
+}

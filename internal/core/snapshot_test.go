@@ -1,0 +1,140 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func sampleSnapshot() *ResultSnapshot {
+	return &ResultSnapshot{
+		KB1: "yago", KB2: "dbpedia",
+		Instances: []SnapshotAssignment{
+			{Key1: "<http://a/elvis>", Key2: "<http://b/presley>", P: 1},
+			{Key1: "<http://a/paris>", Key2: "<http://b/paris>", P: 0.73},
+		},
+		Relations12: []SnapshotRelation{
+			{Sub: "<http://a/born>", Super: "<http://b/birthPlace>", P: 0.9},
+			{Sub: "-<http://a/born>", Super: "-<http://b/birthPlace>", P: 0.42},
+		},
+		Relations21: []SnapshotRelation{
+			{Sub: "<http://b/birthPlace>", Super: "<http://a/born>", P: 0.8},
+		},
+		Classes12: []SnapshotClass{
+			{Sub: "<http://a/Singer>", Super: "<http://b/Person>", P: 0.95},
+		},
+		Classes21: []SnapshotClass{
+			{Sub: "<http://b/Person>", Super: "<http://a/Agent>", P: 0.5},
+		},
+		Iterations: []IterationStats{
+			{Iteration: 1, ChangedFraction: 1, Assigned: 2,
+				InstanceTime: 3 * time.Millisecond, RelationTime: time.Millisecond},
+			{Iteration: 2, ChangedFraction: 0, Assigned: 2,
+				InstanceTime: 2 * time.Millisecond, RelationTime: time.Millisecond},
+		},
+		ClassTime: 5 * time.Millisecond,
+		CreatedAt: time.Unix(0, 1700000000123456789).UTC(),
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	want := sampleSnapshot()
+	data, err := want.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ResultSnapshot
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", &got, want)
+	}
+}
+
+func TestSnapshotRoundTripEmpty(t *testing.T) {
+	want := &ResultSnapshot{KB1: "a", KB2: "b"}
+	data, err := want.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ResultSnapshot
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.KB1 != "a" || got.KB2 != "b" || len(got.Instances) != 0 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestSnapshotUnmarshalRejectsCorruption(t *testing.T) {
+	data, err := sampleSnapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":      {},
+		"bad magic":  []byte("XSNAP\x01rest"),
+		"bad ver":    append([]byte("PSNAP\x63"), data[6:]...),
+		"truncated":  data[:len(data)/2],
+		"trailing":   append(append([]byte{}, data...), 0xff),
+		"huge count": append(append([]byte{}, data[:6]...), 0xff, 0xff, 0xff, 0xff, 0x0f),
+	}
+	for name, bad := range cases {
+		var s ResultSnapshot
+		if err := s.UnmarshalBinary(bad); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// TestResultSnapshotConversion checks Result → ResultSnapshot against a real
+// alignment run so keys and relation names resolve through the ontologies.
+func TestResultSnapshotConversion(t *testing.T) {
+	o1, o2 := pair(t, `
+<e:x> <e:email> "x@example.com" .
+<e:x> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <e:Singer> .
+<e:y> <e:email> "y@example.com" .
+<e:y> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <e:Singer> .
+`, `
+<f:x> <f:mail> "x@example.com" .
+<f:x> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <f:Person> .
+<f:y> <f:mail> "y@example.com" .
+<f:y> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <f:Person> .
+`)
+	res := New(o1, o2, Config{}).Run()
+	if len(res.Instances) == 0 {
+		t.Fatal("alignment produced no instances")
+	}
+	snap := res.Snapshot()
+	if snap.KB1 != o1.Name() || snap.KB2 != o2.Name() {
+		t.Fatalf("names %q %q", snap.KB1, snap.KB2)
+	}
+	if len(snap.Instances) != len(res.Instances) {
+		t.Fatalf("instances %d, want %d", len(snap.Instances), len(res.Instances))
+	}
+	for i, a := range res.Instances {
+		sa := snap.Instances[i]
+		if sa.Key1 != res.O1.ResourceKey(a.X1) || sa.Key2 != res.O2.ResourceKey(a.X2) || sa.P != a.P {
+			t.Fatalf("instance %d: %+v vs %+v", i, sa, a)
+		}
+	}
+	if len(snap.Relations12) != len(res.Relations12) || len(snap.Relations21) != len(res.Relations21) {
+		t.Fatalf("relation counts diverge")
+	}
+	if len(snap.Classes12) != len(res.Classes12) || len(snap.Classes21) != len(res.Classes21) {
+		t.Fatalf("class counts diverge")
+	}
+	// The conversion must survive the wire format too.
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ResultSnapshot
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, snap) {
+		t.Fatal("wire round trip of converted result diverges")
+	}
+}

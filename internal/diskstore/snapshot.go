@@ -1,0 +1,105 @@
+package diskstore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Snapshot persistence for the alignment service: each completed alignment
+// is stored as one versioned, self-contained core.ResultSnapshot record, so
+// a restarted server recovers every completed alignment by listing and
+// loading snapshots. Two more namespaces join the ones in alignment.go:
+//
+//	s\x00<id>  -> ResultSnapshot binary encoding
+//	j\x00<id>  -> opaque job record (the server stores JSON)
+const (
+	kindSnapshot = "s\x00"
+	kindJob      = "j\x00"
+)
+
+// SnapshotID formats a sequence number as a snapshot ID. IDs are zero-padded
+// so their lexicographic order is their numeric order, which keeps Each (and
+// therefore ListSnapshots) returning them oldest-first.
+func SnapshotID(seq uint64) string { return fmt.Sprintf("snap-%08d", seq) }
+
+// ParseSnapshotID extracts the sequence number from a snapshot ID.
+func ParseSnapshotID(id string) (uint64, error) {
+	num, ok := strings.CutPrefix(id, "snap-")
+	if !ok {
+		return 0, fmt.Errorf("diskstore: malformed snapshot id %q", id)
+	}
+	seq, err := strconv.ParseUint(num, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("diskstore: malformed snapshot id %q: %w", id, err)
+	}
+	return seq, nil
+}
+
+// SaveSnapshot persists snap under id and syncs the store, so a crash after
+// SaveSnapshot returns cannot lose the snapshot.
+func SaveSnapshot(s *Store, id string, snap *core.ResultSnapshot) error {
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := s.Put([]byte(kindSnapshot+id), data); err != nil {
+		return err
+	}
+	return s.Sync()
+}
+
+// LoadSnapshot reads back one persisted snapshot.
+func LoadSnapshot(s *Store, id string) (*core.ResultSnapshot, error) {
+	data, err := s.Get([]byte(kindSnapshot + id))
+	if err != nil {
+		return nil, err
+	}
+	snap := new(core.ResultSnapshot)
+	if err := snap.UnmarshalBinary(data); err != nil {
+		return nil, fmt.Errorf("diskstore: snapshot %s: %w", id, err)
+	}
+	return snap, nil
+}
+
+// ListSnapshots returns the IDs of all persisted snapshots, oldest first.
+func ListSnapshots(s *Store) ([]string, error) {
+	var ids []string
+	err := s.Each(func(key, _ []byte) bool {
+		if k := string(key); strings.HasPrefix(k, kindSnapshot) {
+			ids = append(ids, strings.TrimPrefix(k, kindSnapshot))
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// SaveJobRecord persists an opaque job record (the server's JSON) under id.
+func SaveJobRecord(s *Store, id string, data []byte) error {
+	if err := s.Put([]byte(kindJob+id), data); err != nil {
+		return err
+	}
+	return s.Sync()
+}
+
+// LoadJobRecords returns all persisted job records keyed by job ID.
+func LoadJobRecords(s *Store) (map[string][]byte, error) {
+	out := map[string][]byte{}
+	err := s.Each(func(key, value []byte) bool {
+		if k := string(key); strings.HasPrefix(k, kindJob) {
+			out[strings.TrimPrefix(k, kindJob)] = append([]byte(nil), value...)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package diskstore
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func testSnapshot(kb1, kb2 string) *core.ResultSnapshot {
+	return &core.ResultSnapshot{
+		KB1: kb1, KB2: kb2,
+		Instances: []core.SnapshotAssignment{
+			{Key1: "<http://a/x>", Key2: "<http://b/x>", P: 0.99},
+		},
+		Relations12: []core.SnapshotRelation{
+			{Sub: "<http://a/r>", Super: "<http://b/r>", P: 0.5},
+		},
+		Classes12: []core.SnapshotClass{
+			{Sub: "<http://a/C>", Super: "<http://b/C>", P: 0.8},
+		},
+		Iterations: []core.IterationStats{{Iteration: 1, Assigned: 1, ChangedFraction: 1,
+			InstanceTime: time.Millisecond}},
+	}
+}
+
+func TestSnapshotIDRoundTrip(t *testing.T) {
+	id := SnapshotID(42)
+	seq, err := ParseSnapshotID(id)
+	if err != nil || seq != 42 {
+		t.Fatalf("ParseSnapshotID(%q) = %d, %v", id, seq, err)
+	}
+	if SnapshotID(9) >= SnapshotID(10) || SnapshotID(99) >= SnapshotID(100) {
+		t.Fatal("snapshot IDs do not sort numerically")
+	}
+	for _, bad := range []string{"", "snap-", "snap-x", "42"} {
+		if _, err := ParseSnapshotID(bad); err == nil {
+			t.Errorf("ParseSnapshotID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSnapshotPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.db")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1 := testSnapshot("a", "b")
+	want2 := testSnapshot("c", "d")
+	if err := SaveSnapshot(s, SnapshotID(1), want1); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveSnapshot(s, SnapshotID(2), want2); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveJobRecord(s, "job-1", []byte(`{"state":"done"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything must survive a close/reopen cycle, like a server restart.
+	s, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ids, err := ListSnapshots(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{SnapshotID(1), SnapshotID(2)}; !reflect.DeepEqual(ids, want) {
+		t.Fatalf("ListSnapshots = %v, want %v", ids, want)
+	}
+	got, err := LoadSnapshot(s, SnapshotID(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want2) {
+		t.Fatalf("snapshot 2 diverges:\n got %+v\nwant %+v", got, want2)
+	}
+	jobs, err := LoadJobRecords(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(jobs["job-1"]) != `{"state":"done"}` {
+		t.Fatalf("job records = %v", jobs)
+	}
+	if _, err := LoadSnapshot(s, SnapshotID(99)); err == nil {
+		t.Fatal("loading a missing snapshot succeeded")
+	}
+}

@@ -1,0 +1,37 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestBuildIndexReverseCollision pins the deterministic reverse-map policy:
+// when several ontology-1 entities share one ontology-2 match (Instances is
+// an argmax, not a matching), the reverse lookup returns the highest-P
+// entity, ties broken by smallest key — never map-iteration order.
+func TestBuildIndexReverseCollision(t *testing.T) {
+	snap := &core.ResultSnapshot{
+		KB1: "a", KB2: "b",
+		Instances: []core.SnapshotAssignment{
+			{Key1: "<a:z>", Key2: "<b:shared>", P: 0.4},
+			{Key1: "<a:y>", Key2: "<b:shared>", P: 0.9},
+			{Key1: "<a:x>", Key2: "<b:shared>", P: 0.9},
+		},
+	}
+	ix := buildIndex("snap-00000001", snap)
+	m, ok := ix.lookup(false, "<b:shared>")
+	if !ok || m.Key != "<a:x>" || m.P != 0.9 {
+		t.Fatalf("reverse lookup = %+v, %v; want <a:x> at 0.9", m, ok)
+	}
+	// Forward entries are unaffected.
+	for _, a := range snap.Instances {
+		if got, ok := ix.lookup(true, a.Key1); !ok || got.Key != "<b:shared>" {
+			t.Fatalf("forward lookup %s = %+v, %v", a.Key1, got, ok)
+		}
+	}
+	// All three canonical keys stay reachable through the normalized map.
+	if got := ix.lookupNormalized(false, "b:SHARED"); len(got) != 1 {
+		t.Fatalf("normalized reverse = %v", got)
+	}
+}

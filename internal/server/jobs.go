@@ -1,0 +1,274 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// JobState is the lifecycle state of an alignment job.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// JobRequest is the body of POST /jobs: the two knowledge-base files to
+// align plus the alignment configuration. The zero configuration uses the
+// paper's defaults, like core.Config.
+type JobRequest struct {
+	// KB1 and KB2 are paths to RDF files (.nt/.ttl, optionally .gz),
+	// resolved on the server's filesystem.
+	KB1 string `json:"kb1"`
+	KB2 string `json:"kb2"`
+
+	// Normalize selects literal normalization: "", "identity", "alphanum",
+	// or "numeric".
+	Normalize string `json:"normalize,omitempty"`
+
+	Theta            float64 `json:"theta,omitempty"`
+	MaxIterations    int     `json:"max_iterations,omitempty"`
+	NegativeEvidence bool    `json:"negative_evidence,omitempty"`
+	AllEqualities    bool    `json:"all_equalities,omitempty"`
+	Workers          int     `json:"workers,omitempty"`
+}
+
+// Job is the externally visible record of one alignment job, returned by
+// the jobs API and persisted on completion so restarts keep the history.
+type Job struct {
+	ID      string     `json:"id"`
+	State   JobState   `json:"state"`
+	Request JobRequest `json:"request"`
+
+	Created time.Time `json:"created"`
+	// Started and Finished are pointers so the fields are omitted from
+	// JSON until the transition happens (omitempty never elides a zero
+	// time.Time struct).
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+
+	// Iterations grows while the job runs: one entry per completed
+	// fixpoint iteration, so GET /jobs/{id} reports live progress.
+	Iterations []core.IterationStats `json:"iterations,omitempty"`
+
+	// Error holds the failure cause when State is failed.
+	Error string `json:"error,omitempty"`
+
+	// Snapshot is the ID of the persisted snapshot when State is done.
+	Snapshot string `json:"snapshot,omitempty"`
+}
+
+// jobManager runs jobs on a bounded worker pool. Submitted jobs wait in a
+// bounded queue; when the queue is full, submission fails fast instead of
+// blocking the HTTP handler.
+type jobManager struct {
+	mu   sync.Mutex
+	jobs map[string]*Job
+	seq  uint64
+
+	queue chan string
+	wg    sync.WaitGroup
+	run   func(id string)
+
+	// onDrop receives the final view of a job dropped from the queue at
+	// shutdown, so the owner can persist its failed state.
+	onDrop func(Job)
+
+	closed bool
+}
+
+// newJobManager starts workers goroutines executing run. run receives a job
+// ID and must drive the job to a terminal state via finish; onDrop (may be
+// nil) is invoked for jobs dropped from the queue at close.
+func newJobManager(workers, depth int, run func(id string), onDrop func(Job)) *jobManager {
+	m := &jobManager{
+		jobs:   make(map[string]*Job),
+		queue:  make(chan string, depth),
+		run:    run,
+		onDrop: onDrop,
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for id := range m.queue {
+				// After close() a blocked worker can still win buffered
+				// IDs ahead of the drain loop; route them to the dropped
+				// path instead of starting hour-long alignments mid-
+				// shutdown.
+				m.mu.Lock()
+				closed := m.closed
+				m.mu.Unlock()
+				if closed {
+					m.drop(id)
+					continue
+				}
+				m.start(id)
+				m.run(id)
+			}
+		}()
+	}
+	return m
+}
+
+// submit enqueues a new job and returns its initial view. It fails when the
+// queue is full or the manager is closed.
+func (m *jobManager) submit(req JobRequest) (Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Job{}, fmt.Errorf("server: shutting down")
+	}
+	m.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%08d", m.seq),
+		State:   JobQueued,
+		Request: req,
+		Created: time.Now().UTC(),
+	}
+	// The enqueue is non-blocking, so holding the lock here is cheap and
+	// makes the send race-free against close() closing the channel.
+	select {
+	case m.queue <- j.ID:
+		m.jobs[j.ID] = j
+		return *j, nil
+	default:
+		m.seq--
+		return Job{}, fmt.Errorf("server: job queue full (%d pending)", cap(m.queue))
+	}
+}
+
+// get returns a copy of one job.
+func (m *jobManager) get(id string) (Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return cloneJob(j), true
+}
+
+// list returns copies of all jobs, oldest first.
+func (m *jobManager) list() []Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, cloneJob(j))
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// counts tallies jobs per state for /stats.
+func (m *jobManager) counts() map[JobState]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := map[JobState]int{}
+	for _, j := range m.jobs {
+		out[j.State]++
+	}
+	return out
+}
+
+// start transitions a job to running.
+func (m *jobManager) start(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[id]; ok {
+		now := time.Now().UTC()
+		j.State = JobRunning
+		j.Started = &now
+	}
+}
+
+// progress appends one completed iteration to a running job.
+func (m *jobManager) progress(id string, it core.IterationStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[id]; ok {
+		j.Iterations = append(j.Iterations, it)
+	}
+}
+
+// finish drives a job to its terminal state and returns the final view for
+// persistence.
+func (m *jobManager) finish(id, snapshotID string, err error) Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Job{}
+	}
+	now := time.Now().UTC()
+	j.Finished = &now
+	if err != nil {
+		j.State = JobFailed
+		j.Error = err.Error()
+	} else {
+		j.State = JobDone
+		j.Snapshot = snapshotID
+	}
+	return cloneJob(j)
+}
+
+// recover installs a job restored from the state store, keeping the ID
+// sequence ahead of everything recovered.
+func (m *jobManager) recover(j Job, seq uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobs[j.ID] = &j
+	if seq > m.seq {
+		m.seq = seq
+	}
+}
+
+// close stops accepting jobs, drops jobs still in the queue (marking them
+// failed and persisting the record via onDrop), and waits for running ones
+// to finish. Closing a buffered channel does not discard its contents, so
+// both this drain loop and the workers receive the remaining IDs — but the
+// workers see closed and drop too, so nothing new starts after close.
+func (m *jobManager) close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.queue)
+	m.mu.Unlock()
+	for id := range m.queue {
+		m.drop(id)
+	}
+	m.wg.Wait()
+}
+
+// drop marks a still-queued job failed and hands it to onDrop.
+func (m *jobManager) drop(id string) {
+	var dropped Job
+	m.mu.Lock()
+	if j, ok := m.jobs[id]; ok && j.State == JobQueued {
+		now := time.Now().UTC()
+		j.State = JobFailed
+		j.Finished = &now
+		j.Error = "dropped: server shutting down"
+		dropped = cloneJob(j)
+	}
+	m.mu.Unlock()
+	if dropped.ID != "" && m.onDrop != nil {
+		m.onDrop(dropped)
+	}
+}
+
+func cloneJob(j *Job) Job {
+	out := *j
+	out.Iterations = append([]core.IterationStats(nil), j.Iterations...)
+	return out
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package server
+
+// lockStateDir is a no-op on platforms without flock; single-process use is
+// the operator's responsibility there.
+func lockStateDir(string) (func() error, error) {
+	return func() error { return nil }, nil
+}

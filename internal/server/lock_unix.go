@@ -1,0 +1,26 @@
+//go:build unix
+
+package server
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockStateDir takes an exclusive advisory lock on a lock file inside dir,
+// so two server processes cannot append to the same diskstore log and
+// corrupt it. The returned release closes (and thereby unlocks) the file;
+// the kernel also releases the lock if the process dies, so a crash leaves
+// nothing stale.
+func lockStateDir(dir string) (release func() error, err error) {
+	f, err := os.OpenFile(dir+"/parisd.lock", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("server: state dir %s is locked by another process: %w", dir, err)
+	}
+	return f.Close, nil
+}

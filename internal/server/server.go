@@ -1,0 +1,570 @@
+// Package server is the PARIS alignment service: it accepts alignment jobs
+// over HTTP/JSON, runs them asynchronously on a bounded worker pool, persists
+// every completed result as a versioned snapshot through the diskstore (so
+// restarts recover all completed alignments), and serves sameAs/relation/
+// class lookups from an immutable in-memory index that is swapped in
+// atomically per snapshot — reads take no locks, in the spirit of the
+// disk-backed interactive serving layer of EMBANKS (arXiv:1104.4384) on top
+// of the batch fixpoint of the paper.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diskstore"
+	"repro/internal/literal"
+	"repro/internal/store"
+)
+
+// Options configures a Server. The zero value of every field has a usable
+// default; StateDir is required.
+type Options struct {
+	// StateDir is the directory holding the snapshot store. It is created
+	// if missing.
+	StateDir string
+
+	// Workers bounds the alignment worker pool (default 2): at most this
+	// many jobs align concurrently, the rest wait in the queue.
+	Workers int
+
+	// QueueDepth bounds the pending-job queue (default 16); submissions
+	// beyond it are rejected with 503.
+	QueueDepth int
+
+	// CacheSize is the capacity of the normalized-lookup LRU (default 4096).
+	CacheSize int
+
+	// Logf, when non-nil, receives one line per significant event.
+	Logf func(format string, args ...any)
+}
+
+// Bounds on the per-job numeric knobs accepted over HTTP.
+const (
+	maxJobWorkers    = 256
+	maxJobIterations = 1000
+)
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 16
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 4096
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Server is the alignment service. Create it with New, expose Handler over
+// HTTP, and Close it to flush state.
+type Server struct {
+	opts  Options
+	jobs  *jobManager
+	cache *lruCache
+
+	// idx is the serving index of the newest snapshot; nil before the
+	// first snapshot exists. Readers load it exactly once per request and
+	// never lock.
+	idx atomic.Pointer[index]
+
+	// mu serializes snapshot publication and store writes.
+	mu      sync.Mutex
+	store   *diskstore.Store
+	unlock  func() error // releases the state-dir lock
+	snapSeq uint64
+	snaps   []string // all snapshot IDs, oldest first
+
+	mux     *http.ServeMux
+	started time.Time
+	lookups atomic.Uint64
+
+	// testBeforeAlign, when non-nil, runs on the worker goroutine after a
+	// job transitions to running and before alignment starts. Tests use it
+	// to observe the running state deterministically.
+	testBeforeAlign func(id string)
+}
+
+// New opens (or creates) the state directory, recovers all persisted
+// snapshots and job records, builds the serving index from the newest
+// snapshot, and starts the worker pool.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if opts.StateDir == "" {
+		return nil, fmt.Errorf("server: Options.StateDir is required")
+	}
+	if err := os.MkdirAll(opts.StateDir, 0o755); err != nil {
+		return nil, err
+	}
+	unlock, err := lockStateDir(opts.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	st, err := diskstore.Open(filepath.Join(opts.StateDir, "paris.db"))
+	if err != nil {
+		unlock()
+		return nil, err
+	}
+	s := &Server{
+		opts:    opts,
+		store:   st,
+		unlock:  unlock,
+		cache:   newLRU(opts.CacheSize),
+		started: time.Now().UTC(),
+	}
+	if err := s.recoverState(); err != nil {
+		st.Close()
+		unlock()
+		return nil, err
+	}
+	s.jobs = newJobManager(opts.Workers, opts.QueueDepth, s.runJob, s.persistJob)
+	if err := s.recoverJobs(); err != nil {
+		s.jobs.close()
+		st.Close()
+		unlock()
+		return nil, err
+	}
+	s.buildMux()
+	return s, nil
+}
+
+// recoverState reloads snapshots and terminal job records from the store.
+func (s *Server) recoverState() error {
+	ids, err := diskstore.ListSnapshots(s.store)
+	if err != nil {
+		return err
+	}
+	s.snaps = ids
+	for _, id := range ids {
+		if seq, err := diskstore.ParseSnapshotID(id); err == nil && seq > s.snapSeq {
+			s.snapSeq = seq
+		}
+	}
+	if len(ids) > 0 {
+		newest := ids[len(ids)-1]
+		snap, err := diskstore.LoadSnapshot(s.store, newest)
+		if err != nil {
+			return err
+		}
+		s.idx.Store(buildIndex(newest, snap))
+		s.opts.Logf("server: recovered %d snapshot(s), serving %s (%s vs %s, %d instances)",
+			len(ids), newest, snap.KB1, snap.KB2, len(snap.Instances))
+	}
+	return nil
+}
+
+// recoverJobs restores persisted job history into the manager. Called from
+// New after the manager exists.
+func (s *Server) recoverJobs() error {
+	records, err := diskstore.LoadJobRecords(s.store)
+	if err != nil {
+		return err
+	}
+	for id, data := range records {
+		var j Job
+		if err := json.Unmarshal(data, &j); err != nil {
+			s.opts.Logf("server: dropping corrupt job record %s: %v", id, err)
+			continue
+		}
+		var seq uint64
+		fmt.Sscanf(j.ID, "job-%d", &seq)
+		s.jobs.recover(j, seq)
+	}
+	return nil
+}
+
+// Handler returns the HTTP API handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the worker pool and closes the state store. Queued jobs that
+// have not started are dropped; running jobs complete and persist.
+func (s *Server) Close() error {
+	s.jobs.close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.store.Close()
+	if uerr := s.unlock(); err == nil {
+		err = uerr
+	}
+	return err
+}
+
+// runJob executes one alignment job end to end on a worker goroutine.
+func (s *Server) runJob(id string) {
+	j, ok := s.jobs.get(id)
+	if !ok {
+		return
+	}
+	s.opts.Logf("server: %s aligning %s vs %s", id, j.Request.KB1, j.Request.KB2)
+	if s.testBeforeAlign != nil {
+		s.testBeforeAlign(id)
+	}
+	snapID, err := s.align(id, j.Request)
+	final := s.jobs.finish(id, snapID, err)
+	if err != nil {
+		s.opts.Logf("server: %s failed: %v", id, err)
+	} else {
+		s.opts.Logf("server: %s done in %d iterations, snapshot %s",
+			id, len(final.Iterations), snapID)
+	}
+	s.persistJob(final)
+}
+
+// persistJob writes a terminal job record so history survives restarts. It
+// also covers jobs dropped from the queue at shutdown (via jobManager's
+// onDrop), so a 202-acknowledged job never silently vanishes.
+func (s *Server) persistJob(j Job) {
+	data, err := json.Marshal(j)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	if err := diskstore.SaveJobRecord(s.store, j.ID, data); err != nil {
+		s.opts.Logf("server: persisting job %s: %v", j.ID, err)
+	}
+	s.mu.Unlock()
+}
+
+// align loads the two knowledge bases, runs the fixpoint with per-iteration
+// progress reporting, and publishes the result as a new snapshot.
+func (s *Server) align(id string, req JobRequest) (string, error) {
+	norm, err := normalizer(req.Normalize)
+	if err != nil {
+		return "", err
+	}
+	lits := store.NewLiterals()
+	o1, err := store.LoadFile(req.KB1, kbName(req.KB1), lits, norm)
+	if err != nil {
+		return "", err
+	}
+	o2, err := store.LoadFile(req.KB2, kbName(req.KB2), lits, norm)
+	if err != nil {
+		return "", err
+	}
+	cfg := core.Config{
+		Theta:            req.Theta,
+		MaxIterations:    req.MaxIterations,
+		NegativeEvidence: req.NegativeEvidence,
+		AllEqualities:    req.AllEqualities,
+		Workers:          req.Workers,
+		OnIteration: func(_ int, a *core.Aligner) {
+			if its := a.Iterations(); len(its) > 0 {
+				s.jobs.progress(id, its[len(its)-1])
+			}
+		},
+	}
+	res := core.New(o1, o2, cfg).Run()
+	return s.publish(res.Snapshot())
+}
+
+// PublishResult persists a result computed outside the jobs API (for
+// example an offline batch run of core.Aligner) as a new snapshot and
+// serves it immediately.
+func (s *Server) PublishResult(res *core.Result) (string, error) {
+	return s.publish(res.Snapshot())
+}
+
+// publish persists snap under the next snapshot ID and atomically swaps the
+// serving index to it. Readers racing with publish see either the old or
+// the new index, never a partial one.
+func (s *Server) publish(snap *core.ResultSnapshot) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snapSeq++
+	id := diskstore.SnapshotID(s.snapSeq)
+	snap.CreatedAt = time.Now().UTC()
+	if err := diskstore.SaveSnapshot(s.store, id, snap); err != nil {
+		s.snapSeq--
+		return "", err
+	}
+	s.snaps = append(s.snaps, id)
+	s.idx.Store(buildIndex(id, snap))
+	s.cache.purge()
+	return id, nil
+}
+
+func normalizer(name string) (store.Normalizer, error) {
+	switch name {
+	case "", "identity":
+		return nil, nil
+	case "alphanum":
+		return literal.AlphaNum, nil
+	case "numeric":
+		return literal.Numeric, nil
+	default:
+		return nil, fmt.Errorf("unknown normalization %q (want identity, alphanum, or numeric)", name)
+	}
+}
+
+// kbName derives a display name from a KB path: the base name without RDF
+// or gzip extensions, shared with store.LoadFile's extension table.
+func kbName(path string) string { return store.BaseName(path) }
+
+// ---- HTTP layer ----
+
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /sameas", s.handleSameAs)
+	mux.HandleFunc("GET /relations", s.handleRelations)
+	mux.HandleFunc("GET /classes", s.handleClasses)
+	mux.HandleFunc("GET /snapshots", s.handleSnapshots)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux = mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	// A job request is a handful of strings and numbers; cap the body so a
+	// huge payload cannot balloon the heap before validation.
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if req.KB1 == "" || req.KB2 == "" {
+		httpError(w, http.StatusBadRequest, "kb1 and kb2 are required")
+		return
+	}
+	if _, err := normalizer(req.Normalize); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Bound the numeric knobs: these flow straight into core.Config, where
+	// an absurd worker count would spawn that many goroutines.
+	if req.Workers < 0 || req.Workers > maxJobWorkers {
+		httpError(w, http.StatusBadRequest, "workers must be between 0 and %d", maxJobWorkers)
+		return
+	}
+	if req.MaxIterations < 0 || req.MaxIterations > maxJobIterations {
+		httpError(w, http.StatusBadRequest, "max_iterations must be between 0 and %d", maxJobIterations)
+		return
+	}
+	if req.Theta < 0 || req.Theta >= 1 {
+		httpError(w, http.StatusBadRequest, "theta must be in [0, 1)")
+		return
+	}
+	for _, p := range []string{req.KB1, req.KB2} {
+		if _, err := os.Stat(p); err != nil {
+			httpError(w, http.StatusBadRequest, "knowledge base %q: %v", p, err)
+			return
+		}
+	}
+	j, err := s.jobs.submit(req)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// sameAsResponse is the body of GET /sameas.
+type sameAsResponse struct {
+	Snapshot   string  `json:"snapshot"`
+	KB         string  `json:"kb"`
+	Key        string  `json:"key"`
+	Matches    []Match `json:"matches"`
+	Normalized bool    `json:"normalized,omitempty"`
+}
+
+func (s *Server) handleSameAs(w http.ResponseWriter, r *http.Request) {
+	ix := s.idx.Load()
+	if ix == nil {
+		httpError(w, http.StatusServiceUnavailable, "no completed alignment yet")
+		return
+	}
+	s.lookups.Add(1)
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		httpError(w, http.StatusBadRequest, "key parameter is required")
+		return
+	}
+	kb := r.URL.Query().Get("kb")
+	fwd, ok := ix.direction(kb)
+	if !ok {
+		if ix.kb1 == ix.kb2 {
+			httpError(w, http.StatusBadRequest, "kb must be 1 or 2 (both KBs are named %q)", ix.kb1)
+		} else {
+			httpError(w, http.StatusBadRequest, "kb must be 1, 2, %q, or %q", ix.kb1, ix.kb2)
+		}
+		return
+	}
+	resp := sameAsResponse{Snapshot: ix.id, KB: kb, Key: key}
+	if m, ok := ix.lookup(fwd, key); ok {
+		// Hot path: immutable-map hit, no locks taken anywhere.
+		resp.Matches = []Match{m}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	// Slow path: normalized lookup through the LRU. Cache keys carry the
+	// snapshot ID (so a reader racing with publish cannot repopulate the
+	// purged cache with stale matches) and the resolved direction (so kb
+	// aliases like "1" and the KB name share entries).
+	cacheKey := ix.id + "\x00" + dirByte(fwd) + "\x00" + key
+	matches, ok := s.cache.get(cacheKey)
+	if !ok {
+		matches = ix.lookupNormalized(fwd, key)
+		s.cache.put(cacheKey, matches)
+	}
+	if len(matches) == 0 {
+		httpError(w, http.StatusNotFound, "no alignment for %q", key)
+		return
+	}
+	resp.Matches = matches
+	resp.Normalized = true
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) {
+	serveScores(s, w, r, "relations", func(ix *index, dir string) []core.SnapshotRelation {
+		if dir == "21" {
+			return ix.relations21
+		}
+		return ix.relations12
+	}, func(ra core.SnapshotRelation) (string, float64) { return ra.Sub, ra.P })
+}
+
+func (s *Server) handleClasses(w http.ResponseWriter, r *http.Request) {
+	serveScores(s, w, r, "classes", func(ix *index, dir string) []core.SnapshotClass {
+		if dir == "21" {
+			return ix.classes21
+		}
+		return ix.classes12
+	}, func(ca core.SnapshotClass) (string, float64) { return ca.Sub, ca.P })
+}
+
+// serveScores is the shared body of the relations and classes endpoints:
+// pick the direction, filter by minimum probability, sort by descending
+// probability then sub key, and emit under field.
+func serveScores[T any](s *Server, w http.ResponseWriter, r *http.Request, field string,
+	pick func(*index, string) []T, key func(T) (string, float64)) {
+	ix := s.idx.Load()
+	if ix == nil {
+		httpError(w, http.StatusServiceUnavailable, "no completed alignment yet")
+		return
+	}
+	dir, min, err := dirAndMin(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The index slices are already sorted (descending P, then sub key) by
+	// buildIndex, so a request only filters.
+	scores := pick(ix, dir)
+	out := make([]T, 0, len(scores))
+	for _, sc := range scores {
+		if _, p := key(sc); p >= min {
+			out = append(out, sc)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"snapshot": ix.id, "dir": dir, field: out,
+	})
+}
+
+func (s *Server) handleSnapshots(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.snaps...)
+	s.mu.Unlock()
+	current := ""
+	if ix := s.idx.Load(); ix != nil {
+		current = ix.id
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"snapshots": ids, "current": current})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	hits, misses, size := s.cache.stats()
+	stats := map[string]any{
+		"uptime_seconds": int64(time.Since(s.started).Seconds()),
+		"jobs":           s.jobs.counts(),
+		"lookups":        s.lookups.Load(),
+		"cache": map[string]any{
+			"hits": hits, "misses": misses, "size": size, "cap": s.opts.CacheSize,
+		},
+	}
+	s.mu.Lock()
+	stats["snapshots"] = len(s.snaps)
+	s.mu.Unlock()
+	if ix := s.idx.Load(); ix != nil {
+		stats["snapshot"] = map[string]any{
+			"id": ix.id, "kb1": ix.kb1, "kb2": ix.kb2,
+			"instances": len(ix.fwd),
+			"relations": len(ix.relations12) + len(ix.relations21),
+			"classes":   len(ix.classes12) + len(ix.classes21),
+			"created":   ix.createdAt,
+		}
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+// dirByte encodes a lookup direction for cache keys.
+func dirByte(fwd bool) string {
+	if fwd {
+		return "1"
+	}
+	return "2"
+}
+
+// dirAndMin parses the shared dir and min query parameters.
+func dirAndMin(r *http.Request) (dir string, min float64, err error) {
+	dir = r.URL.Query().Get("dir")
+	switch dir {
+	case "", "12":
+		dir = "12"
+	case "21":
+	default:
+		return "", 0, fmt.Errorf("dir must be 12 or 21")
+	}
+	if raw := r.URL.Query().Get("min"); raw != "" {
+		min, err = strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return "", 0, fmt.Errorf("min must be a number: %w", err)
+		}
+	}
+	return dir, min, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	// The status line is already written; an encode error (client gone,
+	// handler timeout) has nowhere to go.
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,434 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// newTestServer starts a service on stateDir behind an httptest server.
+func newTestServer(t *testing.T, stateDir string, workers int) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(Options{StateDir: stateDir, Workers: workers, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	return srv, ts
+}
+
+// writePersonsKB generates the OAEI-person-style dataset and writes its two
+// KB files plus gold standard into dir.
+func writePersonsKB(t *testing.T, dir string, n int) *gen.Dataset {
+	t.Helper()
+	d := gen.Persons(gen.PersonsConfig{N: n, Seed: 7})
+	if err := d.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("decoding %s: %v\n%s", url, err, body)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJob(t *testing.T, base string, req JobRequest) Job {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d %s", resp.StatusCode, raw)
+	}
+	var j Job
+	if err := json.Unmarshal(raw, &j); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// waitDone polls the jobs API until the job reaches a terminal state.
+func waitDone(t *testing.T, base, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var j Job
+		if code := getJSON(t, base+"/jobs/"+id, &j); code != http.StatusOK {
+			t.Fatalf("GET /jobs/%s: %d", id, code)
+		}
+		switch j.State {
+		case JobDone, JobFailed:
+			return j
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return Job{}
+}
+
+// lookupKey resolves one sameAs query and returns the single match key.
+func lookupKey(t *testing.T, base, kb, key string) (string, int) {
+	t.Helper()
+	url := fmt.Sprintf("%s/sameas?kb=%s&key=%s", base, kb, queryEscape(key))
+	var resp sameAsResponse
+	code := getJSON(t, url, &resp)
+	if code != http.StatusOK {
+		return "", code
+	}
+	if len(resp.Matches) != 1 {
+		t.Fatalf("sameas %s %s: %d matches %v", kb, key, len(resp.Matches), resp.Matches)
+	}
+	return resp.Matches[0].Key, code
+}
+
+func queryEscape(s string) string { return url.QueryEscape(s) }
+
+// TestServiceEndToEnd is the acceptance flow: submit a job against two
+// generated KBs, observe queued → running → done through the jobs API, query
+// /sameas in both directions against the gold standard, then restart the
+// server on the same state directory and verify the recovered snapshot gives
+// identical answers.
+func TestServiceEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	d := writePersonsKB(t, dir, 60)
+	state := filepath.Join(dir, "state")
+
+	srv, ts := newTestServer(t, state, 1)
+
+	// Gate the worker so the running state is observable deterministically.
+	release := make(chan struct{})
+	srv.testBeforeAlign = func(string) { <-release }
+
+	// Before any snapshot exists the read path reports 503.
+	if code := getJSON(t, ts.URL+"/sameas?kb=1&key=x", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("sameas before snapshot: %d", code)
+	}
+
+	j := postJob(t, ts.URL, JobRequest{
+		KB1: filepath.Join(dir, d.Name1+".nt"),
+		KB2: filepath.Join(dir, d.Name2+".nt"),
+	})
+	if j.State != JobQueued {
+		t.Fatalf("submitted job state = %q, want queued", j.State)
+	}
+
+	// The worker has picked it up (or is about to); with the gate closed it
+	// must reach running and stay there.
+	var running Job
+	for i := 0; ; i++ {
+		if getJSON(t, ts.URL+"/jobs/"+j.ID, &running); running.State == JobRunning {
+			break
+		}
+		if i > 5000 {
+			t.Fatalf("job never reached running, state %q", running.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	final := waitDone(t, ts.URL, j.ID)
+	if final.State != JobDone {
+		t.Fatalf("job failed: %s", final.Error)
+	}
+	if final.Snapshot == "" || len(final.Iterations) == 0 {
+		t.Fatalf("done job missing snapshot or progress: %+v", final)
+	}
+	if final.Started == nil || final.Finished == nil {
+		t.Fatalf("done job missing timestamps: %+v", final)
+	}
+
+	// Check every gold pair in both directions.
+	answers := map[string]string{}
+	for _, p := range d.Gold.Pairs() {
+		got, code := lookupKey(t, ts.URL, "1", p[0])
+		if code != http.StatusOK || got != p[1] {
+			t.Fatalf("sameas kb=1 %s = %q (%d), want %q", p[0], got, code, p[1])
+		}
+		back, code := lookupKey(t, ts.URL, "2", p[1])
+		if code != http.StatusOK || back != p[0] {
+			t.Fatalf("sameas kb=2 %s = %q (%d), want %q", p[1], back, code, p[0])
+		}
+		answers[p[0]] = got
+	}
+
+	// Bare-IRI and normalized lookups resolve too.
+	pairs := d.Gold.Pairs()
+	bare := strings.Trim(pairs[0][0], "<>")
+	if got, code := lookupKey(t, ts.URL, "1", bare); code != http.StatusOK || got != pairs[0][1] {
+		t.Fatalf("bare-IRI lookup = %q (%d)", got, code)
+	}
+	if got, code := lookupKey(t, ts.URL, "1", strings.ToUpper(bare)); code != http.StatusOK || got != pairs[0][1] {
+		t.Fatalf("normalized lookup = %q (%d)", got, code)
+	}
+	if code := getJSON(t, ts.URL+"/sameas?kb=1&key=%3Chttp://nowhere%3E", nil); code != http.StatusNotFound {
+		t.Fatalf("missing key: %d, want 404", code)
+	}
+
+	// Relations and classes endpoints serve the snapshot.
+	var rels struct {
+		Relations []struct {
+			Sub   string  `json:"Sub"`
+			Super string  `json:"Super"`
+			P     float64 `json:"P"`
+		} `json:"relations"`
+	}
+	if code := getJSON(t, ts.URL+"/relations?dir=12&min=0.1", &rels); code != http.StatusOK || len(rels.Relations) == 0 {
+		t.Fatalf("relations: %d, %d entries", code, len(rels.Relations))
+	}
+	var classes struct {
+		Classes []any `json:"classes"`
+	}
+	if code := getJSON(t, ts.URL+"/classes?dir=12", &classes); code != http.StatusOK || len(classes.Classes) == 0 {
+		t.Fatalf("classes: %d, %d entries", code, len(classes.Classes))
+	}
+	var stats map[string]any
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if stats["snapshot"] == nil {
+		t.Fatalf("stats missing snapshot: %v", stats)
+	}
+
+	// Kill the server and reopen the same state directory: the snapshot
+	// and job history must be recovered and answers identical.
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, ts2 := newTestServer(t, state, 1)
+	defer srv2.Close()
+	defer ts2.Close()
+
+	var snaps struct {
+		Snapshots []string `json:"snapshots"`
+		Current   string   `json:"current"`
+	}
+	if code := getJSON(t, ts2.URL+"/snapshots", &snaps); code != http.StatusOK {
+		t.Fatalf("snapshots: %d", code)
+	}
+	if len(snaps.Snapshots) != 1 || snaps.Current != final.Snapshot {
+		t.Fatalf("recovered snapshots %v current %q, want [%s]", snaps.Snapshots, snaps.Current, final.Snapshot)
+	}
+	var recovered Job
+	if code := getJSON(t, ts2.URL+"/jobs/"+j.ID, &recovered); code != http.StatusOK {
+		t.Fatalf("recovered job: %d", code)
+	}
+	if recovered.State != JobDone || recovered.Snapshot != final.Snapshot {
+		t.Fatalf("recovered job %+v", recovered)
+	}
+	for k1, k2 := range answers {
+		got, code := lookupKey(t, ts2.URL, "1", k1)
+		if code != http.StatusOK || got != k2 {
+			t.Fatalf("after restart, sameas %s = %q (%d), want %q", k1, got, code, k2)
+		}
+	}
+}
+
+// TestConcurrentLookups hammers the read path from many goroutines while a
+// second job completes and swaps the snapshot — under -race this proves the
+// lock-free read path and the RCU swap are sound.
+func TestConcurrentLookups(t *testing.T) {
+	dir := t.TempDir()
+	d := writePersonsKB(t, dir, 40)
+	state := filepath.Join(dir, "state")
+	srv, ts := newTestServer(t, state, 1)
+	defer srv.Close()
+	defer ts.Close()
+
+	req := JobRequest{
+		KB1: filepath.Join(dir, d.Name1+".nt"),
+		KB2: filepath.Join(dir, d.Name2+".nt"),
+	}
+	first := postJob(t, ts.URL, req)
+	if j := waitDone(t, ts.URL, first.ID); j.State != JobDone {
+		t.Fatalf("first job failed: %s", j.Error)
+	}
+
+	pairs := d.Gold.Pairs()
+	// Second job runs while readers are in flight, forcing a snapshot swap
+	// under load.
+	second := postJob(t, ts.URL, req)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for i := 0; i < 100; i++ {
+				p := pairs[(g*100+i)%len(pairs)]
+				url := fmt.Sprintf("%s/sameas?kb=1&key=%s", ts.URL, queryEscape(p[0]))
+				resp, err := client.Get(url)
+				if err != nil {
+					errs <- err
+					return
+				}
+				var body sameAsResponse
+				err = json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK || len(body.Matches) != 1 || body.Matches[0].Key != p[1] {
+					errs <- fmt.Errorf("lookup %s: %d %v", p[0], resp.StatusCode, body.Matches)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if j := waitDone(t, ts.URL, second.ID); j.State != JobDone {
+		t.Fatalf("second job failed: %s", j.Error)
+	}
+}
+
+// TestSubmitValidation covers the rejection paths of the jobs API.
+func TestSubmitValidation(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newTestServer(t, filepath.Join(dir, "state"), 1)
+	defer srv.Close()
+	defer ts.Close()
+
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("{"); code != http.StatusBadRequest {
+		t.Errorf("bad JSON: %d", code)
+	}
+	if code := post(`{"kb1":"a.nt"}`); code != http.StatusBadRequest {
+		t.Errorf("missing kb2: %d", code)
+	}
+	if code := post(`{"kb1":"/no/such.nt","kb2":"/no/such2.nt"}`); code != http.StatusBadRequest {
+		t.Errorf("missing files: %d", code)
+	}
+	writePersonsKB(t, dir, 5)
+	if code := post(fmt.Sprintf(`{"kb1":%q,"kb2":%q,"normalize":"bogus"}`,
+		filepath.Join(dir, "person1.nt"), filepath.Join(dir, "person2.nt"))); code != http.StatusBadRequest {
+		t.Errorf("bad normalize: %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/jobs/job-42", nil); code != http.StatusNotFound {
+		t.Errorf("missing job: %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/relations", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("relations before snapshot: %d", code)
+	}
+}
+
+// TestDroppedJobSurvivesRestart checks that a queued job dropped at
+// shutdown is persisted as failed, so its 202-acknowledged ID still
+// resolves after a restart instead of vanishing.
+func TestDroppedJobSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	d := writePersonsKB(t, dir, 20)
+	state := filepath.Join(dir, "state")
+	srv, ts := newTestServer(t, state, 1)
+
+	// Gate the single worker on the first job so the second stays queued.
+	release := make(chan struct{})
+	srv.testBeforeAlign = func(string) { <-release }
+	req := JobRequest{
+		KB1: filepath.Join(dir, d.Name1+".nt"),
+		KB2: filepath.Join(dir, d.Name2+".nt"),
+	}
+	first := postJob(t, ts.URL, req)
+	queued := postJob(t, ts.URL, req)
+
+	// Close while the worker is still gated on the first job: the drain
+	// loop must drop the queued job before the worker can reach it. The
+	// worker is released only once the drop is observed.
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	for i := 0; ; i++ {
+		if j, ok := srv.jobs.get(queued.ID); ok && j.State == JobFailed {
+			break
+		}
+		if i > 5000 {
+			t.Fatal("queued job never dropped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if err := <-closed; err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+
+	srv2, ts2 := newTestServer(t, state, 1)
+	defer srv2.Close()
+	defer ts2.Close()
+	var rec Job
+	if code := getJSON(t, ts2.URL+"/jobs/"+queued.ID, &rec); code != http.StatusOK {
+		t.Fatalf("dropped job %s after restart: %d, want 200", queued.ID, code)
+	}
+	if rec.State != JobFailed || !strings.Contains(rec.Error, "shutting down") {
+		t.Fatalf("dropped job record = %+v", rec)
+	}
+	var recFirst Job
+	if code := getJSON(t, ts2.URL+"/jobs/"+first.ID, &recFirst); code != http.StatusOK || recFirst.State != JobDone {
+		t.Fatalf("first job after restart = %+v (%d), want done", recFirst, code)
+	}
+}
+
+// TestFailedJobIsRecorded checks that a job whose KB fails to load lands in
+// the failed state with a cause, and that no snapshot is published.
+func TestFailedJobIsRecorded(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.rdfxml")
+	if err := os.WriteFile(bad, []byte("<rdf/>\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, filepath.Join(dir, "state"), 1)
+	defer srv.Close()
+	defer ts.Close()
+
+	j := postJob(t, ts.URL, JobRequest{KB1: bad, KB2: bad})
+	final := waitDone(t, ts.URL, j.ID)
+	if final.State != JobFailed || final.Error == "" {
+		t.Fatalf("job = %+v, want failed with error", final)
+	}
+	if code := getJSON(t, ts.URL+"/sameas?kb=1&key=x", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("sameas after failed job: %d, want 503", code)
+	}
+}

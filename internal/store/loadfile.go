@@ -1,0 +1,79 @@
+package store
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// rdfExtensions are the file extensions LoadFile understands, gzip last so
+// BaseName strips it first.
+var rdfExtensions = []string{".nt", ".ntriples", ".ttl", ".turtle", ".gz"}
+
+// BaseName returns the base of path without its RDF and gzip extensions —
+// the display-name derivation used for KBs loaded by path (e.g.
+// "/data/yago.nt.gz" → "yago"). It recognizes exactly the extensions
+// LoadFile accepts, so the two cannot drift.
+func BaseName(path string) string {
+	base := filepath.Base(path)
+	for stripped := true; stripped; {
+		stripped = false
+		for _, ext := range rdfExtensions {
+			if len(base) > len(ext) && strings.EqualFold(base[len(base)-len(ext):], ext) {
+				base = base[:len(base)-len(ext)]
+				stripped = true
+			}
+		}
+	}
+	return base
+}
+
+// LoadFile parses an RDF file into a frozen ontology. The format is chosen
+// by extension: .nt/.ntriples for N-Triples, .ttl/.turtle for Turtle. A
+// trailing .gz extension (kb.nt.gz, kb.ttl.gz) is decompressed
+// transparently — the real dumps of Section 6 of the paper (DBpedia, YAGO)
+// ship gzipped. name is the ontology's display name; lits must be shared
+// across the alignment; a nil norm means Identity.
+func LoadFile(path, name string, lits *Literals, norm Normalizer) (*Ontology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var r io.Reader = f
+	base := path
+	if strings.EqualFold(filepath.Ext(path), ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("store: loading %s: %w", path, err)
+		}
+		defer zr.Close()
+		r = zr
+		base = strings.TrimSuffix(path, filepath.Ext(path))
+	}
+
+	b := NewBuilder(name, lits, norm)
+	switch ext := strings.ToLower(filepath.Ext(base)); ext {
+	case ".nt", ".ntriples":
+		if err := b.Load(rdf.NewNTriplesReader(r)); err != nil {
+			return nil, fmt.Errorf("store: loading %s: %w", path, err)
+		}
+	case ".ttl", ".turtle":
+		tr, err := rdf.NewTurtleReader(r)
+		if err != nil {
+			return nil, fmt.Errorf("store: loading %s: %w", path, err)
+		}
+		if err := b.Load(tr); err != nil {
+			return nil, fmt.Errorf("store: loading %s: %w", path, err)
+		}
+	default:
+		return nil, fmt.Errorf("store: unsupported RDF format %q in %s (want .nt or .ttl, optionally .gz)", ext, path)
+	}
+	return b.Build(), nil
+}

@@ -27,13 +27,13 @@ package paris
 import (
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/literal"
 	"repro/internal/rdf"
+	"repro/internal/server"
 	"repro/internal/store"
 )
 
@@ -76,6 +76,28 @@ type (
 	Gold = eval.Gold
 	// Metrics is a precision/recall/F-measure triple.
 	Metrics = eval.Metrics
+
+	// ResultSnapshot is the portable, ontology-independent form of a
+	// Result, serializable with MarshalBinary/UnmarshalBinary.
+	ResultSnapshot = core.ResultSnapshot
+	// SnapshotAssignment is one instance assignment by resource key.
+	SnapshotAssignment = core.SnapshotAssignment
+	// SnapshotRelation is one directed sub-relation score by name.
+	SnapshotRelation = core.SnapshotRelation
+	// SnapshotClass is one directed subclass score by class key.
+	SnapshotClass = core.SnapshotClass
+
+	// Server is the alignment service behind cmd/parisd: async jobs,
+	// persistent snapshots, and a concurrent sameAs lookup API.
+	Server = server.Server
+	// ServerOptions configures a Server.
+	ServerOptions = server.Options
+	// JobRequest is the body of POST /jobs.
+	JobRequest = server.JobRequest
+	// Job is the externally visible record of one alignment job.
+	Job = server.Job
+	// Match is one direction-resolved sameAs answer.
+	Match = server.Match
 )
 
 // Literal normalizers (Section 5.3 of the paper).
@@ -100,6 +122,11 @@ func NewBuilder(name string, lits *Literals, norm Normalizer) *Builder {
 
 // NewGold returns an empty gold standard.
 func NewGold() *Gold { return eval.NewGold() }
+
+// NewServer starts an alignment service over a persistent state directory,
+// recovering all previously completed alignments. Expose its Handler over
+// HTTP (as cmd/parisd does) and Close it to flush state.
+func NewServer(opts ServerOptions) (*Server, error) { return server.New(opts) }
 
 // Align runs the full PARIS fixpoint over two frozen ontologies and returns
 // instance, relation, and class alignments. It panics if the ontologies do
@@ -127,34 +154,12 @@ func FilterClassAlignments(as []ClassAlignment, threshold float64) []ClassAlignm
 }
 
 // LoadFile parses an RDF file into a frozen ontology. The format is chosen
-// by extension: .nt/.ntriples for N-Triples, .ttl/.turtle for Turtle.
-// name is the ontology's display name; lits must be shared across the
-// alignment; a nil norm means Identity.
+// by extension: .nt/.ntriples for N-Triples, .ttl/.turtle for Turtle; a
+// trailing .gz (kb.nt.gz) is decompressed transparently. name is the
+// ontology's display name; lits must be shared across the alignment; a nil
+// norm means Identity.
 func LoadFile(path, name string, lits *Literals, norm Normalizer) (*Ontology, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-
-	b := store.NewBuilder(name, lits, norm)
-	switch ext := strings.ToLower(filepath.Ext(path)); ext {
-	case ".nt", ".ntriples":
-		if err := b.Load(rdf.NewNTriplesReader(f)); err != nil {
-			return nil, fmt.Errorf("paris: loading %s: %w", path, err)
-		}
-	case ".ttl", ".turtle":
-		tr, err := rdf.NewTurtleReader(f)
-		if err != nil {
-			return nil, fmt.Errorf("paris: loading %s: %w", path, err)
-		}
-		if err := b.Load(tr); err != nil {
-			return nil, fmt.Errorf("paris: loading %s: %w", path, err)
-		}
-	default:
-		return nil, fmt.Errorf("paris: unsupported RDF format %q (want .nt or .ttl)", ext)
-	}
-	return b.Build(), nil
+	return store.LoadFile(path, name, lits, norm)
 }
 
 // ParseNTriples parses a complete N-Triples document held in a string.
