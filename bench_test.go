@@ -7,6 +7,8 @@ package paris
 // aligner runs once per b.N iteration.
 
 import (
+	"bytes"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -182,11 +184,11 @@ func BenchmarkAblation_Functionality(b *testing.B) {
 	benchmarkAlign(b, d, nil, core.Config{FunMode: store.FunArithmeticMean})
 }
 
-// BenchmarkSameAsLookup times the alignment service's hot read path: exact
-// /sameas lookups through the HTTP handler against a published snapshot,
-// run in parallel, so future PRs can track read-path latency alongside
-// alignment throughput.
-func BenchmarkSameAsLookup(b *testing.B) {
+// newLookupServer aligns the persons corpus, publishes the snapshot, and
+// returns the handler plus the gold pairs, shared by the sameAs lookup
+// benchmarks.
+func newLookupServer(b *testing.B) (http.Handler, [][2]string) {
+	b.Helper()
 	d := gen.Persons(gen.PersonsConfig{Seed: benchOpt.Seed})
 	o1, o2, err := d.Build(nil)
 	if err != nil {
@@ -197,15 +199,22 @@ func BenchmarkSameAsLookup(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer srv.Close()
+	b.Cleanup(func() { srv.Close() })
 	if _, err := srv.PublishResult(res); err != nil {
 		b.Fatal(err)
 	}
-	h := srv.Handler()
-	pairs := d.Gold.Pairs()
+	return srv.Handler(), d.Gold.Pairs()
+}
+
+// BenchmarkSameAsLookup times the alignment service's hot read path: exact
+// /v1/sameas lookups through the HTTP handler against a published snapshot,
+// run in parallel, so future PRs can track read-path latency alongside
+// alignment throughput.
+func BenchmarkSameAsLookup(b *testing.B) {
+	h, pairs := newLookupServer(b)
 	urls := make([]string, len(pairs))
 	for i, p := range pairs {
-		urls[i] = "/sameas?kb=1&key=" + url.QueryEscape(p[0])
+		urls[i] = "/v1/sameas?kb=1&key=" + url.QueryEscape(p[0])
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -221,6 +230,34 @@ func BenchmarkSameAsLookup(b *testing.B) {
 				return
 			}
 			i++
+		}
+	})
+}
+
+// BenchmarkSameAsLookupBatch times the batch read path (POST /v1/sameas):
+// all gold keys in one request per iteration. Comparing its per-key cost
+// against BenchmarkSameAsLookup shows what the batch endpoint amortizes.
+func BenchmarkSameAsLookupBatch(b *testing.B) {
+	h, pairs := newLookupServer(b)
+	keys := make([]string, len(pairs))
+	for i, p := range pairs {
+		keys[i] = p[0]
+	}
+	body, err := json.Marshal(map[string]any{"kb": "1", "keys": keys})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			w := httptest.NewRecorder()
+			req := httptest.NewRequest(http.MethodPost, "/v1/sameas", bytes.NewReader(body))
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Errorf("batch lookup: %d %s", w.Code, w.Body.String())
+				return
+			}
 		}
 	})
 }

@@ -1,0 +1,380 @@
+// Package client is the Go client for the parisd alignment service's /v1
+// HTTP API (internal/server, cmd/parisd).
+//
+// Every method takes a context.Context and maps one /v1 endpoint:
+//
+//	c, _ := client.New("http://localhost:7171")
+//	job, _ := c.SubmitJob(ctx, client.JobRequest{KB1: "a.nt", KB2: "b.nt"})
+//	job, _ = c.WaitJob(ctx, job.ID, 0)                   // poll to terminal state
+//	res, _ := c.SameAs(ctx, client.SameAsQuery{KB: "1", Key: "<http://a/x>"})
+//	batch, _ := c.SameAsBatch(ctx, client.BatchSameAsQuery{KB: "1", Keys: keys})
+//
+// Reads accept a snapshot ID (SameAsQuery.Snapshot, ScoreQuery.Snapshot)
+// to pin a specific published version for repeatable results while new
+// alignments land. Server-reported failures come back as *Error carrying
+// the HTTP status code and the server's message.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// Wire types shared with the service, re-exported so callers need only
+// this package. They are aliased from the implementation packages rather
+// than the root paris facade, keeping the facade's extra surface out of
+// client binaries.
+type (
+	// JobRequest is the body of POST /v1/jobs.
+	JobRequest = server.JobRequest
+	// Job is the service's record of one alignment job.
+	Job = server.Job
+	// JobState is the lifecycle state of a job.
+	JobState = server.JobState
+	// Match is one direction-resolved sameAs answer.
+	Match = server.Match
+	// SnapshotRelation is one directed sub-relation score by name.
+	SnapshotRelation = core.SnapshotRelation
+	// SnapshotClass is one directed subclass score by class key.
+	SnapshotClass = core.SnapshotClass
+)
+
+// Job lifecycle states, re-exported from the service.
+const (
+	JobQueued  = server.JobQueued
+	JobRunning = server.JobRunning
+	JobDone    = server.JobDone
+	JobFailed  = server.JobFailed
+)
+
+// Error is a non-2xx response from the service.
+type Error struct {
+	StatusCode int    // HTTP status
+	Message    string // the server's error message
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("paris server: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// IsNotFound reports whether err is a server Error with status 404 — a
+// missing job, an unknown snapshot, or a key with no alignment.
+func IsNotFound(err error) bool {
+	var se *Error
+	return errors.As(err, &se) && se.StatusCode == http.StatusNotFound
+}
+
+// Client talks to one parisd instance. It is safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (custom
+// transports, timeouts, middleware).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// New returns a client for the service at baseURL (for example
+// "http://localhost:7171"). The URL must carry no path: the client owns
+// the /v1 prefix, so one release of the client always speaks one version
+// of the API.
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: invalid base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: base URL %q must be http or https", baseURL)
+	}
+	if u.Path != "" && u.Path != "/" {
+		return nil, fmt.Errorf("client: base URL %q must not carry a path (the client adds /v1)", baseURL)
+	}
+	c := &Client{base: strings.TrimSuffix(u.String(), "/"), http: http.DefaultClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Health checks GET /v1/healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil, nil)
+}
+
+// SubmitJob submits an alignment job (POST /v1/jobs) and returns its
+// initial, queued record.
+func (c *Client) SubmitJob(ctx context.Context, req JobRequest) (Job, error) {
+	var j Job
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", nil, req, &j)
+	return j, err
+}
+
+// Jobs lists every job the service knows (GET /v1/jobs), oldest first.
+func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
+	var out struct {
+		Jobs []Job `json:"jobs"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, nil, &out)
+	return out.Jobs, err
+}
+
+// Job fetches one job record with its per-iteration progress
+// (GET /v1/jobs/{id}).
+func (c *Client) Job(ctx context.Context, id string) (Job, error) {
+	var j Job
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, nil, &j)
+	return j, err
+}
+
+// CancelJob cancels a job (DELETE /v1/jobs/{id}). A queued job comes back
+// already failed; a running job comes back in its in-flight state and
+// reaches failed within one fixpoint pass. Cancelling an already-terminal
+// job returns an *Error with status 409.
+func (c *Client) CancelJob(ctx context.Context, id string) (Job, error) {
+	var j Job
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, nil, &j)
+	return j, err
+}
+
+// WaitJob polls a job until it reaches a terminal state (done or failed —
+// a failed job is a successful wait; inspect Job.State) or the context
+// ends. poll is the polling interval; 0 means 250ms.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (Job, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return j, err
+		}
+		switch j.State {
+		case JobDone, JobFailed:
+			return j, nil
+		}
+		select {
+		case <-ctx.Done():
+			return j, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// SameAsQuery addresses one entity lookup.
+type SameAsQuery struct {
+	// KB selects the direction: "1" (or empty, or the KB display name)
+	// resolves ontology-1 keys, "2" the reverse.
+	KB string
+	// Key is the entity key, with or without angle brackets.
+	Key string
+	// Snapshot pins a published snapshot ID; empty serves the newest.
+	Snapshot string
+}
+
+// SameAsResult is the body of GET /v1/sameas.
+type SameAsResult struct {
+	Snapshot   string  `json:"snapshot"`
+	KB         string  `json:"kb"`
+	Key        string  `json:"key"`
+	Matches    []Match `json:"matches"`
+	Normalized bool    `json:"normalized,omitempty"`
+}
+
+// SameAs resolves one entity (GET /v1/sameas). A key with no alignment is
+// an *Error with status 404 (see IsNotFound).
+func (c *Client) SameAs(ctx context.Context, q SameAsQuery) (SameAsResult, error) {
+	v := url.Values{"key": {q.Key}}
+	if q.KB != "" {
+		v.Set("kb", q.KB)
+	}
+	if q.Snapshot != "" {
+		v.Set("snapshot", q.Snapshot)
+	}
+	var out SameAsResult
+	err := c.do(ctx, http.MethodGet, "/v1/sameas", v, nil, &out)
+	return out, err
+}
+
+// BatchSameAsQuery addresses one batch lookup.
+type BatchSameAsQuery struct {
+	KB       string
+	Keys     []string
+	Snapshot string
+}
+
+// BatchSameAsResult is one per-key answer inside a batch response; a key
+// with no alignment has empty Matches.
+type BatchSameAsResult struct {
+	Key        string  `json:"key"`
+	Matches    []Match `json:"matches,omitempty"`
+	Normalized bool    `json:"normalized,omitempty"`
+}
+
+// BatchSameAsResponse is the body of POST /v1/sameas. Results align
+// one-to-one with the request's keys; Found counts the resolved ones.
+type BatchSameAsResponse struct {
+	Snapshot string              `json:"snapshot"`
+	KB       string              `json:"kb"`
+	Found    int                 `json:"found"`
+	Results  []BatchSameAsResult `json:"results"`
+}
+
+// SameAsBatch resolves many entities in one round-trip (POST /v1/sameas),
+// amortizing HTTP overhead for bulk consumers. At most 10000 keys per call.
+func (c *Client) SameAsBatch(ctx context.Context, q BatchSameAsQuery) (BatchSameAsResponse, error) {
+	v := url.Values{}
+	if q.Snapshot != "" {
+		v.Set("snapshot", q.Snapshot)
+	}
+	body := struct {
+		KB   string   `json:"kb"`
+		Keys []string `json:"keys"`
+	}{q.KB, q.Keys}
+	var out BatchSameAsResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sameas", v, body, &out)
+	return out, err
+}
+
+// ScoreQuery addresses the relations and classes endpoints.
+type ScoreQuery struct {
+	// Dir is "12" (default) or "21".
+	Dir string
+	// Min filters out scores below this probability.
+	Min float64
+	// Snapshot pins a published snapshot ID; empty serves the newest.
+	Snapshot string
+}
+
+func (q ScoreQuery) values() url.Values {
+	v := url.Values{}
+	if q.Dir != "" {
+		v.Set("dir", q.Dir)
+	}
+	if q.Min != 0 {
+		v.Set("min", strconv.FormatFloat(q.Min, 'g', -1, 64))
+	}
+	if q.Snapshot != "" {
+		v.Set("snapshot", q.Snapshot)
+	}
+	return v
+}
+
+// RelationsResult is the body of GET /v1/relations.
+type RelationsResult struct {
+	Snapshot  string             `json:"snapshot"`
+	Dir       string             `json:"dir"`
+	Relations []SnapshotRelation `json:"relations"`
+}
+
+// Relations fetches directed sub-relation scores (GET /v1/relations),
+// descending by probability.
+func (c *Client) Relations(ctx context.Context, q ScoreQuery) (RelationsResult, error) {
+	var out RelationsResult
+	err := c.do(ctx, http.MethodGet, "/v1/relations", q.values(), nil, &out)
+	return out, err
+}
+
+// ClassesResult is the body of GET /v1/classes.
+type ClassesResult struct {
+	Snapshot string          `json:"snapshot"`
+	Dir      string          `json:"dir"`
+	Classes  []SnapshotClass `json:"classes"`
+}
+
+// Classes fetches directed subclass scores (GET /v1/classes), descending
+// by probability.
+func (c *Client) Classes(ctx context.Context, q ScoreQuery) (ClassesResult, error) {
+	var out ClassesResult
+	err := c.do(ctx, http.MethodGet, "/v1/classes", q.values(), nil, &out)
+	return out, err
+}
+
+// SnapshotList is the body of GET /v1/snapshots: every persisted snapshot
+// ID, oldest first, and the one currently served by default.
+type SnapshotList struct {
+	Snapshots []string `json:"snapshots"`
+	Current   string   `json:"current"`
+}
+
+// Snapshots lists the persisted snapshot versions (GET /v1/snapshots).
+func (c *Client) Snapshots(ctx context.Context) (SnapshotList, error) {
+	var out SnapshotList
+	err := c.do(ctx, http.MethodGet, "/v1/snapshots", nil, nil, &out)
+	return out, err
+}
+
+// Stats fetches the service statistics (GET /v1/stats) as loose JSON.
+func (c *Client) Stats(ctx context.Context) (map[string]any, error) {
+	var out map[string]any
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, nil, &out)
+	return out, err
+}
+
+// do performs one request. A non-2xx status decodes the server's
+// {"error": ...} body into *Error; a 2xx body decodes into out when
+// non-nil.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, body, out any) error {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &Error{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}

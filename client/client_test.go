@@ -1,0 +1,290 @@
+package client
+
+// Round-trip tests: every /v1 endpoint exercised through the typed client
+// against a real in-process alignment service.
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	paris "repro"
+	"repro/internal/gen"
+)
+
+// newService starts an alignment service with a generated persons corpus
+// and returns a client for it plus the corpus.
+func newService(t *testing.T, n int) (*Client, *gen.Dataset, string) {
+	t.Helper()
+	dir := t.TempDir()
+	d := gen.Persons(gen.PersonsConfig{N: n, Seed: 11})
+	if err := d.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := paris.NewServer(paris.ServerOptions{StateDir: filepath.Join(dir, "state"), Workers: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, d, dir
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("http://ok.example"); err != nil {
+		t.Errorf("plain base URL rejected: %v", err)
+	}
+	if _, err := New("http://ok.example/"); err != nil {
+		t.Errorf("trailing slash rejected: %v", err)
+	}
+	for _, bad := range []string{"://", "ftp://x", "http://x/v1", "http://x/api"} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%q) accepted", bad)
+		}
+	}
+}
+
+// TestClientEndToEnd drives the whole surface: health, submit, list, get,
+// wait, sameas (single + batch + pinned), relations, classes, snapshots,
+// stats.
+func TestClientEndToEnd(t *testing.T) {
+	c, d, dir := newService(t, 40)
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+
+	// Reads before any snapshot: 503 as *Error.
+	if _, err := c.SameAs(ctx, SameAsQuery{KB: "1", Key: "x"}); err == nil {
+		t.Fatal("SameAs before snapshot succeeded")
+	} else {
+		var se *Error
+		if !errors.As(err, &se) || se.StatusCode != 503 {
+			t.Fatalf("SameAs before snapshot = %v, want *Error 503", err)
+		}
+	}
+
+	job, err := c.SubmitJob(ctx, JobRequest{
+		KB1: filepath.Join(dir, d.Name1+".nt"),
+		KB2: filepath.Join(dir, d.Name2+".nt"),
+	})
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	if job.ID == "" || job.State != paris.JobQueued {
+		t.Fatalf("submitted job = %+v", job)
+	}
+
+	jobs, err := c.Jobs(ctx)
+	if err != nil || len(jobs) != 1 || jobs[0].ID != job.ID {
+		t.Fatalf("Jobs = %+v, %v", jobs, err)
+	}
+
+	final, err := c.WaitJob(ctx, job.ID, 2*time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if final.State != paris.JobDone || final.Snapshot == "" || len(final.Iterations) == 0 {
+		t.Fatalf("final job = %+v", final)
+	}
+
+	got, err := c.Job(ctx, job.ID)
+	if err != nil || got.State != paris.JobDone {
+		t.Fatalf("Job = %+v, %v", got, err)
+	}
+	if _, err := c.Job(ctx, "job-404"); !IsNotFound(err) {
+		t.Fatalf("Job(unknown) = %v, want 404", err)
+	}
+
+	// Single lookups, both directions, exact and normalized.
+	pairs := d.Gold.Pairs()
+	for _, p := range pairs[:5] {
+		res, err := c.SameAs(ctx, SameAsQuery{KB: "1", Key: p[0]})
+		if err != nil || len(res.Matches) != 1 || res.Matches[0].Key != p[1] {
+			t.Fatalf("SameAs(%s) = %+v, %v", p[0], res, err)
+		}
+		if res.Snapshot != final.Snapshot || res.Normalized {
+			t.Fatalf("SameAs(%s) metadata = %+v", p[0], res)
+		}
+		back, err := c.SameAs(ctx, SameAsQuery{KB: "2", Key: p[1]})
+		if err != nil || len(back.Matches) != 1 || back.Matches[0].Key != p[0] {
+			t.Fatalf("reverse SameAs(%s) = %+v, %v", p[1], back, err)
+		}
+	}
+	norm, err := c.SameAs(ctx, SameAsQuery{KB: "1", Key: strings.ToUpper(strings.Trim(pairs[0][0], "<>"))})
+	if err != nil || !norm.Normalized || len(norm.Matches) != 1 {
+		t.Fatalf("normalized SameAs = %+v, %v", norm, err)
+	}
+	if _, err := c.SameAs(ctx, SameAsQuery{KB: "1", Key: "<http://nowhere>"}); !IsNotFound(err) {
+		t.Fatalf("missing key = %v, want 404", err)
+	}
+
+	// Batch lookup: all keys at once, including one miss.
+	keys := make([]string, 0, len(pairs)+1)
+	for _, p := range pairs {
+		keys = append(keys, p[0])
+	}
+	keys = append(keys, "<http://nowhere>")
+	batch, err := c.SameAsBatch(ctx, BatchSameAsQuery{KB: "1", Keys: keys})
+	if err != nil {
+		t.Fatalf("SameAsBatch: %v", err)
+	}
+	if batch.Found != len(pairs) || len(batch.Results) != len(keys) {
+		t.Fatalf("batch found %d of %d results, want %d of %d", batch.Found, len(batch.Results), len(pairs), len(keys))
+	}
+	for i, p := range pairs {
+		if r := batch.Results[i]; r.Key != p[0] || len(r.Matches) != 1 || r.Matches[0].Key != p[1] {
+			t.Fatalf("batch result[%d] = %+v, want %s -> %s", i, r, p[0], p[1])
+		}
+	}
+	if last := batch.Results[len(keys)-1]; len(last.Matches) != 0 {
+		t.Fatalf("miss result = %+v, want no matches", last)
+	}
+
+	// Schema-level endpoints.
+	rels, err := c.Relations(ctx, ScoreQuery{Dir: "12", Min: 0.1})
+	if err != nil || len(rels.Relations) == 0 || rels.Snapshot != final.Snapshot {
+		t.Fatalf("Relations = %+v, %v", rels, err)
+	}
+	for i := 1; i < len(rels.Relations); i++ {
+		if rels.Relations[i].P > rels.Relations[i-1].P {
+			t.Fatal("relations not sorted by descending probability")
+		}
+	}
+	classes, err := c.Classes(ctx, ScoreQuery{})
+	if err != nil || len(classes.Classes) == 0 {
+		t.Fatalf("Classes = %+v, %v", classes, err)
+	}
+
+	snaps, err := c.Snapshots(ctx)
+	if err != nil || snaps.Current != final.Snapshot || len(snaps.Snapshots) != 1 {
+		t.Fatalf("Snapshots = %+v, %v", snaps, err)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil || stats["snapshot"] == nil {
+		t.Fatalf("Stats = %+v, %v", stats, err)
+	}
+}
+
+// TestClientSnapshotPinning publishes two snapshots and reads the first
+// through the Snapshot field of each read query.
+func TestClientSnapshotPinning(t *testing.T) {
+	c, d, dir := newService(t, 20)
+	ctx := context.Background()
+	req := JobRequest{
+		KB1: filepath.Join(dir, d.Name1+".nt"),
+		KB2: filepath.Join(dir, d.Name2+".nt"),
+	}
+	j1, err := c.SubmitJob(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := c.WaitJob(ctx, j1.ID, 0)
+	if err != nil || f1.State != paris.JobDone {
+		t.Fatalf("first job = %+v, %v", f1, err)
+	}
+	j2, err := c.SubmitJob(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := c.WaitJob(ctx, j2.ID, 0)
+	if err != nil || f2.State != paris.JobDone {
+		t.Fatalf("second job = %+v, %v", f2, err)
+	}
+
+	pairs := d.Gold.Pairs()
+	pinned, err := c.SameAs(ctx, SameAsQuery{KB: "1", Key: pairs[0][0], Snapshot: f1.Snapshot})
+	if err != nil || pinned.Snapshot != f1.Snapshot {
+		t.Fatalf("pinned SameAs = %+v, %v, want snapshot %s", pinned, err, f1.Snapshot)
+	}
+	rels, err := c.Relations(ctx, ScoreQuery{Snapshot: f1.Snapshot})
+	if err != nil || rels.Snapshot != f1.Snapshot {
+		t.Fatalf("pinned Relations = %+v, %v", rels, err)
+	}
+	if _, err := c.SameAs(ctx, SameAsQuery{KB: "1", Key: pairs[0][0], Snapshot: "snap-bogus"}); !IsNotFound(err) {
+		t.Fatalf("bogus snapshot = %v, want 404", err)
+	}
+}
+
+// TestClientCancelJob cancels a queued job through the client and verifies
+// the 409 on a second cancel.
+func TestClientCancelJob(t *testing.T) {
+	c, d, dir := newService(t, 20)
+	ctx := context.Background()
+	req := JobRequest{
+		KB1: filepath.Join(dir, d.Name1+".nt"),
+		KB2: filepath.Join(dir, d.Name2+".nt"),
+	}
+	// Occupy the single worker with a deliberately large alignment
+	// (hundreds of milliseconds at least), so the small target job stays
+	// queued while the cancel lands.
+	bigDir := t.TempDir()
+	big := gen.Persons(gen.PersonsConfig{N: 1500, Seed: 3})
+	if err := big.WriteFiles(bigDir); err != nil {
+		t.Fatal(err)
+	}
+	filler, err := c.SubmitJob(ctx, JobRequest{
+		KB1: filepath.Join(bigDir, big.Name1+".nt"),
+		KB2: filepath.Join(bigDir, big.Name2+".nt"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := c.SubmitJob(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canceled, err := c.CancelJob(ctx, queued.ID)
+	if err != nil {
+		t.Fatalf("CancelJob: %v", err)
+	}
+	if canceled.State != paris.JobFailed {
+		t.Fatalf("canceled queued job came back %s, want failed", canceled.State)
+	}
+	final, err := c.WaitJob(ctx, queued.ID, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != paris.JobFailed || !strings.Contains(final.Error, "canceled") {
+		t.Fatalf("canceled job = state %s error %q", final.State, final.Error)
+	}
+
+	var se *Error
+	if _, err := c.CancelJob(ctx, queued.ID); !errors.As(err, &se) || se.StatusCode != 409 {
+		t.Fatalf("second cancel = %v, want *Error 409", err)
+	}
+	if _, err := c.CancelJob(ctx, "job-404"); !IsNotFound(err) {
+		t.Fatalf("cancel unknown = %v, want 404", err)
+	}
+	// Canceling the completed filler is the other 409 path.
+	if f, err := c.WaitJob(ctx, filler.ID, 10*time.Millisecond); err != nil || f.State != paris.JobDone {
+		t.Fatalf("filler = %+v, %v", f, err)
+	}
+	if _, err := c.CancelJob(ctx, filler.ID); !errors.As(err, &se) || se.StatusCode != 409 {
+		t.Fatalf("cancel done job = %v, want *Error 409", err)
+	}
+}
+
+// TestClientContextCancellation: a canceled context fails the request
+// client-side.
+func TestClientContextCancellation(t *testing.T) {
+	c, _, _ := newService(t, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.Health(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Health under canceled ctx = %v", err)
+	}
+	if _, err := c.WaitJob(ctx, "job-x", time.Millisecond); err == nil {
+		t.Fatal("WaitJob under canceled ctx succeeded")
+	}
+}

@@ -17,9 +17,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	paris "repro"
@@ -55,25 +57,41 @@ func main() {
 		fatal(fmt.Errorf("unknown normalization %q", *normalize))
 	}
 
-	lits := paris.NewLiterals()
+	// Ctrl-C cancels the context; the loads abort between reads and the
+	// fixpoint within one pass. Dropping the signal registration on the
+	// first interrupt restores default handling, so a second Ctrl-C kills
+	// the process instead of waiting out the current pass.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	s := paris.NewSession(
+		paris.WithNormalizer(norm),
+		paris.WithConfig(paris.Config{
+			Theta:            *theta,
+			MaxIterations:    *iters,
+			NegativeEvidence: *negative,
+		}),
+	)
 	t0 := time.Now()
-	o1, err := paris.LoadFile(flag.Arg(0), flag.Arg(0), lits, norm)
+	o1, err := s.Load(ctx, paris.FromFile(flag.Arg(0)).Named(flag.Arg(0)))
 	if err != nil {
 		fatal(err)
 	}
-	o2, err := paris.LoadFile(flag.Arg(1), flag.Arg(1), lits, norm)
+	o2, err := s.Load(ctx, paris.FromFile(flag.Arg(1)).Named(flag.Arg(1)))
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("loaded %s\nloaded %s\n(%v)\n", o1.Stats(), o2.Stats(), time.Since(t0).Round(time.Millisecond))
 
-	cfg := paris.Config{
-		Theta:            *theta,
-		MaxIterations:    *iters,
-		NegativeEvidence: *negative,
-	}
 	t1 := time.Now()
-	res := paris.Align(o1, o2, cfg)
+	res, err := s.Align(ctx)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("aligned in %d iterations, %v\n", len(res.Iterations), time.Since(t1).Round(time.Millisecond))
 
 	if !*quiet {

@@ -6,20 +6,28 @@
 //
 //	parisd -state /var/lib/parisd [-addr :7171] [-workers 2]
 //
-// API:
+// API (versioned under /v1; the unversioned routes of the first release
+// answer 308 Permanent Redirect to their /v1 forms):
 //
-//	POST /jobs       {"kb1": "a.nt", "kb2": "b.nt", ...}  submit a job
-//	GET  /jobs       list jobs
-//	GET  /jobs/{id}  job state with per-iteration progress
-//	GET  /sameas?kb=1&key=<iri>   entity lookup (kb=2 for the reverse)
-//	GET  /relations?dir=12&min=0.1
-//	GET  /classes?dir=12&min=0.1
-//	GET  /snapshots  persisted snapshot versions
-//	GET  /stats      serving statistics
-//	GET  /healthz    liveness probe
+//	POST   /v1/jobs       {"kb1": "a.nt", "kb2": "b.nt", ...}  submit a job
+//	GET    /v1/jobs       list jobs
+//	GET    /v1/jobs/{id}  job state with per-iteration progress
+//	DELETE /v1/jobs/{id}  cancel a queued or running job
+//	GET    /v1/sameas?kb=1&key=<iri>   entity lookup (kb=2 for the reverse)
+//	POST   /v1/sameas     {"kb": "1", "keys": [...]}  batch lookup
+//	GET    /v1/relations?dir=12&min=0.1
+//	GET    /v1/classes?dir=12&min=0.1
+//	GET    /v1/snapshots  persisted snapshot versions
+//	GET    /v1/stats      serving statistics
+//	GET    /v1/healthz    liveness probe
+//
+// Read endpoints (/v1/sameas, /v1/relations, /v1/classes) accept
+// ?snapshot=<id> to pin a published snapshot version for repeatable reads.
+// Wrong methods on known routes answer 405 with an Allow header.
 //
 // Completed alignments are persisted under -state and recovered on restart;
-// the newest snapshot is served immediately, with no re-alignment.
+// the newest snapshot is served immediately, with no re-alignment. The Go
+// package repro/client wraps this API with typed methods.
 package main
 
 import (
@@ -85,12 +93,15 @@ func main() {
 		log.Printf("parisd: %v, shutting down", s)
 	}
 
+	// HTTP connections and running alignments share one grace period;
+	// once it ends, in-flight jobs are canceled (each aborts within one
+	// fixpoint pass, persisted as failed) rather than waited out.
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("parisd: HTTP shutdown: %v", err)
 	}
-	if err := srv.Close(); err != nil {
+	if err := srv.CloseContext(ctx); err != nil {
 		log.Printf("parisd: closing state: %v", err)
 	}
 }

@@ -1,0 +1,142 @@
+// Client walkthrough: the full life of an alignment served over the /v1
+// HTTP API, driven entirely through the typed repro/client package — an
+// in-process parisd stands in for the real daemon so the example runs
+// self-contained.
+//
+// The flow: start a service, submit an alignment job, watch its
+// per-iteration progress, look entities up one at a time and in batch,
+// pin the snapshot for repeatable reads, and cancel a second job
+// mid-flight.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	paris "repro"
+	"repro/client"
+	"repro/internal/gen"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// Stand-in for `parisd -state ...` plus a generated corpus to align.
+	dir, err := os.MkdirTemp("", "paris-client-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	d := gen.Persons(gen.PersonsConfig{N: 50, Seed: 42})
+	if err := d.WriteFiles(dir); err != nil {
+		log.Fatal(err)
+	}
+	srv, err := paris.NewServer(paris.ServerOptions{StateDir: filepath.Join(dir, "state"), Workers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Everything below is what a real consumer of parisd would write,
+	// with ts.URL replaced by the daemon's address.
+	c, err := client.New(ts.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Health(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// Submit and wait. WaitJob polls GET /v1/jobs/{id} until terminal.
+	job, err := c.SubmitJob(ctx, client.JobRequest{
+		KB1: filepath.Join(dir, d.Name1+".nt"),
+		KB2: filepath.Join(dir, d.Name2+".nt"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %s (%s)\n", job.ID, job.State)
+	job, err = c.WaitJob(ctx, job.ID, 50*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("finished %s: %s, snapshot %s, %d iterations\n",
+		job.ID, job.State, job.Snapshot, len(job.Iterations))
+	for _, it := range job.Iterations {
+		fmt.Printf("  %s\n", it)
+	}
+
+	// Single lookup (GET /v1/sameas).
+	pairs := d.Gold.Pairs()
+	one, err := c.SameAs(ctx, client.SameAsQuery{KB: "1", Key: pairs[0][0]})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s ≡ %s (p=%.2f)\n", pairs[0][0], one.Matches[0].Key, one.Matches[0].P)
+
+	// Batch lookup (POST /v1/sameas): every gold key in one round-trip.
+	keys := make([]string, len(pairs))
+	for i, p := range pairs {
+		keys[i] = p[0]
+	}
+	batch, err := c.SameAsBatch(ctx, client.BatchSameAsQuery{KB: "1", Keys: keys})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch: resolved %d/%d keys against snapshot %s\n",
+		batch.Found, len(keys), batch.Snapshot)
+
+	// Pinned reads: the snapshot ID makes results repeatable even while
+	// newer alignments publish.
+	pinned, err := c.Relations(ctx, client.ScoreQuery{Min: 0.3, Snapshot: job.Snapshot})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pinned to %s: %d relation inclusions over p=0.3\n",
+		pinned.Snapshot, len(pinned.Relations))
+	for i, r := range pinned.Relations {
+		if i == 3 {
+			fmt.Println("  …")
+			break
+		}
+		fmt.Printf("  %s ⊆ %s (p=%.2f)\n", r.Sub, r.Super, r.P)
+	}
+
+	// Cancellation (DELETE /v1/jobs/{id}): with one worker, the second of
+	// two back-to-back submissions waits in the queue, where the cancel
+	// catches it deterministically — it fails with the cancellation
+	// reason and publishes nothing. Canceling a running job works the
+	// same way, aborting the fixpoint within one pass.
+	req := client.JobRequest{
+		KB1: filepath.Join(dir, d.Name1+".nt"),
+		KB2: filepath.Join(dir, d.Name2+".nt"),
+	}
+	if _, err := c.SubmitJob(ctx, req); err != nil {
+		log.Fatal(err)
+	}
+	queued, err := c.SubmitJob(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.CancelJob(ctx, queued.ID); err != nil {
+		log.Fatal(err)
+	}
+	queued, err = c.WaitJob(ctx, queued.ID, 50*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncanceled %s: %s (%s)\n", queued.ID, queued.State, queued.Error)
+
+	snaps, err := c.Snapshots(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshots: %v (current %s)\n", snaps.Snapshots, snaps.Current)
+}

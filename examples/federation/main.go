@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -50,7 +51,9 @@ func main() {
 		ontos = append(ontos, b.Build())
 	}
 
-	res, err := multi.Align(ontos, core.Config{})
+	// AlignContext aborts the pairwise sweep (n(n-1)/2 alignments) within
+	// one fixpoint pass of cancellation.
+	res, err := multi.AlignContext(context.Background(), ontos, core.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}

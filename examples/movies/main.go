@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -29,9 +30,15 @@ func main() {
 	base := baseline.LabelMatch(o1, o2, baseline.Config{})
 	fmt.Printf("label baseline: %s (%v)\n", d.Gold.Evaluate(base), time.Since(t0).Round(time.Millisecond))
 
-	// PARIS.
+	// PARIS, under a generous deadline: AlignContext aborts within one
+	// fixpoint pass if it expires, instead of running unbounded.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
 	t1 := time.Now()
-	res := paris.Align(o1, o2, paris.Config{})
+	res, err := paris.AlignContext(ctx, o1, o2, paris.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	parisMetrics := d.Gold.Evaluate(res.InstanceMap())
 	fmt.Printf("paris:          %s (%v, %d iterations)\n",
 		parisMetrics, time.Since(t1).Round(time.Millisecond), len(res.Iterations))

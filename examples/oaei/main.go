@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,12 @@ func alignAndReport(d *gen.Dataset, norm paris.Normalizer, cfg paris.Config) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := paris.Align(o1, o2, cfg)
+	// AlignContext is the error-returning, cancellable form of the
+	// deprecated paris.Align.
+	res, err := paris.AlignContext(context.Background(), o1, o2, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("gold pairs: %d\n", d.Gold.Len())
 	fmt.Printf("instances:  %s\n", d.Gold.Evaluate(res.InstanceMap()))
 	fmt.Printf("iterations: %d\n", len(res.Iterations))

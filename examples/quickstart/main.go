@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -31,24 +32,25 @@ const kb2 = `
 `
 
 func main() {
-	// Both ontologies must intern literals into one shared table so that
-	// the paper's clamped literal equality is an identity check.
-	lits := paris.NewLiterals()
-	load := func(name, doc string) *paris.Ontology {
-		triples, err := paris.ParseNTriples(doc)
-		if err != nil {
-			log.Fatal(err)
-		}
-		b := paris.NewBuilder(name, lits, nil)
-		if err := b.AddAll(triples); err != nil {
-			log.Fatal(err)
-		}
-		return b.Build()
+	// A Session owns the shared literal table both ontologies intern into
+	// (the invariant behind the paper's clamped literal equality) and runs
+	// everything under a context, so a deadline or Ctrl-C can abort a
+	// long alignment cleanly.
+	ctx := context.Background()
+	s := paris.NewSession()
+	o1, err := s.Load(ctx, paris.FromReader("left", "nt", strings.NewReader(kb1)))
+	if err != nil {
+		log.Fatal(err)
 	}
-	o1 := load("left", kb1)
-	o2 := load("right", kb2)
+	o2, err := s.Load(ctx, paris.FromReader("right", "nt", strings.NewReader(kb2)))
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	res := paris.Align(o1, o2, paris.Config{})
+	res, err := s.Align(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("Instance equivalences:")
 	for _, a := range res.Instances {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -23,6 +24,9 @@ func main() {
 	}
 	fmt.Printf("%s\n%s\n\n", o1.Stats(), o2.Stats())
 
+	// The session streams per-iteration timing through WithProgress while
+	// Config.OnIteration keeps access to the aligner for the gold-standard
+	// evaluation — the two compose.
 	cfg := paris.Config{
 		MaxIterations: 4,
 		OnIteration: func(it int, a *paris.Aligner) {
@@ -33,8 +37,23 @@ func main() {
 			fmt.Printf("iteration %d: %s\n", it, d.Gold.Evaluate(assign))
 		},
 	}
+	s := paris.NewSession(
+		paris.WithConfig(cfg),
+		paris.WithProgress(func(st paris.IterationStats) {
+			fmt.Printf("  timing: %s\n", st)
+		}),
+	)
+	if err := s.Use(o1); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Use(o2); err != nil {
+		log.Fatal(err)
+	}
 	t0 := time.Now()
-	res := paris.Align(o1, o2, cfg)
+	res, err := s.Align(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("aligned in %v\n\n", time.Since(t0).Round(time.Millisecond))
 
 	fmt.Println("selected relation discoveries (ykb ⊆ dkb):")

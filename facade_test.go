@@ -134,6 +134,43 @@ func TestLoadGoldTSVCommentsAndBlanks(t *testing.T) {
 	}
 }
 
+// TestLoadGoldTSVWindowsExport covers gold files written by Windows tools:
+// a UTF-8 BOM, CRLF line endings, and whitespace padding around the keys
+// must all parse to clean keys — previously every CRLF line either failed
+// or produced keys polluted with trailing whitespace.
+func TestLoadGoldTSVWindowsExport(t *testing.T) {
+	content := "\ufeff# exported gold\r\n" +
+		"<http://a/x> \t <http://b/x>\r\n" +
+		"<http://a/y>\t<http://b/y>  \r\n" +
+		"\r\n"
+	g, err := LoadGoldTSV(writeGold(t, content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+	for _, want := range [][2]string{
+		{"<http://a/x>", "<http://b/x>"},
+		{"<http://a/y>", "<http://b/y>"},
+	} {
+		if k2, ok := g.Expected(want[0]); !ok || k2 != want[1] {
+			t.Errorf("Expected(%s) = %q, %v; want %q", want[0], k2, ok, want[1])
+		}
+	}
+}
+
+// TestLoadGoldTSVWhitespaceOnlyKey: trimming must not let a line of pure
+// whitespace around the tab slip through as empty keys.
+func TestLoadGoldTSVWhitespaceOnlyKey(t *testing.T) {
+	if _, err := LoadGoldTSV(writeGold(t, "  \t<http://b/x>\r\n")); err == nil {
+		t.Error("empty first key accepted")
+	}
+	if _, err := LoadGoldTSV(writeGold(t, "<http://a/x>\t   \r\n")); err == nil {
+		t.Error("empty second key accepted")
+	}
+}
+
 func TestLoadGoldTSVMalformed(t *testing.T) {
 	cases := map[string]string{
 		"no tab":           "<http://a/x> <http://b/x>\n",

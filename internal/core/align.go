@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -43,12 +44,36 @@ func (s IterationStats) String() string {
 		s.Iteration, s.Assigned, 100*s.ChangedFraction, s.InstanceTime, s.RelationTime)
 }
 
+// LiteralTableError reports two ontologies that do not share a literal
+// table. Every downstream probability would silently be wrong: the clamped
+// literal equality of Section 5.3 is an identity check over interned IDs, so
+// literals from separate tables can never compare equal.
+type LiteralTableError struct {
+	O1, O2 string // ontology display names
+}
+
+func (e *LiteralTableError) Error() string {
+	return fmt.Sprintf("core: ontologies %q and %q do not share a literal table (build both with the same store.Literals)", e.O1, e.O2)
+}
+
 // New wires two frozen ontologies into an Aligner. The ontologies must share
-// one literal table (see store.NewBuilder); New panics otherwise, since every
-// downstream probability would silently be wrong.
+// one literal table (see store.NewBuilder); New panics otherwise. Callers
+// that can surface an error should prefer NewChecked, which reports the
+// mismatch as a *LiteralTableError instead.
 func New(o1, o2 *store.Ontology, cfg Config) *Aligner {
+	a, err := NewChecked(o1, o2, cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return a
+}
+
+// NewChecked wires two frozen ontologies into an Aligner. The ontologies
+// must share one literal table (see store.NewBuilder); NewChecked returns a
+// *LiteralTableError otherwise.
+func NewChecked(o1, o2 *store.Ontology, cfg Config) (*Aligner, error) {
 	if o1.Literals() != o2.Literals() {
-		panic("core: ontologies must share a literal table")
+		return nil, &LiteralTableError{O1: o1.Name(), O2: o2.Name()}
 	}
 	cfg = cfg.withDefaults()
 	if cfg.MatcherTo2 == nil {
@@ -65,7 +90,7 @@ func New(o1, o2 *store.Ontology, cfg Config) *Aligner {
 		a.fun1 = o1.FunctionalityWith(cfg.FunMode)
 		a.fun2 = o2.FunctionalityWith(cfg.FunMode)
 	}
-	return a
+	return a, nil
 }
 
 func funSlice(o *store.Ontology) []float64 {
@@ -85,11 +110,25 @@ func (a *Aligner) Ontology2() *store.Ontology { return a.o2 }
 // Run executes the fixpoint of Section 5.1: alternate the instance-
 // equivalence pass (Equation 13/14) and the sub-relation pass (Equation 12)
 // until the maximal assignments converge, then compute subclass scores
-// (Equation 17) once. It returns the final result.
+// (Equation 17) once. It returns the final result. Run cannot be
+// interrupted; long-running callers should use RunContext.
 func (a *Aligner) Run() *Result {
+	res, _ := a.RunContext(context.Background()) // Background never cancels
+	return res
+}
+
+// RunContext is Run with cancellation: the context is checked before every
+// pass (instance, sub-relation, subclass), so a cancelled or expired
+// context aborts the fixpoint within one pass. On cancellation it returns
+// nil and the context's error; the aligner's intermediate state stays
+// inspectable through Assignments and friends.
+func (a *Aligner) RunContext(ctx context.Context) (*Result, error) {
 	it := 0
 	for it = 1; it <= a.cfg.MaxIterations; it++ {
-		stats := a.Step(it)
+		stats, err := a.StepContext(ctx, it)
+		if err != nil {
+			return nil, err
+		}
 		if a.cfg.OnIteration != nil {
 			a.cfg.OnIteration(it, a)
 		}
@@ -102,18 +141,37 @@ func (a *Aligner) Run() *Result {
 		// counter-evidence is only meaningful once the equality estimates
 		// feeding its inner products are trustworthy (see Config).
 		a.negativePass = true
-		a.Step(it + 1)
+		if _, err := a.StepContext(ctx, it+1); err != nil {
+			return nil, err
+		}
 		if a.cfg.OnIteration != nil {
 			a.cfg.OnIteration(it+1, a)
 		}
 	}
-	return a.Result()
+	if err := ctx.Err(); err != nil {
+		// Cancelled after the last iteration: skip the subclass pass too.
+		return nil, err
+	}
+	return a.Result(), nil
 }
 
 // Step runs a single fixpoint iteration (instance pass followed by
 // sub-relation pass) and records its statistics. Most callers should use
 // Run; Step exists for per-iteration evaluation harnesses.
 func (a *Aligner) Step(it int) IterationStats {
+	stats, _ := a.StepContext(context.Background(), it)
+	return stats
+}
+
+// StepContext is Step with cancellation, checked before the instance pass
+// and again between the instance and sub-relation passes. A step aborted
+// between passes leaves the equalities of iteration it paired with the
+// sub-relation scores of iteration it-1; that inconsistency is only ever
+// observed by a caller that keeps using the aligner after cancellation.
+func (a *Aligner) StepContext(ctx context.Context, it int) (IterationStats, error) {
+	if err := ctx.Err(); err != nil {
+		return IterationStats{}, err
+	}
 	t0 := time.Now()
 	next := a.instancePass()
 	next.finish()
@@ -125,12 +183,15 @@ func (a *Aligner) Step(it int) IterationStats {
 	}
 	a.prevEq, a.eq = a.eq, next
 
+	if err := ctx.Err(); err != nil {
+		return stats, err
+	}
 	t1 := time.Now()
 	a.rel = a.subRelationPass()
 	stats.RelationTime = time.Since(t1)
 
 	a.iters = append(a.iters, stats)
-	return stats
+	return stats, nil
 }
 
 // Iterations returns the statistics of all completed iterations.

@@ -10,6 +10,7 @@
 package multi
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -43,6 +44,14 @@ type Result struct {
 // reciprocal maximal assignments. All ontologies must share one literal
 // table. The configuration applies to every pairwise run.
 func Align(ontos []*store.Ontology, cfg core.Config) (*Result, error) {
+	return AlignContext(context.Background(), ontos, cfg)
+}
+
+// AlignContext is Align with cancellation: the context aborts the current
+// pairwise fixpoint within one pass and skips the remaining pairs — with n
+// ontologies there are n(n-1)/2 alignments, so a way out matters more here
+// than anywhere.
+func AlignContext(ctx context.Context, ontos []*store.Ontology, cfg core.Config) (*Result, error) {
 	if len(ontos) < 2 {
 		return nil, fmt.Errorf("multi: need at least two ontologies, got %d", len(ontos))
 	}
@@ -58,7 +67,14 @@ func Align(ontos []*store.Ontology, cfg core.Config) (*Result, error) {
 
 	for i := 0; i < len(ontos); i++ {
 		for j := i + 1; j < len(ontos); j++ {
-			pr := core.New(ontos[i], ontos[j], cfg).Run()
+			a, err := core.NewChecked(ontos[i], ontos[j], cfg)
+			if err != nil {
+				return nil, fmt.Errorf("multi: pair (%d, %d): %w", i, j, err)
+			}
+			pr, err := a.RunContext(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("multi: pair (%d, %d): %w", i, j, err)
+			}
 			res.Pairwise[[2]int{i, j}] = pr
 
 			// Reciprocity check: keep x≡y only if y's best partner in

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +10,10 @@ import (
 
 	"repro/internal/core"
 )
+
+// errCanceled is the cancellation cause installed by cancel; it becomes the
+// failed job's Error field.
+var errCanceled = errors.New("canceled by client request")
 
 // JobState is the lifecycle state of an alignment job.
 type JobState string
@@ -65,16 +71,25 @@ type Job struct {
 }
 
 // jobManager runs jobs on a bounded worker pool. Submitted jobs wait in a
-// bounded queue; when the queue is full, submission fails fast instead of
-// blocking the HTTP handler.
+// bounded FIFO; when it is full, submission fails fast instead of blocking
+// the HTTP handler. The queue is a plain slice under the mutex (not a
+// channel) so a canceled queued job can be removed immediately, freeing
+// its slot for new submissions.
 type jobManager struct {
 	mu   sync.Mutex
+	cond *sync.Cond // signals workers: pending grew or closed flipped
 	jobs map[string]*Job
 	seq  uint64
 
-	queue chan string
-	wg    sync.WaitGroup
-	run   func(id string)
+	// cancels holds the cancel function of every running job, keyed by job
+	// ID, so DELETE /v1/jobs/{id} can abort the fixpoint mid-flight.
+	cancels map[string]context.CancelCauseFunc
+
+	pending []string // queued job IDs, oldest first; at most depth
+	depth   int
+
+	wg  sync.WaitGroup
+	run func(ctx context.Context, id string)
 
 	// onDrop receives the final view of a job dropped from the queue at
 	// shutdown, so the owner can persist its failed state.
@@ -84,33 +99,48 @@ type jobManager struct {
 }
 
 // newJobManager starts workers goroutines executing run. run receives a job
-// ID and must drive the job to a terminal state via finish; onDrop (may be
-// nil) is invoked for jobs dropped from the queue at close.
-func newJobManager(workers, depth int, run func(id string), onDrop func(Job)) *jobManager {
+// ID plus the context that cancels it, and must drive the job to a terminal
+// state via finish; onDrop (may be nil) is invoked for jobs dropped from
+// the queue at close.
+func newJobManager(workers, depth int, run func(ctx context.Context, id string), onDrop func(Job)) *jobManager {
 	m := &jobManager{
-		jobs:   make(map[string]*Job),
-		queue:  make(chan string, depth),
-		run:    run,
-		onDrop: onDrop,
+		jobs:    make(map[string]*Job),
+		cancels: make(map[string]context.CancelCauseFunc),
+		depth:   depth,
+		run:     run,
+		onDrop:  onDrop,
 	}
+	m.cond = sync.NewCond(&m.mu)
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
 		go func() {
 			defer m.wg.Done()
-			for id := range m.queue {
-				// After close() a blocked worker can still win buffered
-				// IDs ahead of the drain loop; route them to the dropped
-				// path instead of starting hour-long alignments mid-
-				// shutdown.
+			for {
 				m.mu.Lock()
-				closed := m.closed
+				for len(m.pending) == 0 && !m.closed {
+					m.cond.Wait()
+				}
+				// Close drains pending itself, so a closed manager means
+				// no more work regardless of the slice.
+				if m.closed {
+					m.mu.Unlock()
+					return
+				}
+				id := m.pending[0]
+				m.pending = m.pending[1:]
 				m.mu.Unlock()
-				if closed {
+				// start refuses jobs that left the queued state between
+				// the pop and here (canceled: terminal state already
+				// recorded) and everything once close begins; drop is a
+				// no-op unless the job is still queued (the shutdown
+				// race), where it records the dropped state.
+				ctx, ok := m.start(id)
+				if !ok {
 					m.drop(id)
 					continue
 				}
-				m.start(id)
-				m.run(id)
+				m.run(ctx, id)
+				m.release(id)
 			}
 		}()
 	}
@@ -125,6 +155,9 @@ func (m *jobManager) submit(req JobRequest) (Job, error) {
 	if m.closed {
 		return Job{}, fmt.Errorf("server: shutting down")
 	}
+	if len(m.pending) >= m.depth {
+		return Job{}, fmt.Errorf("server: job queue full (%d pending)", m.depth)
+	}
 	m.seq++
 	j := &Job{
 		ID:      fmt.Sprintf("job-%08d", m.seq),
@@ -132,16 +165,10 @@ func (m *jobManager) submit(req JobRequest) (Job, error) {
 		Request: req,
 		Created: time.Now().UTC(),
 	}
-	// The enqueue is non-blocking, so holding the lock here is cheap and
-	// makes the send race-free against close() closing the channel.
-	select {
-	case m.queue <- j.ID:
-		m.jobs[j.ID] = j
-		return *j, nil
-	default:
-		m.seq--
-		return Job{}, fmt.Errorf("server: job queue full (%d pending)", cap(m.queue))
-	}
+	m.jobs[j.ID] = j
+	m.pending = append(m.pending, j.ID)
+	m.cond.Signal()
+	return *j, nil
 }
 
 // get returns a copy of one job.
@@ -178,15 +205,73 @@ func (m *jobManager) counts() map[JobState]int {
 	return out
 }
 
-// start transitions a job to running.
-func (m *jobManager) start(id string) {
+// start transitions a queued job to running and returns the context that
+// cancels it. It refuses jobs that are no longer queued (canceled while
+// waiting) and everything once close has begun, so no alignment starts
+// mid-shutdown.
+func (m *jobManager) start(id string) (context.Context, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if j, ok := m.jobs[id]; ok {
-		now := time.Now().UTC()
-		j.State = JobRunning
-		j.Started = &now
+	j, ok := m.jobs[id]
+	if !ok || j.State != JobQueued || m.closed {
+		return nil, false
 	}
+	now := time.Now().UTC()
+	j.State = JobRunning
+	j.Started = &now
+	ctx, cancel := context.WithCancelCause(context.Background())
+	m.cancels[id] = cancel
+	return ctx, true
+}
+
+// release discards a finished job's cancel function (releasing the context)
+// after run returns.
+func (m *jobManager) release(id string) {
+	m.mu.Lock()
+	cancel := m.cancels[id]
+	delete(m.cancels, id)
+	m.mu.Unlock()
+	if cancel != nil {
+		cancel(nil)
+	}
+}
+
+// cancel requests cancellation of a job. A queued job transitions to failed
+// immediately (the worker will skip it); a running job has its context
+// canceled and reaches failed through the worker shortly after. prev is the
+// job's state when cancel was called, so the HTTP layer can distinguish
+// "canceled now" (queued), "stopping" (running), and "already terminal".
+func (m *jobManager) cancel(id string) (j Job, prev JobState, ok bool) {
+	m.mu.Lock()
+	jp, found := m.jobs[id]
+	if !found {
+		m.mu.Unlock()
+		return Job{}, "", false
+	}
+	prev = jp.State
+	var cancelFn context.CancelCauseFunc
+	if prev == JobQueued {
+		now := time.Now().UTC()
+		jp.State = JobFailed
+		jp.Finished = &now
+		jp.Error = errCanceled.Error()
+		// Free the queue slot right away so a full queue of canceled
+		// jobs does not refuse new submissions until a worker drains it.
+		for i, pid := range m.pending {
+			if pid == id {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				break
+			}
+		}
+	} else if prev == JobRunning {
+		cancelFn = m.cancels[id]
+	}
+	j = cloneJob(jp)
+	m.mu.Unlock()
+	if cancelFn != nil {
+		cancelFn(errCanceled)
+	}
+	return j, prev, true
 }
 
 // progress appends one completed iteration to a running job.
@@ -230,11 +315,26 @@ func (m *jobManager) recover(j Job, seq uint64) {
 	}
 }
 
+// cancelAll cancels the context of every running job with the given cause
+// — the shutdown escape hatch: close() normally drains running jobs to
+// completion, but once the caller's grace period is spent, cancelAll makes
+// them abort within one fixpoint pass instead.
+func (m *jobManager) cancelAll(cause error) {
+	m.mu.Lock()
+	cancels := make([]context.CancelCauseFunc, 0, len(m.cancels))
+	for _, c := range m.cancels {
+		cancels = append(cancels, c)
+	}
+	m.mu.Unlock()
+	for _, c := range cancels {
+		c(cause)
+	}
+}
+
 // close stops accepting jobs, drops jobs still in the queue (marking them
 // failed and persisting the record via onDrop), and waits for running ones
-// to finish. Closing a buffered channel does not discard its contents, so
-// both this drain loop and the workers receive the remaining IDs — but the
-// workers see closed and drop too, so nothing new starts after close.
+// to finish. The pending slice is taken whole under the lock, so no worker
+// can start one of the dropped jobs afterwards.
 func (m *jobManager) close() {
 	m.mu.Lock()
 	if m.closed {
@@ -242,9 +342,11 @@ func (m *jobManager) close() {
 		return
 	}
 	m.closed = true
-	close(m.queue)
+	dropped := m.pending
+	m.pending = nil
+	m.cond.Broadcast()
 	m.mu.Unlock()
-	for id := range m.queue {
+	for _, id := range dropped {
 		m.drop(id)
 	}
 	m.wg.Wait()

@@ -9,11 +9,15 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
+	"slices"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -51,6 +55,11 @@ type Options struct {
 const (
 	maxJobWorkers    = 256
 	maxJobIterations = 1000
+	// maxBatchKeys bounds one POST /v1/sameas request.
+	maxBatchKeys = 10000
+	// maxPinnedIndexes bounds the cache of non-current snapshot indexes
+	// kept alive for ?snapshot= pinned reads.
+	maxPinnedIndexes = 4
 )
 
 func (o Options) withDefaults() Options {
@@ -88,6 +97,11 @@ type Server struct {
 	snapSeq uint64
 	snaps   []string // all snapshot IDs, oldest first
 
+	// pinned caches serving indexes of non-current snapshots requested via
+	// ?snapshot= (repeatable reads), bounded by maxPinnedIndexes. Guarded
+	// by mu.
+	pinned map[string]*index
+
 	mux     *http.ServeMux
 	started time.Time
 	lookups atomic.Uint64
@@ -123,6 +137,7 @@ func New(opts Options) (*Server, error) {
 		store:   st,
 		unlock:  unlock,
 		cache:   newLRU(opts.CacheSize),
+		pinned:  make(map[string]*index),
 		started: time.Now().UTC(),
 	}
 	if err := s.recoverState(); err != nil {
@@ -189,10 +204,36 @@ func (s *Server) recoverJobs() error {
 // Handler returns the HTTP API handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// errShutdown is the cancellation cause for jobs aborted because the
+// shutdown grace period ran out.
+var errShutdown = errors.New("server shutting down")
+
 // Close drains the worker pool and closes the state store. Queued jobs that
-// have not started are dropped; running jobs complete and persist.
+// have not started are dropped; running jobs complete and persist. Use
+// CloseContext to bound how long running jobs may take.
 func (s *Server) Close() error {
-	s.jobs.close()
+	return s.CloseContext(context.Background())
+}
+
+// CloseContext is Close with a shutdown budget: running jobs drain
+// normally, but once ctx is done their contexts are canceled (cause:
+// server shutting down), so each aborts within one fixpoint pass, persists
+// as failed, and publishes nothing — a SIGTERM no longer waits out an
+// hours-long alignment. CloseContext still returns only after every worker
+// has stopped and the store is flushed.
+func (s *Server) CloseContext(ctx context.Context) error {
+	drained := make(chan struct{})
+	go func() {
+		s.jobs.close()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		s.jobs.cancelAll(errShutdown)
+		s.opts.Logf("server: shutdown grace period over, canceled running jobs")
+		<-drained
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	err := s.store.Close()
@@ -202,8 +243,10 @@ func (s *Server) Close() error {
 	return err
 }
 
-// runJob executes one alignment job end to end on a worker goroutine.
-func (s *Server) runJob(id string) {
+// runJob executes one alignment job end to end on a worker goroutine. ctx
+// is canceled by DELETE /v1/jobs/{id}; a canceled job lands in the failed
+// state with the cancellation cause and publishes no snapshot.
+func (s *Server) runJob(ctx context.Context, id string) {
 	j, ok := s.jobs.get(id)
 	if !ok {
 		return
@@ -212,7 +255,14 @@ func (s *Server) runJob(id string) {
 	if s.testBeforeAlign != nil {
 		s.testBeforeAlign(id)
 	}
-	snapID, err := s.align(id, j.Request)
+	snapID, err := s.align(ctx, id, j.Request)
+	if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+		// The failure is the cancellation itself (not a genuine error
+		// that a racing DELETE would otherwise mask): surface the cause
+		// ("canceled by client request") rather than the bare
+		// context.Canceled the fixpoint returns.
+		err = context.Cause(ctx)
+	}
 	final := s.jobs.finish(id, snapID, err)
 	if err != nil {
 		s.opts.Logf("server: %s failed: %v", id, err)
@@ -239,18 +289,20 @@ func (s *Server) persistJob(j Job) {
 }
 
 // align loads the two knowledge bases, runs the fixpoint with per-iteration
-// progress reporting, and publishes the result as a new snapshot.
-func (s *Server) align(id string, req JobRequest) (string, error) {
+// progress reporting, and publishes the result as a new snapshot. The
+// context aborts both the streaming loads (between reads) and the fixpoint
+// (between passes); a canceled job never publishes.
+func (s *Server) align(ctx context.Context, id string, req JobRequest) (string, error) {
 	norm, err := normalizer(req.Normalize)
 	if err != nil {
 		return "", err
 	}
 	lits := store.NewLiterals()
-	o1, err := store.LoadFile(req.KB1, kbName(req.KB1), lits, norm)
+	o1, err := loadKB(ctx, req.KB1, lits, norm)
 	if err != nil {
 		return "", err
 	}
-	o2, err := store.LoadFile(req.KB2, kbName(req.KB2), lits, norm)
+	o2, err := loadKB(ctx, req.KB2, lits, norm)
 	if err != nil {
 		return "", err
 	}
@@ -266,8 +318,26 @@ func (s *Server) align(id string, req JobRequest) (string, error) {
 			}
 		},
 	}
-	res := core.New(o1, o2, cfg).Run()
+	a, err := core.NewChecked(o1, o2, cfg)
+	if err != nil {
+		return "", err
+	}
+	res, err := a.RunContext(ctx)
+	if err != nil {
+		return "", err
+	}
 	return s.publish(res.Snapshot())
+}
+
+// loadKB is store.LoadFile with cancellation: the read stream checks the
+// context, so a canceled job stops parsing a multi-GB dump promptly.
+func loadKB(ctx context.Context, path string, lits *store.Literals, norm store.Normalizer) (*store.Ontology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return store.LoadReader(store.ContextReader(ctx, f), path, kbName(path), lits, norm)
 }
 
 // PublishResult persists a result computed outside the jobs API (for
@@ -315,20 +385,91 @@ func kbName(path string) string { return store.BaseName(path) }
 
 // ---- HTTP layer ----
 
+// buildMux wires the versioned /v1 API. Method-specific patterns make the
+// mux answer wrong-method requests on a known path with 405 plus an Allow
+// header instead of 404. The unversioned routes of the first release
+// permanently redirect (308, which preserves method and body) to their /v1
+// forms; they are one release from removal.
 func (s *Server) buildMux() {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("GET /jobs", s.handleJobs)
-	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /sameas", s.handleSameAs)
-	mux.HandleFunc("GET /relations", s.handleRelations)
-	mux.HandleFunc("GET /classes", s.handleClasses)
-	mux.HandleFunc("GET /snapshots", s.handleSnapshots)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/sameas", s.handleSameAs)
+	mux.HandleFunc("POST /v1/sameas", s.handleSameAsBatch)
+	mux.HandleFunc("GET /v1/relations", s.handleRelations)
+	mux.HandleFunc("GET /v1/classes", s.handleClasses)
+	mux.HandleFunc("GET /v1/snapshots", s.handleSnapshots)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	for _, p := range []string{"/jobs", "/jobs/{id}", "/sameas", "/relations",
+		"/classes", "/snapshots", "/stats", "/healthz"} {
+		mux.HandleFunc(p, redirectV1)
+	}
 	s.mux = mux
+}
+
+// redirectV1 forwards a legacy unversioned route to its /v1 equivalent with
+// 308 Permanent Redirect, keeping method, body, and query intact.
+func redirectV1(w http.ResponseWriter, r *http.Request) {
+	target := "/v1" + r.URL.EscapedPath()
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	http.Redirect(w, r, target, http.StatusPermanentRedirect)
+}
+
+// errNoSnapshot is the read-path failure before any alignment completed.
+var errNoSnapshot = errors.New("no completed alignment yet")
+
+// indexFor resolves the serving index for a read request: the current
+// snapshot when snapID is empty, or the pinned snapshot named by the
+// ?snapshot= parameter — the repeatable-read mode, immune to concurrent
+// publishes. Non-current pinned indexes are rebuilt from the diskstore on
+// first use and cached (bounded). On failure it returns the HTTP status to
+// report.
+func (s *Server) indexFor(snapID string) (*index, int, error) {
+	cur := s.idx.Load()
+	if snapID == "" || (cur != nil && cur.id == snapID) {
+		if cur == nil {
+			return nil, http.StatusServiceUnavailable, errNoSnapshot
+		}
+		return cur, 0, nil
+	}
+	s.mu.Lock()
+	if ix, ok := s.pinned[snapID]; ok {
+		s.mu.Unlock()
+		return ix, 0, nil
+	}
+	known := slices.Contains(s.snaps, snapID)
+	s.mu.Unlock()
+	if !known {
+		return nil, http.StatusNotFound, fmt.Errorf("unknown snapshot %q", snapID)
+	}
+	// Load and build outside the lock: the diskstore synchronizes its own
+	// reads, and rebuilding a large snapshot's index must not stall
+	// publish or the other mu-guarded endpoints. Concurrent misses on the
+	// same snapshot may build twice; last writer wins, both are correct.
+	snap, err := diskstore.LoadSnapshot(s.store, snapID)
+	if err != nil {
+		return nil, http.StatusInternalServerError, fmt.Errorf("loading snapshot %s: %w", snapID, err)
+	}
+	ix := buildIndex(snapID, snap)
+	s.mu.Lock()
+	for len(s.pinned) >= maxPinnedIndexes {
+		// Evict an arbitrary entry; pinned readers are few and rebuilds
+		// are cheap relative to the alignment that produced them.
+		for id := range s.pinned {
+			delete(s.pinned, id)
+			break
+		}
+	}
+	s.pinned[snapID] = ix
+	s.mu.Unlock()
+	return ix, 0, nil
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -388,7 +529,34 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j)
 }
 
-// sameAsResponse is the body of GET /sameas.
+// handleCancelJob implements DELETE /v1/jobs/{id}: a queued job fails
+// immediately, a running job has its fixpoint aborted through the context
+// and reaches failed within one pass. Either way the job record survives
+// (the history is the audit trail); only terminal jobs refuse with 409.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, prev, ok := s.jobs.cancel(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	switch prev {
+	case JobQueued:
+		// The transition happened here; persist the terminal record.
+		s.persistJob(j)
+		s.opts.Logf("server: %s canceled while queued", id)
+		writeJSON(w, http.StatusOK, j)
+	case JobRunning:
+		// The worker observes the canceled context and persists the
+		// failed record itself; report the in-flight view.
+		s.opts.Logf("server: %s cancellation requested", id)
+		writeJSON(w, http.StatusAccepted, j)
+	default:
+		httpError(w, http.StatusConflict, "job already %s", prev)
+	}
+}
+
+// sameAsResponse is the body of GET /v1/sameas.
 type sameAsResponse struct {
 	Snapshot   string  `json:"snapshot"`
 	KB         string  `json:"kb"`
@@ -397,51 +565,133 @@ type sameAsResponse struct {
 	Normalized bool    `json:"normalized,omitempty"`
 }
 
-func (s *Server) handleSameAs(w http.ResponseWriter, r *http.Request) {
-	ix := s.idx.Load()
-	if ix == nil {
-		httpError(w, http.StatusServiceUnavailable, "no completed alignment yet")
-		return
+// batchSameAsRequest is the body of POST /v1/sameas: one direction, many
+// keys, amortizing HTTP overhead for bulk consumers.
+type batchSameAsRequest struct {
+	KB   string   `json:"kb"`
+	Keys []string `json:"keys"`
+}
+
+// batchSameAsResult is one per-key answer inside a batch response. A key
+// with no alignment yields empty matches rather than failing the batch.
+type batchSameAsResult struct {
+	Key        string  `json:"key"`
+	Matches    []Match `json:"matches,omitempty"`
+	Normalized bool    `json:"normalized,omitempty"`
+}
+
+// batchSameAsResponse is the body of POST /v1/sameas.
+type batchSameAsResponse struct {
+	Snapshot string              `json:"snapshot"`
+	KB       string              `json:"kb"`
+	Found    int                 `json:"found"`
+	Results  []batchSameAsResult `json:"results"`
+}
+
+// resolveMatches answers one sameAs key: the lock-free exact hit first,
+// then the normalized fallback through the LRU. Cache keys carry the
+// snapshot ID (so a reader racing with publish cannot repopulate the purged
+// cache with stale matches, and pinned-snapshot reads get their own
+// entries) and the resolved direction (so kb aliases like "1" and the KB
+// name share entries). populate controls whether a miss is written back:
+// the batch path reads the cache but never writes it, so one 10k-key batch
+// of cold keys cannot evict every hot entry serving interactive GETs.
+func (s *Server) resolveMatches(ix *index, fwd bool, key string, populate bool) (matches []Match, normalized bool) {
+	if m, ok := ix.lookup(fwd, key); ok {
+		return []Match{m}, false
 	}
-	s.lookups.Add(1)
-	key := r.URL.Query().Get("key")
-	if key == "" {
-		httpError(w, http.StatusBadRequest, "key parameter is required")
-		return
+	cacheKey := ix.id + "\x00" + dirByte(fwd) + "\x00" + key
+	matches, ok := s.cache.get(cacheKey)
+	if !ok {
+		matches = ix.lookupNormalized(fwd, key)
+		if populate {
+			s.cache.put(cacheKey, matches)
+		}
 	}
-	kb := r.URL.Query().Get("kb")
-	fwd, ok := ix.direction(kb)
+	return matches, true
+}
+
+// direction resolves the kb parameter against an index, writing the 400
+// response itself on failure.
+func direction(w http.ResponseWriter, ix *index, kb string) (fwd, ok bool) {
+	fwd, ok = ix.direction(kb)
 	if !ok {
 		if ix.kb1 == ix.kb2 {
 			httpError(w, http.StatusBadRequest, "kb must be 1 or 2 (both KBs are named %q)", ix.kb1)
 		} else {
 			httpError(w, http.StatusBadRequest, "kb must be 1, 2, %q, or %q", ix.kb1, ix.kb2)
 		}
+	}
+	return fwd, ok
+}
+
+func (s *Server) handleSameAs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query() // parse once: this is the benchmark-tracked hot path
+	ix, code, err := s.indexFor(q.Get("snapshot"))
+	if err != nil {
+		httpError(w, code, "%v", err)
 		return
 	}
-	resp := sameAsResponse{Snapshot: ix.id, KB: kb, Key: key}
-	if m, ok := ix.lookup(fwd, key); ok {
-		// Hot path: immutable-map hit, no locks taken anywhere.
-		resp.Matches = []Match{m}
-		writeJSON(w, http.StatusOK, resp)
+	s.lookups.Add(1)
+	key := q.Get("key")
+	if key == "" {
+		httpError(w, http.StatusBadRequest, "key parameter is required")
 		return
 	}
-	// Slow path: normalized lookup through the LRU. Cache keys carry the
-	// snapshot ID (so a reader racing with publish cannot repopulate the
-	// purged cache with stale matches) and the resolved direction (so kb
-	// aliases like "1" and the KB name share entries).
-	cacheKey := ix.id + "\x00" + dirByte(fwd) + "\x00" + key
-	matches, ok := s.cache.get(cacheKey)
+	kb := q.Get("kb")
+	fwd, ok := direction(w, ix, kb)
 	if !ok {
-		matches = ix.lookupNormalized(fwd, key)
-		s.cache.put(cacheKey, matches)
+		return
 	}
+	matches, normalized := s.resolveMatches(ix, fwd, key, true)
 	if len(matches) == 0 {
 		httpError(w, http.StatusNotFound, "no alignment for %q", key)
 		return
 	}
-	resp.Matches = matches
-	resp.Normalized = true
+	writeJSON(w, http.StatusOK, sameAsResponse{
+		Snapshot: ix.id, KB: kb, Key: key,
+		Matches: matches, Normalized: normalized,
+	})
+}
+
+// handleSameAsBatch implements POST /v1/sameas: many keys in one
+// round-trip. Keys without an alignment come back with empty matches; the
+// response reports how many resolved.
+func (s *Server) handleSameAsBatch(w http.ResponseWriter, r *http.Request) {
+	ix, code, err := s.indexFor(r.URL.Query().Get("snapshot"))
+	if err != nil {
+		httpError(w, code, "%v", err)
+		return
+	}
+	var req batchSameAsRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if len(req.Keys) == 0 {
+		httpError(w, http.StatusBadRequest, "keys must not be empty")
+		return
+	}
+	if len(req.Keys) > maxBatchKeys {
+		httpError(w, http.StatusBadRequest, "at most %d keys per batch (got %d)", maxBatchKeys, len(req.Keys))
+		return
+	}
+	fwd, ok := direction(w, ix, req.KB)
+	if !ok {
+		return
+	}
+	s.lookups.Add(uint64(len(req.Keys)))
+	resp := batchSameAsResponse{
+		Snapshot: ix.id, KB: req.KB,
+		Results: make([]batchSameAsResult, len(req.Keys)),
+	}
+	for i, key := range req.Keys {
+		matches, normalized := s.resolveMatches(ix, fwd, key, false)
+		resp.Results[i] = batchSameAsResult{Key: key, Matches: matches, Normalized: normalized && len(matches) > 0}
+		if len(matches) > 0 {
+			resp.Found++
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -464,16 +714,18 @@ func (s *Server) handleClasses(w http.ResponseWriter, r *http.Request) {
 }
 
 // serveScores is the shared body of the relations and classes endpoints:
-// pick the direction, filter by minimum probability, sort by descending
-// probability then sub key, and emit under field.
+// resolve the (possibly pinned) snapshot, pick the direction, filter by
+// minimum probability, and emit under field in descending-probability
+// order.
 func serveScores[T any](s *Server, w http.ResponseWriter, r *http.Request, field string,
 	pick func(*index, string) []T, key func(T) (string, float64)) {
-	ix := s.idx.Load()
-	if ix == nil {
-		httpError(w, http.StatusServiceUnavailable, "no completed alignment yet")
+	q := r.URL.Query()
+	ix, code, err := s.indexFor(q.Get("snapshot"))
+	if err != nil {
+		httpError(w, code, "%v", err)
 		return
 	}
-	dir, min, err := dirAndMin(r)
+	dir, min, err := dirAndMin(q)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -537,8 +789,8 @@ func dirByte(fwd bool) string {
 }
 
 // dirAndMin parses the shared dir and min query parameters.
-func dirAndMin(r *http.Request) (dir string, min float64, err error) {
-	dir = r.URL.Query().Get("dir")
+func dirAndMin(q url.Values) (dir string, min float64, err error) {
+	dir = q.Get("dir")
 	switch dir {
 	case "", "12":
 		dir = "12"
@@ -546,7 +798,7 @@ func dirAndMin(r *http.Request) (dir string, min float64, err error) {
 	default:
 		return "", 0, fmt.Errorf("dir must be 12 or 21")
 	}
-	if raw := r.URL.Query().Get("min"); raw != "" {
+	if raw := q.Get("min"); raw != "" {
 		min, err = strconv.ParseFloat(raw, 64)
 		if err != nil {
 			return "", 0, fmt.Errorf("min must be a number: %w", err)

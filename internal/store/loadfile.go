@@ -2,6 +2,7 @@ package store
 
 import (
 	"compress/gzip"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -10,6 +11,27 @@ import (
 
 	"repro/internal/rdf"
 )
+
+// ContextReader wraps r so every Read fails with the context's error once
+// ctx is done — the hook that makes a streaming LoadReader cancellable
+// without threading a context through the parsers. The context error is
+// returned bare, so errors.Is(err, ctx.Err()) holds on whatever the load
+// path wraps around it.
+func ContextReader(ctx context.Context, r io.Reader) io.Reader {
+	return &ctxReader{ctx: ctx, r: r}
+}
+
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c *ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
+}
 
 // rdfExtensions are the file extensions LoadFile understands, gzip last so
 // BaseName strips it first.
@@ -45,35 +67,52 @@ func LoadFile(path, name string, lits *Literals, norm Normalizer) (*Ontology, er
 		return nil, err
 	}
 	defer f.Close()
+	return LoadReader(f, path, name, lits, norm)
+}
 
-	var r io.Reader = f
-	base := path
-	if strings.EqualFold(filepath.Ext(path), ".gz") {
-		zr, err := gzip.NewReader(f)
+// LoadReader parses an RDF stream into a frozen ontology. format carries
+// the extensions that select the parser — a bare format (".nt", ".ttl",
+// optionally with a trailing ".gz" for gzip-compressed input) or a full
+// file path whose extensions are examined; it also labels the stream in
+// error messages. This is the streaming entry point behind LoadFile: the
+// caller owns the reader, so sources that are not files (network bodies,
+// pipes, context-cancellable wrappers) load through the same one-pass
+// builder.
+func LoadReader(r io.Reader, format, name string, lits *Literals, norm Normalizer) (*Ontology, error) {
+	// Error label: a path-like format already identifies the stream; a
+	// bare (or missing) extension says nothing, so prefix the ontology
+	// name ("left.nt" instead of ".nt") to tell two reader sources apart.
+	label := format
+	if name != "" && (format == "" || strings.HasPrefix(format, ".")) {
+		label = name + format
+	}
+	base := format
+	if strings.EqualFold(filepath.Ext(format), ".gz") {
+		zr, err := gzip.NewReader(r)
 		if err != nil {
-			return nil, fmt.Errorf("store: loading %s: %w", path, err)
+			return nil, fmt.Errorf("store: loading %s: %w", label, err)
 		}
 		defer zr.Close()
 		r = zr
-		base = strings.TrimSuffix(path, filepath.Ext(path))
+		base = strings.TrimSuffix(format, filepath.Ext(format))
 	}
 
 	b := NewBuilder(name, lits, norm)
 	switch ext := strings.ToLower(filepath.Ext(base)); ext {
 	case ".nt", ".ntriples":
 		if err := b.Load(rdf.NewNTriplesReader(r)); err != nil {
-			return nil, fmt.Errorf("store: loading %s: %w", path, err)
+			return nil, fmt.Errorf("store: loading %s: %w", label, err)
 		}
 	case ".ttl", ".turtle":
 		tr, err := rdf.NewTurtleReader(r)
 		if err != nil {
-			return nil, fmt.Errorf("store: loading %s: %w", path, err)
+			return nil, fmt.Errorf("store: loading %s: %w", label, err)
 		}
 		if err := b.Load(tr); err != nil {
-			return nil, fmt.Errorf("store: loading %s: %w", path, err)
+			return nil, fmt.Errorf("store: loading %s: %w", label, err)
 		}
 	default:
-		return nil, fmt.Errorf("store: unsupported RDF format %q in %s (want .nt or .ttl, optionally .gz)", ext, path)
+		return nil, fmt.Errorf("store: unsupported RDF format %q in %s (want .nt or .ttl, optionally .gz)", ext, label)
 	}
 	return b.Build(), nil
 }

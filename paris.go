@@ -8,20 +8,28 @@
 // classes, letting instance and schema evidence reinforce each other in a
 // fixpoint, with no training data and no dataset-specific tuning.
 //
-// Quick start:
+// Quick start — a Session owns the shared literal table, loads two
+// knowledge bases (file paths or readers, gzip transparent), and runs the
+// fixpoint under a context, so callers get cancellation, deadlines, and
+// errors instead of panics:
 //
-//	lits := paris.NewLiterals()
-//	o1, err := paris.LoadFile("kb1.nt", "kb1", lits, nil)
-//	o2, err := paris.LoadFile("kb2.nt", "kb2", lits, nil)
-//	res := paris.Align(o1, o2, paris.Config{})
+//	s := paris.NewSession()
+//	o1, err := s.Load(ctx, paris.FromFile("kb1.nt"))
+//	o2, err := s.Load(ctx, paris.FromFile("kb2.nt.gz"))
+//	res, err := s.Align(ctx)
 //	for _, a := range res.Instances {
 //	    fmt.Println(o1.ResourceKey(a.X1), "≡", o2.ResourceKey(a.X2), a.P)
 //	}
 //
-// The two ontologies must share one literal table (the lits argument) so
-// that the clamped literal-equality function of Section 5.3 of the paper is
-// an identity check. Pass a Normalizer (for example paris.AlphaNum) to both
-// loads to align under normalized literals.
+// Sessions take functional options: WithConfig for the alignment
+// parameters, WithNormalizer (for example paris.AlphaNum) to align under
+// normalized literals per Section 5.3 of the paper, WithProgress to stream
+// per-iteration statistics from a long run.
+//
+// The two ontologies of an alignment must share one literal table so that
+// the clamped literal-equality function of Section 5.3 is an identity
+// check; a Session maintains that invariant itself, while the deprecated
+// free functions (LoadFile, Align) leave it to the caller.
 package paris
 
 import (
@@ -92,12 +100,22 @@ type (
 	Server = server.Server
 	// ServerOptions configures a Server.
 	ServerOptions = server.Options
-	// JobRequest is the body of POST /jobs.
+	// JobRequest is the body of POST /v1/jobs.
 	JobRequest = server.JobRequest
 	// Job is the externally visible record of one alignment job.
 	Job = server.Job
+	// JobState is the lifecycle state of an alignment job.
+	JobState = server.JobState
 	// Match is one direction-resolved sameAs answer.
 	Match = server.Match
+)
+
+// Job lifecycle states, re-exported from the service.
+const (
+	JobQueued  = server.JobQueued
+	JobRunning = server.JobRunning
+	JobDone    = server.JobDone
+	JobFailed  = server.JobFailed
 )
 
 // Literal normalizers (Section 5.3 of the paper).
@@ -131,12 +149,21 @@ func NewServer(opts ServerOptions) (*Server, error) { return server.New(opts) }
 // Align runs the full PARIS fixpoint over two frozen ontologies and returns
 // instance, relation, and class alignments. It panics if the ontologies do
 // not share a literal table.
+//
+// Deprecated: use Session.Align or AlignContext, which take a
+// context.Context for cancellation and report the literal-table mismatch as
+// a *LiteralTableError instead of panicking.
 func Align(o1, o2 *Ontology, cfg Config) *Result {
 	return core.New(o1, o2, cfg).Run()
 }
 
 // NewAligner returns an aligner for step-by-step execution (per-iteration
-// inspection, custom convergence policies). Most callers should use Align.
+// inspection, custom convergence policies). It panics if the ontologies do
+// not share a literal table.
+//
+// Deprecated: use Session.Aligner, which returns an error instead of
+// panicking; drive the result with StepContext/RunContext for
+// cancellation.
 func NewAligner(o1, o2 *Ontology, cfg Config) *Aligner {
 	return core.New(o1, o2, cfg)
 }
@@ -169,14 +196,17 @@ func ParseNTriples(doc string) ([]Triple, error) { return rdf.ParseNTriples(doc)
 func ParseTurtle(doc string) ([]Triple, error) { return rdf.ParseTurtle(doc) }
 
 // LoadGoldTSV reads a tab-separated gold standard (ontology-1 key, tab,
-// ontology-2 key per line) as written by the dataset generators.
+// ontology-2 key per line) as written by the dataset generators. Files
+// exported from Windows tools load too: a UTF-8 BOM, CRLF line endings, and
+// whitespace padding around either key are all stripped.
 func LoadGoldTSV(path string) (*Gold, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
+	doc := strings.TrimPrefix(string(data), "\ufeff")
 	g := eval.NewGold()
-	for i, line := range strings.Split(string(data), "\n") {
+	for i, line := range strings.Split(doc, "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -185,7 +215,10 @@ func LoadGoldTSV(path string) (*Gold, error) {
 		if len(parts) != 2 {
 			return nil, fmt.Errorf("paris: gold line %d: want two tab-separated keys", i+1)
 		}
-		if err := g.Add(parts[0], parts[1]); err != nil {
+		// Both keys are non-empty here: the line-level TrimSpace means a
+		// whitespace-only side loses its tab and fails the split above.
+		k1, k2 := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+		if err := g.Add(k1, k2); err != nil {
 			return nil, fmt.Errorf("paris: gold line %d: %w", i+1, err)
 		}
 	}
