@@ -39,12 +39,18 @@ import (
 type (
 	// JobRequest is the body of POST /v1/jobs.
 	JobRequest = server.JobRequest
+	// DeltaRequest is the body of POST /v1/deltas: triple additions
+	// against a published base snapshot, re-aligned incrementally.
+	DeltaRequest = server.DeltaRequest
 	// Job is the service's record of one alignment job.
 	Job = server.Job
 	// JobState is the lifecycle state of a job.
 	JobState = server.JobState
 	// Match is one direction-resolved sameAs answer.
 	Match = server.Match
+	// SnapshotInfo is the metadata of one snapshot version, including the
+	// lineage (base version + delta digest) of incremental snapshots.
+	SnapshotInfo = server.SnapshotInfo
 	// SnapshotRelation is one directed sub-relation score by name.
 	SnapshotRelation = core.SnapshotRelation
 	// SnapshotClass is one directed subclass score by class key.
@@ -179,6 +185,17 @@ func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (Jo
 	}
 }
 
+// SubmitDelta submits an incremental re-alignment job (POST /v1/deltas):
+// the triples extend one side of the base snapshot's ontology pair and the
+// fixpoint re-runs warm-started from that snapshot, publishing a new
+// snapshot whose lineage records the base and the delta digest. An empty
+// DeltaRequest.Base applies the delta to the currently served snapshot.
+func (c *Client) SubmitDelta(ctx context.Context, req DeltaRequest) (Job, error) {
+	var j Job
+	err := c.do(ctx, http.MethodPost, "/v1/deltas", nil, req, &j)
+	return j, err
+}
+
 // SameAsQuery addresses one entity lookup.
 type SameAsQuery struct {
 	// KB selects the direction: "1" (or empty, or the KB display name)
@@ -309,10 +326,11 @@ func (c *Client) Classes(ctx context.Context, q ScoreQuery) (ClassesResult, erro
 }
 
 // SnapshotList is the body of GET /v1/snapshots: every persisted snapshot
-// ID, oldest first, and the one currently served by default.
+// with its metadata and lineage, oldest first, and the ID currently served
+// by default.
 type SnapshotList struct {
-	Snapshots []string `json:"snapshots"`
-	Current   string   `json:"current"`
+	Snapshots []SnapshotInfo `json:"snapshots"`
+	Current   string         `json:"current"`
 }
 
 // Snapshots lists the persisted snapshot versions (GET /v1/snapshots).

@@ -288,3 +288,116 @@ func TestClientContextCancellation(t *testing.T) {
 		t.Fatal("WaitJob under canceled ctx succeeded")
 	}
 }
+
+// TestClientDeltaRealign round-trips POST /v1/deltas through the typed
+// client and proves the result survives a daemon restart: the lineage chain
+// is recovered, the delta-added pair still resolves, and a further delta
+// after the restart (which forces the service to replay base KBs + persisted
+// delta segments) still carries the earlier delta's alignment.
+func TestClientDeltaRealign(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, "state")
+	d := gen.Persons(gen.PersonsConfig{N: 25, Seed: 11})
+	if err := d.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	start := func() (*Client, *httptest.Server, *paris.Server) {
+		srv, err := paris.NewServer(paris.ServerOptions{StateDir: state, Workers: 1, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		c, err := New(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, ts, srv
+	}
+	c, ts, srv := start()
+	ctx := context.Background()
+
+	job, err := c.SubmitJob(ctx, JobRequest{
+		KB1: filepath.Join(dir, d.Name1+".nt"),
+		KB2: filepath.Join(dir, d.Name2+".nt"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job, err = c.WaitJob(ctx, job.ID, 0); err != nil || job.State != JobDone {
+		t.Fatalf("align job = %+v, %v", job, err)
+	}
+
+	const add1 = `<http://person1.example.org/person8888> <http://person1.example.org/soc_sec_id> "888-88-8888" .
+<http://person1.example.org/person8888> <http://person1.example.org/has_email> "octavia@example.com" .
+`
+	const add2 = `<http://person2.example.org/hum8888> <http://person2.example.org/ssn> "888-88-8888" .
+<http://person2.example.org/hum8888> <http://person2.example.org/emailAddress> "octavia@example.com" .
+`
+	d1, err := c.SubmitDelta(ctx, DeltaRequest{KB: "1", NTriples: add1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Kind != "delta" || d1.Delta == nil || d1.Delta.Base != job.Snapshot {
+		t.Fatalf("delta job = %+v, want kind delta based on %s", d1, job.Snapshot)
+	}
+	if d1, err = c.WaitJob(ctx, d1.ID, 0); err != nil || d1.State != JobDone {
+		t.Fatalf("delta 1 = %+v, %v", d1, err)
+	}
+	d2, err := c.SubmitDelta(ctx, DeltaRequest{KB: "2", NTriples: add2, Base: d1.Snapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2, err = c.WaitJob(ctx, d2.ID, 0); err != nil || d2.State != JobDone {
+		t.Fatalf("delta 2 = %+v, %v", d2, err)
+	}
+
+	snaps, err := c.Snapshots(ctx)
+	if err != nil || len(snaps.Snapshots) != 3 || snaps.Current != d2.Snapshot {
+		t.Fatalf("Snapshots = %+v, %v", snaps, err)
+	}
+	if snaps.Snapshots[1].Base != job.Snapshot || snaps.Snapshots[2].Base != d1.Snapshot ||
+		snaps.Snapshots[2].DeltaDigest == "" {
+		t.Fatalf("lineage = %+v", snaps.Snapshots)
+	}
+	res, err := c.SameAs(ctx, SameAsQuery{KB: "1", Key: "<http://person1.example.org/person8888>"})
+	if err != nil || len(res.Matches) != 1 || res.Matches[0].Key != "<http://person2.example.org/hum8888>" {
+		t.Fatalf("delta pair = %+v, %v", res, err)
+	}
+
+	// Restart the daemon on the same state directory.
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, ts2, srv2 := start()
+	defer func() { ts2.Close(); srv2.Close() }()
+
+	snaps, err = c.Snapshots(ctx)
+	if err != nil || len(snaps.Snapshots) != 3 || snaps.Current != d2.Snapshot ||
+		snaps.Snapshots[2].Base != d1.Snapshot {
+		t.Fatalf("Snapshots after restart = %+v, %v", snaps, err)
+	}
+	res, err = c.SameAs(ctx, SameAsQuery{KB: "1", Key: "<http://person1.example.org/person8888>"})
+	if err != nil || len(res.Matches) != 1 || res.Matches[0].Key != "<http://person2.example.org/hum8888>" {
+		t.Fatalf("delta pair after restart = %+v, %v", res, err)
+	}
+
+	// A post-restart delta forces base + segment replay; the pre-restart
+	// delta pair must still be aligned in the snapshot it publishes.
+	d3, err := c.SubmitDelta(ctx, DeltaRequest{
+		KB:       "1",
+		NTriples: `<http://person1.example.org/person7777> <http://person1.example.org/has_email> "nobody@example.com" .` + "\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3, err = c.WaitJob(ctx, d3.ID, 0); err != nil || d3.State != JobDone {
+		t.Fatalf("post-restart delta = %+v, %v", d3, err)
+	}
+	res, err = c.SameAs(ctx, SameAsQuery{
+		KB: "1", Key: "<http://person1.example.org/person8888>", Snapshot: d3.Snapshot,
+	})
+	if err != nil || len(res.Matches) != 1 || res.Matches[0].Key != "<http://person2.example.org/hum8888>" {
+		t.Fatalf("delta pair in post-restart snapshot = %+v, %v", res, err)
+	}
+}

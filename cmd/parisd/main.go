@@ -4,29 +4,38 @@
 //
 // Usage:
 //
-//	parisd -state /var/lib/parisd [-addr :7171] [-workers 2]
+//	parisd -state /var/lib/parisd [-addr :7171] [-workers 2] [-retain N]
 //
-// API (versioned under /v1; the unversioned routes of the first release
-// answer 308 Permanent Redirect to their /v1 forms):
+// API (versioned under /v1; the unversioned routes of the first release are
+// gone):
 //
 //	POST   /v1/jobs       {"kb1": "a.nt", "kb2": "b.nt", ...}  submit a job
 //	GET    /v1/jobs       list jobs
 //	GET    /v1/jobs/{id}  job state with per-iteration progress
 //	DELETE /v1/jobs/{id}  cancel a queued or running job
+//	POST   /v1/deltas     {"kb": "1", "ntriples": "..."}  incremental re-align
 //	GET    /v1/sameas?kb=1&key=<iri>   entity lookup (kb=2 for the reverse)
 //	POST   /v1/sameas     {"kb": "1", "keys": [...]}  batch lookup
 //	GET    /v1/relations?dir=12&min=0.1
 //	GET    /v1/classes?dir=12&min=0.1
-//	GET    /v1/snapshots  persisted snapshot versions
+//	GET    /v1/snapshots  persisted snapshot versions with lineage
 //	GET    /v1/stats      serving statistics
 //	GET    /v1/healthz    liveness probe
+//
+// POST /v1/deltas ingests added triples against a published snapshot and
+// re-runs the fixpoint warm-started from it, publishing a new snapshot whose
+// lineage (base version, delta digest) shows in GET /v1/snapshots. Delta
+// batches are persisted as append-only segments, so a restart replays base
+// KBs + deltas when further deltas arrive.
 //
 // Read endpoints (/v1/sameas, /v1/relations, /v1/classes) accept
 // ?snapshot=<id> to pin a published snapshot version for repeatable reads.
 // Wrong methods on known routes answer 405 with an Allow header.
 //
 // Completed alignments are persisted under -state and recovered on restart;
-// the newest snapshot is served immediately, with no re-alignment. The Go
+// the newest snapshot is served immediately, with no re-alignment. With
+// -retain N, superseded snapshots beyond the newest N are retired after each
+// publish unless pinned by lineage or an active ?snapshot= reader. The Go
 // package repro/client wraps this API with typed methods.
 package main
 
@@ -51,6 +60,7 @@ func main() {
 	workers := flag.Int("workers", 2, "concurrent alignment jobs")
 	queue := flag.Int("queue", 16, "pending-job queue depth")
 	cache := flag.Int("cache", 4096, "normalized-lookup LRU cache entries")
+	retain := flag.Int("retain", 0, "snapshots to keep (0 keeps all); lineage-pinned snapshots always survive")
 	flag.Parse()
 
 	if *state == "" {
@@ -64,6 +74,7 @@ func main() {
 		Workers:    *workers,
 		QueueDepth: *queue,
 		CacheSize:  *cache,
+		Retain:     *retain,
 		Logf:       log.Printf,
 	})
 	if err != nil {

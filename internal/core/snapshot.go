@@ -42,6 +42,15 @@ type ResultSnapshot struct {
 	// CreatedAt records when the snapshot was published (set by the
 	// alignment service, not by Result.Snapshot). Zero means unknown.
 	CreatedAt time.Time
+
+	// Lineage of incrementally derived snapshots (set by the alignment
+	// service when publishing a delta re-alignment, zero for cold runs):
+	// Base is the snapshot ID this run was warm-started from, DeltaDigest a
+	// content digest of the applied delta batch, and DeltaAdded the number
+	// of statements the delta actually added across both ontologies.
+	Base        string
+	DeltaDigest string
+	DeltaAdded  int
 }
 
 // SnapshotAssignment is one instance assignment by resource key.
@@ -122,10 +131,12 @@ func (r *Result) Snapshot() *ResultSnapshot {
 //	              varint InstanceTime, varint RelationTime) each
 //	varint ClassTime
 //	varint CreatedAt as Unix nanoseconds (0 = unset)
+//	version ≥ 2 appends the lineage: Base DeltaDigest (strings) and
+//	uvarint DeltaAdded
 
 const (
 	snapshotMagic   = "PSNAP"
-	snapshotVersion = 1
+	snapshotVersion = 2
 )
 
 // MarshalBinary encodes the snapshot in the versioned binary format.
@@ -171,6 +182,9 @@ func (s *ResultSnapshot) MarshalBinary() ([]byte, error) {
 		created = s.CreatedAt.UnixNano()
 	}
 	b = binary.AppendVarint(b, created)
+	b = appendString(b, s.Base)
+	b = appendString(b, s.DeltaDigest)
+	b = binary.AppendUvarint(b, uint64(s.DeltaAdded))
 	return b, nil
 }
 
@@ -179,8 +193,9 @@ func (s *ResultSnapshot) UnmarshalBinary(data []byte) error {
 	if len(data) < len(snapshotMagic)+1 || string(data[:len(snapshotMagic)]) != snapshotMagic {
 		return fmt.Errorf("core: not a snapshot (bad magic)")
 	}
-	if v := data[len(snapshotMagic)]; v != snapshotVersion {
-		return fmt.Errorf("core: unsupported snapshot version %d", v)
+	version := data[len(snapshotMagic)]
+	if version < 1 || version > snapshotVersion {
+		return fmt.Errorf("core: unsupported snapshot version %d", version)
 	}
 	d := &snapDecoder{buf: data[len(snapshotMagic)+1:]}
 	*s = ResultSnapshot{}
@@ -233,6 +248,11 @@ func (s *ResultSnapshot) UnmarshalBinary(data []byte) error {
 	s.ClassTime = time.Duration(d.varint())
 	if created := d.varint(); created != 0 {
 		s.CreatedAt = time.Unix(0, created).UTC()
+	}
+	if version >= 2 {
+		s.Base = d.string()
+		s.DeltaDigest = d.string()
+		s.DeltaAdded = int(d.uvarint())
 	}
 	if d.err != nil {
 		return fmt.Errorf("core: corrupt snapshot: %w", d.err)

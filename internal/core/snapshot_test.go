@@ -32,8 +32,35 @@ func sampleSnapshot() *ResultSnapshot {
 			{Iteration: 2, ChangedFraction: 0, Assigned: 2,
 				InstanceTime: 2 * time.Millisecond, RelationTime: time.Millisecond},
 		},
-		ClassTime: 5 * time.Millisecond,
-		CreatedAt: time.Unix(0, 1700000000123456789).UTC(),
+		ClassTime:   5 * time.Millisecond,
+		CreatedAt:   time.Unix(0, 1700000000123456789).UTC(),
+		Base:        "snap-00000007",
+		DeltaDigest: "fe12ab",
+		DeltaAdded:  42,
+	}
+}
+
+// TestSnapshotDecodesVersion1 checks that lineage-free version-1 snapshots
+// (written before incremental re-alignment existed) still load: the version-2
+// encoding is version 1 plus a lineage tail, so a v1 byte stream is the v2
+// stream of a zero-lineage snapshot truncated before that tail.
+func TestSnapshotDecodesVersion1(t *testing.T) {
+	want := sampleSnapshot()
+	want.Base, want.DeltaDigest, want.DeltaAdded = "", "", 0
+	data, err := want.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero lineage encodes as three zero bytes (two empty strings, one
+	// zero uvarint); drop them and claim version 1.
+	v1 := append([]byte(nil), data[:len(data)-3]...)
+	v1[len(snapshotMagic)] = 1
+	var got ResultSnapshot
+	if err := got.UnmarshalBinary(v1); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, want) {
+		t.Errorf("v1 decode mismatch:\ngot  %+v\nwant %+v", &got, want)
 	}
 }
 

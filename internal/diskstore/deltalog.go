@@ -1,0 +1,174 @@
+package diskstore
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Delta segments persist incremental re-alignment inputs: each segment is
+// one delta batch, written when the re-alignment that consumed it publishes
+// its snapshot, and named after that snapshot. Segments are append-only
+// (never rewritten once published), in the same one-line-header N-Triples
+// style as TripleLog, so a restarted server can replay base KB + segments to
+// reconstruct the ontologies any snapshot was computed from.
+//
+// Layout of <dir>/<snapshot>.delta:
+//
+//	# paris delta segment v1
+//	# base <base snapshot id>
+//	# digest <delta content digest>
+//	# kb 1
+//	<triples extending ontology 1, N-Triples>
+//	# kb 2
+//	<triples extending ontology 2, N-Triples>
+//
+// Either "# kb" section may be absent when that side's delta is empty.
+const deltaLogHeader = "# paris delta segment v1"
+
+// DeltaSegment is one persisted delta batch.
+type DeltaSegment struct {
+	// Snapshot is the ID of the snapshot this delta produced.
+	Snapshot string
+	// Base is the snapshot ID the delta was applied against.
+	Base string
+	// Digest is the content digest of the batch (incremental.Delta.Digest).
+	Digest string
+	// Add1 and Add2 are the triples extending ontology 1 and 2.
+	Add1, Add2 []rdf.Triple
+}
+
+// DeltaSegmentPath returns the file path of the segment for snapID in dir.
+func DeltaSegmentPath(dir, snapID string) string {
+	return filepath.Join(dir, snapID+".delta")
+}
+
+// WriteDeltaSegment persists seg into dir (created if missing) under its
+// snapshot's name, atomically (temp file + rename, like TripleLog.Write).
+func WriteDeltaSegment(dir string, seg *DeltaSegment) error {
+	if seg.Snapshot == "" {
+		return fmt.Errorf("diskstore: delta segment needs a snapshot ID")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return writeAtomically(DeltaSegmentPath(dir, seg.Snapshot), func(w *bufio.Writer) error {
+		fmt.Fprintln(w, deltaLogHeader)
+		fmt.Fprintf(w, "# base %s\n", seg.Base)
+		fmt.Fprintf(w, "# digest %s\n", seg.Digest)
+		writeSide := func(kb string, triples []rdf.Triple) {
+			if len(triples) == 0 {
+				return
+			}
+			fmt.Fprintf(w, "# kb %s\n", kb)
+			for _, t := range triples {
+				fmt.Fprintln(w, t.String())
+			}
+		}
+		writeSide("1", seg.Add1)
+		writeSide("2", seg.Add2)
+		// Buffered writes latch their error; Flush in writeAtomically
+		// surfaces it.
+		return nil
+	})
+}
+
+// ReadDeltaSegment loads one segment previously written by WriteDeltaSegment.
+func ReadDeltaSegment(path string) (*DeltaSegment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	seg := &DeltaSegment{Snapshot: strings.TrimSuffix(filepath.Base(path), ".delta")}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	if !sc.Scan() || sc.Text() != deltaLogHeader {
+		return nil, fmt.Errorf("diskstore: %s is not a delta segment", path)
+	}
+	side := 0 // 0 = header, 1/2 = triple sections
+	var lineNo int
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# base "):
+			seg.Base = strings.TrimPrefix(line, "# base ")
+		case strings.HasPrefix(line, "# digest "):
+			seg.Digest = strings.TrimPrefix(line, "# digest ")
+		case line == "# kb 1":
+			side = 1
+		case line == "# kb 2":
+			side = 2
+		case strings.HasPrefix(line, "#"):
+			// Unknown directives are ignored for forward compatibility.
+		default:
+			if side == 0 {
+				return nil, fmt.Errorf("diskstore: %s: triple before a # kb section", path)
+			}
+			triples, err := parseNTriplesLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("diskstore: corrupt delta segment %s line %d: %w", path, lineNo, err)
+			}
+			if side == 1 {
+				seg.Add1 = append(seg.Add1, triples)
+			} else {
+				seg.Add2 = append(seg.Add2, triples)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return seg, nil
+}
+
+// parseNTriplesLine parses one N-Triples statement strictly.
+func parseNTriplesLine(line string) (rdf.Triple, error) {
+	r := rdf.NewNTriplesReader(strings.NewReader(line))
+	r.Strict = true
+	t, err := r.Next()
+	if err == io.EOF {
+		return rdf.Triple{}, fmt.Errorf("empty statement")
+	}
+	return t, err
+}
+
+// ListDeltaSegments returns the snapshot IDs of all segments in dir, oldest
+// (lowest snapshot sequence) first. A missing directory is an empty list.
+func ListDeltaSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		if name, ok := strings.CutSuffix(e.Name(), ".delta"); ok && !e.IsDir() {
+			ids = append(ids, name)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// RemoveDeltaSegment deletes the segment for snapID; missing segments are a
+// no-op (cold snapshots have none).
+func RemoveDeltaSegment(dir, snapID string) error {
+	err := os.Remove(DeltaSegmentPath(dir, snapID))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,143 @@
+package diskstore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func deltaTriples(t *testing.T, doc string) []rdf.Triple {
+	t.Helper()
+	triples, err := rdf.ParseNTriples(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return triples
+}
+
+func TestDeltaSegmentRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "deltas")
+	want := &DeltaSegment{
+		Snapshot: "snap-00000003",
+		Base:     "snap-00000002",
+		Digest:   "abc123",
+		Add1: deltaTriples(t, `<http://a/x> <http://a/p> "v" .
+<http://a/x> <http://a/q> <http://a/y> .`),
+		Add2: deltaTriples(t, `<http://b/z> <http://b/p> "w" .`),
+	}
+	if err := WriteDeltaSegment(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDeltaSegment(DeltaSegmentPath(dir, want.Snapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDeltaSegmentOneSided(t *testing.T) {
+	dir := t.TempDir()
+	want := &DeltaSegment{
+		Snapshot: "snap-00000002",
+		Base:     "snap-00000001",
+		Digest:   "d",
+		Add2:     deltaTriples(t, `<http://b/z> <http://b/p> "w" .`),
+	}
+	if err := WriteDeltaSegment(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDeltaSegment(DeltaSegmentPath(dir, want.Snapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Add1) != 0 || !reflect.DeepEqual(got.Add2, want.Add2) {
+		t.Errorf("one-sided segment mismatch: %+v", got)
+	}
+}
+
+func TestListDeltaSegments(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "deltas")
+	// Missing directory lists empty.
+	if ids, err := ListDeltaSegments(dir); err != nil || len(ids) != 0 {
+		t.Fatalf("missing dir: ids=%v err=%v", ids, err)
+	}
+	for _, id := range []string{"snap-00000010", "snap-00000002"} {
+		if err := WriteDeltaSegment(dir, &DeltaSegment{Snapshot: id, Base: "snap-00000001"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An unrelated file is ignored.
+	if err := os.WriteFile(filepath.Join(dir, "junk.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := ListDeltaSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"snap-00000002", "snap-00000010"}; !reflect.DeepEqual(ids, want) {
+		t.Errorf("ids = %v, want %v", ids, want)
+	}
+	if err := RemoveDeltaSegment(dir, "snap-00000002"); err != nil {
+		t.Fatal(err)
+	}
+	if err := RemoveDeltaSegment(dir, "snap-00000002"); err != nil {
+		t.Errorf("double remove: %v", err)
+	}
+	if ids, _ := ListDeltaSegments(dir); !reflect.DeepEqual(ids, []string{"snap-00000010"}) {
+		t.Errorf("after remove: %v", ids)
+	}
+}
+
+func TestDeltaSegmentRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"not-a-segment": "hello\n",
+		"bad-triple":    deltaLogHeader + "\n# base b\n# kb 1\nnot a triple\n",
+		"no-section":    deltaLogHeader + "\n# base b\n<http://a/x> <http://a/p> \"v\" .\n",
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name+".delta")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadDeltaSegment(path); err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		}
+	}
+}
+
+// TestTripleLogWriteAtomic: Write must not leave a temp file behind and must
+// replace the previous content wholesale; a concurrent crash cannot be
+// simulated directly, but the rename discipline means the target name only
+// ever holds complete content.
+func TestTripleLogWriteAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "kb.ntlog")
+	log := NewTripleLog(path)
+	if err := log.Write(deltaTriples(t, `<http://a/x> <http://a/p> "one" .`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Write(deltaTriples(t, `<http://a/x> <http://a/p> "two" .`)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "two") || strings.Contains(string(data), "one") {
+		t.Errorf("second write did not replace content: %q", data)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("temp files left behind: %v", entries)
+	}
+}

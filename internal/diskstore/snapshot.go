@@ -12,12 +12,15 @@ import (
 // Snapshot persistence for the alignment service: each completed alignment
 // is stored as one versioned, self-contained core.ResultSnapshot record, so
 // a restarted server recovers every completed alignment by listing and
-// loading snapshots. Two more namespaces join the ones in alignment.go:
+// loading snapshots. Three more namespaces join the ones in alignment.go:
 //
 //	s\x00<id>  -> ResultSnapshot binary encoding
+//	m\x00<id>  -> opaque snapshot metadata (the server stores JSON), so
+//	              recovery can list snapshots without decoding each one
 //	j\x00<id>  -> opaque job record (the server stores JSON)
 const (
 	kindSnapshot = "s\x00"
+	kindSnapMeta = "m\x00"
 	kindJob      = "j\x00"
 )
 
@@ -63,6 +66,29 @@ func LoadSnapshot(s *Store, id string) (*core.ResultSnapshot, error) {
 		return nil, fmt.Errorf("diskstore: snapshot %s: %w", id, err)
 	}
 	return snap, nil
+}
+
+// SaveSnapshotMeta persists an opaque metadata record for a snapshot. Save
+// it before SaveSnapshot (whose Sync covers both): a crash in between
+// leaves an orphan metadata record, which recovery ignores because it only
+// consults metadata for listed snapshots.
+func SaveSnapshotMeta(s *Store, id string, data []byte) error {
+	return s.Put([]byte(kindSnapMeta+id), data)
+}
+
+// LoadSnapshotMeta reads back a snapshot's metadata record; ErrNotFound for
+// snapshots persisted before metadata records existed.
+func LoadSnapshotMeta(s *Store, id string) ([]byte, error) {
+	return s.Get([]byte(kindSnapMeta + id))
+}
+
+// DeleteSnapshot removes one persisted snapshot record and its metadata
+// (the retention GC). The space is reclaimed by the next Compact.
+func DeleteSnapshot(s *Store, id string) error {
+	if err := s.Delete([]byte(kindSnapshot + id)); err != nil {
+		return err
+	}
+	return s.Delete([]byte(kindSnapMeta + id))
 }
 
 // ListSnapshots returns the IDs of all persisted snapshots, oldest first.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/rdf"
 	"repro/internal/store"
@@ -23,32 +24,57 @@ const tripleLogHeader = "# paris triple log v1"
 // NewTripleLog returns a log handle at path (the file need not exist yet).
 func NewTripleLog(path string) *TripleLog { return &TripleLog{path: path} }
 
-// Write persists the given triples, replacing any previous content.
+// Write persists the given triples, replacing any previous content. The new
+// content is written to a temporary file in the same directory, synced, and
+// renamed over the target, so a crash mid-write leaves either the old
+// complete log or the new complete log — never a torn file under the log's
+// name.
 func (l *TripleLog) Write(triples []rdf.Triple) error {
-	f, err := os.Create(l.path)
+	return writeAtomically(l.path, func(w *bufio.Writer) error {
+		if _, err := fmt.Fprintln(w, tripleLogHeader); err != nil {
+			return err
+		}
+		for _, t := range triples {
+			if _, err := fmt.Fprintln(w, t.String()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// writeAtomically writes fill's output to path via a same-directory
+// temporary file, fsync, and rename. On error the temporary file is removed
+// and path is untouched.
+func writeAtomically(path string, fill func(w *bufio.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	w := bufio.NewWriterSize(f, 1<<20)
-	if _, err := fmt.Fprintln(w, tripleLogHeader); err != nil {
-		f.Close()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
 		return err
 	}
-	for _, t := range triples {
-		if _, err := fmt.Fprintln(w, t.String()); err != nil {
-			f.Close()
-			return err
-		}
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	if err := fill(w); err != nil {
+		return cleanup(err)
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
 		return err
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
 		return err
 	}
-	return f.Close()
+	return nil
 }
 
 // Load streams the log into an ontology builder and freezes it. The literal

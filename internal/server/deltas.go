@@ -1,0 +1,272 @@
+package server
+
+// POST /v1/deltas: incremental re-alignment. A delta job takes a batch of
+// triple additions against a published base snapshot, extends the base
+// ontologies in place (store.ApplyDelta), re-runs the fixpoint warm-started
+// from the base snapshot's state (core.NewWarm via incremental.Realign), and
+// publishes the result as a new snapshot whose lineage records the base
+// version and the delta's content digest. The delta batch itself is
+// persisted as an append-only segment (diskstore.DeltaSegment) named after
+// the published snapshot, so a restarted server can reconstruct any
+// snapshot's ontologies by replaying root KB files + segments along the
+// lineage chain.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/diskstore"
+	"repro/internal/incremental"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// maxDeltaBody bounds one POST /v1/deltas request body. Deltas are meant to
+// be small relative to the KB; bulk loads belong in a full alignment job.
+const maxDeltaBody = 32 << 20
+
+// handleSubmitDelta validates a delta request, resolves its base snapshot,
+// and enqueues it on the shared worker pool.
+func (s *Server) handleSubmitDelta(w http.ResponseWriter, r *http.Request) {
+	var req DeltaRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxDeltaBody)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if req.KB != "1" && req.KB != "2" {
+		httpError(w, http.StatusBadRequest, "kb must be 1 or 2")
+		return
+	}
+	if (req.NTriples == "") == (req.File == "") {
+		httpError(w, http.StatusBadRequest, "exactly one of ntriples and file is required")
+		return
+	}
+	if req.Workers < 0 || req.Workers > maxJobWorkers {
+		httpError(w, http.StatusBadRequest, "workers must be between 0 and %d", maxJobWorkers)
+		return
+	}
+	if req.MaxIterations < 0 || req.MaxIterations > maxJobIterations {
+		httpError(w, http.StatusBadRequest, "max_iterations must be between 0 and %d", maxJobIterations)
+		return
+	}
+	if req.File != "" {
+		if _, err := os.Stat(req.File); err != nil {
+			httpError(w, http.StatusBadRequest, "delta file %q: %v", req.File, err)
+			return
+		}
+	} else {
+		// Fail fast on syntax: the job would only discover it minutes
+		// later, after reconstructing the base ontologies.
+		if _, err := parseDeltaDoc(strings.NewReader(req.NTriples)); err != nil {
+			httpError(w, http.StatusBadRequest, "invalid ntriples: %v", err)
+			return
+		}
+	}
+	// Resolve the base at submission time so the job is pinned to the
+	// snapshot the client saw, not whatever is current when a worker picks
+	// it up.
+	if req.Base == "" {
+		ix := s.idx.Load()
+		if ix == nil {
+			httpError(w, http.StatusConflict, "no snapshot to apply a delta to; run a full alignment first")
+			return
+		}
+		req.Base = ix.id
+	} else {
+		s.mu.Lock()
+		known := false
+		for _, info := range s.snaps {
+			if info.ID == req.Base {
+				known = true
+				break
+			}
+		}
+		s.mu.Unlock()
+		if !known {
+			httpError(w, http.StatusNotFound, "unknown base snapshot %q", req.Base)
+			return
+		}
+	}
+	j, err := s.jobs.submit(Job{Kind: KindDelta, Delta: &req})
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j)
+}
+
+// realign executes one delta job: reconstruct (or reuse) the base
+// ontologies, apply the delta, run the warm fixpoint, persist the delta
+// segment, and publish the lineage-carrying snapshot. deltaMu serializes
+// delta jobs because they mutate the cached ontology pair in place.
+func (s *Server) realign(ctx context.Context, id string, req DeltaRequest) (string, error) {
+	s.deltaMu.Lock()
+	defer s.deltaMu.Unlock()
+
+	triples, err := s.deltaTriples(req)
+	if err != nil {
+		return "", err
+	}
+	prior, err := diskstore.LoadSnapshot(s.store, req.Base)
+	if err != nil {
+		return "", fmt.Errorf("loading base snapshot %s: %w", req.Base, err)
+	}
+	o1, o2, err := s.ontologiesForLocked(ctx, req.Base)
+	if err != nil {
+		return "", err
+	}
+	delta := incremental.Delta{}
+	if req.KB == "1" {
+		delta.Add1 = triples
+	} else {
+		delta.Add2 = triples
+	}
+	digest := delta.Digest()
+	cfg := core.Config{
+		MaxIterations: req.MaxIterations,
+		Workers:       req.Workers,
+		OnIteration: func(_ int, a *core.Aligner) {
+			if its := a.Iterations(); len(its) > 0 {
+				s.jobs.progress(id, its[len(its)-1])
+			}
+		},
+	}
+	res, stats, err := incremental.Realign(ctx, o1, o2, delta, prior, cfg)
+	if err != nil {
+		// The ontologies may hold a partially applied delta; they no
+		// longer correspond to any snapshot.
+		s.ontoID, s.onto1, s.onto2 = "", nil, nil
+		return "", err
+	}
+	snapID := s.reserveSnapshotID()
+	seg := &diskstore.DeltaSegment{
+		Snapshot: snapID, Base: req.Base, Digest: digest,
+		Add1: delta.Add1, Add2: delta.Add2,
+	}
+	// Segment before snapshot: a snapshot must never exist without its
+	// replay input (see reserveSnapshotID).
+	if err := diskstore.WriteDeltaSegment(s.deltaDir, seg); err != nil {
+		s.ontoID, s.onto1, s.onto2 = "", nil, nil
+		return "", err
+	}
+	snap := res.Snapshot()
+	snap.Base = req.Base
+	snap.DeltaDigest = digest
+	snap.DeltaAdded = stats.Added1 + stats.Added2
+	if err := s.publishAs(snapID, snap); err != nil {
+		s.ontoID, s.onto1, s.onto2 = "", nil, nil
+		return "", err
+	}
+	// The extended ontologies now correspond to the new snapshot; the next
+	// delta against it re-aligns without any reconstruction.
+	s.ontoID, s.onto1, s.onto2 = snapID, o1, o2
+	s.opts.Logf("server: %s applied %d+%d statements against %s in %d warm passes",
+		id, stats.Added1, stats.Added2, req.Base, stats.Passes)
+	s.gc()
+	return snapID, nil
+}
+
+// deltaTriples loads the request's triples from the inline document or the
+// server-side file (N-Triples, strict).
+func (s *Server) deltaTriples(req DeltaRequest) ([]rdf.Triple, error) {
+	if req.NTriples != "" {
+		return parseDeltaDoc(strings.NewReader(req.NTriples))
+	}
+	f, err := os.Open(req.File)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseDeltaDoc(f)
+}
+
+func parseDeltaDoc(r io.Reader) ([]rdf.Triple, error) {
+	nr := rdf.NewNTriplesReader(r)
+	nr.Strict = true
+	var out []rdf.Triple
+	for {
+		t, err := nr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+}
+
+// ontologiesForLocked returns the mutable ontology pair whose statements are
+// exactly the inputs of snapID: the cached pair when it matches, otherwise a
+// reconstruction — load the root alignment job's KB files and replay every
+// delta segment along the lineage chain, oldest first. Callers hold deltaMu.
+func (s *Server) ontologiesForLocked(ctx context.Context, snapID string) (*store.Ontology, *store.Ontology, error) {
+	if s.ontoID == snapID && s.onto1 != nil {
+		return s.onto1, s.onto2, nil
+	}
+	// Walk the lineage back to the cold root.
+	var chain []string // delta snapshot IDs, newest first
+	cur := snapID
+	for {
+		info, ok := s.snapshotInfoByID(cur)
+		if !ok {
+			return nil, nil, fmt.Errorf("snapshot %s is gone; cannot reconstruct ontologies for %s", cur, snapID)
+		}
+		if info.Base == "" {
+			break
+		}
+		chain = append(chain, cur)
+		cur = info.Base
+	}
+	root, ok := s.jobs.findBySnapshot(cur)
+	if !ok {
+		return nil, nil, fmt.Errorf("snapshot %s has no alignment job on record (published offline?); cannot reconstruct its ontologies", cur)
+	}
+	norm, err := normalizer(root.Request.Normalize)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.opts.Logf("server: reconstructing ontologies for %s: root %s + %d delta segment(s)",
+		snapID, cur, len(chain))
+	lits := store.NewLiterals()
+	o1, err := loadKB(ctx, root.Request.KB1, lits, norm)
+	if err != nil {
+		return nil, nil, err
+	}
+	o2, err := loadKB(ctx, root.Request.KB2, lits, norm)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		seg, err := diskstore.ReadDeltaSegment(diskstore.DeltaSegmentPath(s.deltaDir, chain[i]))
+		if err != nil {
+			return nil, nil, fmt.Errorf("replaying delta %s: %w", chain[i], err)
+		}
+		if _, err := o1.ApplyDelta(seg.Add1); err != nil {
+			return nil, nil, fmt.Errorf("replaying delta %s: %w", chain[i], err)
+		}
+		if _, err := o2.ApplyDelta(seg.Add2); err != nil {
+			return nil, nil, fmt.Errorf("replaying delta %s: %w", chain[i], err)
+		}
+	}
+	s.ontoID, s.onto1, s.onto2 = snapID, o1, o2
+	return o1, o2, nil
+}
+
+// snapshotInfoByID returns the metadata of one snapshot.
+func (s *Server) snapshotInfoByID(id string) (SnapshotInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, info := range s.snaps {
+		if info.ID == id {
+			return info, true
+		}
+	}
+	return SnapshotInfo{}, false
+}

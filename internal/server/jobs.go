@@ -25,6 +25,12 @@ const (
 	JobFailed  JobState = "failed"
 )
 
+// Job kinds. The empty kind means KindAlign (records predate delta jobs).
+const (
+	KindAlign = "align"
+	KindDelta = "delta"
+)
+
 // JobRequest is the body of POST /jobs: the two knowledge-base files to
 // align plus the alignment configuration. The zero configuration uses the
 // paper's defaults, like core.Config.
@@ -45,12 +51,42 @@ type JobRequest struct {
 	Workers          int     `json:"workers,omitempty"`
 }
 
+// DeltaRequest is the body of POST /v1/deltas: a batch of triple additions
+// against a published base snapshot, to be re-aligned warm-started from that
+// snapshot's state.
+type DeltaRequest struct {
+	// Base is the snapshot ID the delta applies to. Empty means the
+	// snapshot currently served, resolved at submission time.
+	Base string `json:"base,omitempty"`
+
+	// KB selects which ontology the triples extend: "1" or "2".
+	KB string `json:"kb"`
+
+	// NTriples holds the delta inline as an N-Triples document. Exactly
+	// one of NTriples and File must be set.
+	NTriples string `json:"ntriples,omitempty"`
+
+	// File is a server-side path to an N-Triples file holding the delta.
+	File string `json:"file,omitempty"`
+
+	MaxIterations int `json:"max_iterations,omitempty"`
+	Workers       int `json:"workers,omitempty"`
+}
+
 // Job is the externally visible record of one alignment job, returned by
 // the jobs API and persisted on completion so restarts keep the history.
 type Job struct {
-	ID      string     `json:"id"`
-	State   JobState   `json:"state"`
-	Request JobRequest `json:"request"`
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+
+	// Kind is KindAlign (full alignment, the default when empty) or
+	// KindDelta (incremental re-alignment).
+	Kind string `json:"kind,omitempty"`
+
+	// Request holds the submission of an align job; Delta that of a delta
+	// job.
+	Request JobRequest    `json:"request"`
+	Delta   *DeltaRequest `json:"delta,omitempty"`
 
 	Created time.Time `json:"created"`
 	// Started and Finished are pointers so the fields are omitted from
@@ -147,9 +183,10 @@ func newJobManager(workers, depth int, run func(ctx context.Context, id string),
 	return m
 }
 
-// submit enqueues a new job and returns its initial view. It fails when the
-// queue is full or the manager is closed.
-func (m *jobManager) submit(req JobRequest) (Job, error) {
+// submit enqueues a new job built from the template (Kind plus Request or
+// Delta) and returns its initial view. It fails when the queue is full or
+// the manager is closed.
+func (m *jobManager) submit(template Job) (Job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -162,13 +199,44 @@ func (m *jobManager) submit(req JobRequest) (Job, error) {
 	j := &Job{
 		ID:      fmt.Sprintf("job-%08d", m.seq),
 		State:   JobQueued,
-		Request: req,
+		Kind:    template.Kind,
+		Request: template.Request,
+		Delta:   template.Delta,
 		Created: time.Now().UTC(),
 	}
 	m.jobs[j.ID] = j
 	m.pending = append(m.pending, j.ID)
 	m.cond.Signal()
-	return *j, nil
+	return cloneJob(j), nil
+}
+
+// activeDeltaBases returns the base snapshot IDs of queued and running
+// delta jobs, so the retention GC never retires a base that an
+// already-accepted job still needs.
+func (m *jobManager) activeDeltaBases() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for _, j := range m.jobs {
+		if j.Kind == KindDelta && j.Delta != nil &&
+			(j.State == JobQueued || j.State == JobRunning) {
+			out = append(out, j.Delta.Base)
+		}
+	}
+	return out
+}
+
+// findBySnapshot returns the job that published the given snapshot, the root
+// of a lineage chain during ontology reconstruction.
+func (m *jobManager) findBySnapshot(snapID string) (Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		if j.Snapshot == snapID {
+			return cloneJob(j), true
+		}
+	}
+	return Job{}, false
 }
 
 // get returns a copy of one job.

@@ -47,6 +47,13 @@ type Options struct {
 	// CacheSize is the capacity of the normalized-lookup LRU (default 4096).
 	CacheSize int
 
+	// Retain, when positive, bounds how many snapshots are kept: after
+	// each publish, snapshots beyond the newest Retain are retired from
+	// the store unless pinned by the lineage of a kept snapshot (so delta
+	// chains stay replayable) or by an active ?snapshot= pinned index.
+	// Zero keeps everything.
+	Retain int
+
 	// Logf, when non-nil, receives one line per significant event.
 	Logf func(format string, args ...any)
 }
@@ -95,7 +102,16 @@ type Server struct {
 	store   *diskstore.Store
 	unlock  func() error // releases the state-dir lock
 	snapSeq uint64
-	snaps   []string // all snapshot IDs, oldest first
+	snaps   []SnapshotInfo // all snapshots with lineage metadata, oldest first
+
+	// deltaMu serializes delta jobs: they mutate the cached ontologies in
+	// place, so at most one re-alignment may touch them at a time. Guards
+	// the onto* cache fields.
+	deltaMu  sync.Mutex
+	deltaDir string // delta segment directory under StateDir
+	ontoID   string // snapshot the cached ontologies correspond to
+	onto1    *store.Ontology
+	onto2    *store.Ontology
 
 	// pinned caches serving indexes of non-current snapshots requested via
 	// ?snapshot= (repeatable reads), bounded by maxPinnedIndexes. Guarded
@@ -133,12 +149,13 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		opts:    opts,
-		store:   st,
-		unlock:  unlock,
-		cache:   newLRU(opts.CacheSize),
-		pinned:  make(map[string]*index),
-		started: time.Now().UTC(),
+		opts:     opts,
+		store:    st,
+		unlock:   unlock,
+		cache:    newLRU(opts.CacheSize),
+		pinned:   make(map[string]*index),
+		deltaDir: filepath.Join(opts.StateDir, "deltas"),
+		started:  time.Now().UTC(),
 	}
 	if err := s.recoverState(); err != nil {
 		st.Close()
@@ -156,17 +173,49 @@ func New(opts Options) (*Server, error) {
 	return s, nil
 }
 
+// SnapshotInfo is the served metadata of one snapshot version, including
+// the lineage of incrementally derived snapshots.
+type SnapshotInfo struct {
+	ID        string    `json:"id"`
+	KB1       string    `json:"kb1"`
+	KB2       string    `json:"kb2"`
+	Created   time.Time `json:"created,omitempty"`
+	Instances int       `json:"instances"`
+
+	// Base is the snapshot this one was warm-started from; empty for cold
+	// (full alignment) snapshots. DeltaDigest identifies the applied delta
+	// batch and DeltaAdded counts its statements.
+	Base        string `json:"base,omitempty"`
+	DeltaDigest string `json:"delta_digest,omitempty"`
+	DeltaAdded  int    `json:"delta_added,omitempty"`
+}
+
+func snapshotInfo(id string, snap *core.ResultSnapshot) SnapshotInfo {
+	return SnapshotInfo{
+		ID: id, KB1: snap.KB1, KB2: snap.KB2,
+		Created: snap.CreatedAt, Instances: len(snap.Instances),
+		Base: snap.Base, DeltaDigest: snap.DeltaDigest, DeltaAdded: snap.DeltaAdded,
+	}
+}
+
 // recoverState reloads snapshots and terminal job records from the store.
+// Lineage metadata comes from the small per-snapshot metadata records, so
+// only the newest snapshot (the one to serve) is fully decoded; snapshots
+// persisted before metadata records existed fall back to a full decode.
 func (s *Server) recoverState() error {
 	ids, err := diskstore.ListSnapshots(s.store)
 	if err != nil {
 		return err
 	}
-	s.snaps = ids
 	for _, id := range ids {
 		if seq, err := diskstore.ParseSnapshotID(id); err == nil && seq > s.snapSeq {
 			s.snapSeq = seq
 		}
+		info, err := s.loadSnapshotInfo(id)
+		if err != nil {
+			return err
+		}
+		s.snaps = append(s.snaps, info)
 	}
 	if len(ids) > 0 {
 		newest := ids[len(ids)-1]
@@ -179,6 +228,23 @@ func (s *Server) recoverState() error {
 			len(ids), newest, snap.KB1, snap.KB2, len(snap.Instances))
 	}
 	return nil
+}
+
+// loadSnapshotInfo reads one snapshot's metadata record, decoding the full
+// snapshot only when the record is missing (pre-metadata stores).
+func (s *Server) loadSnapshotInfo(id string) (SnapshotInfo, error) {
+	if data, err := diskstore.LoadSnapshotMeta(s.store, id); err == nil {
+		var info SnapshotInfo
+		if err := json.Unmarshal(data, &info); err == nil && info.ID == id {
+			return info, nil
+		}
+		s.opts.Logf("server: corrupt metadata for %s, decoding snapshot", id)
+	}
+	snap, err := diskstore.LoadSnapshot(s.store, id)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	return snapshotInfo(id, snap), nil
 }
 
 // recoverJobs restores persisted job history into the manager. Called from
@@ -243,19 +309,27 @@ func (s *Server) CloseContext(ctx context.Context) error {
 	return err
 }
 
-// runJob executes one alignment job end to end on a worker goroutine. ctx
-// is canceled by DELETE /v1/jobs/{id}; a canceled job lands in the failed
-// state with the cancellation cause and publishes no snapshot.
+// runJob executes one job end to end on a worker goroutine, dispatching on
+// the job kind. ctx is canceled by DELETE /v1/jobs/{id}; a canceled job
+// lands in the failed state with the cancellation cause and publishes no
+// snapshot.
 func (s *Server) runJob(ctx context.Context, id string) {
 	j, ok := s.jobs.get(id)
 	if !ok {
 		return
 	}
-	s.opts.Logf("server: %s aligning %s vs %s", id, j.Request.KB1, j.Request.KB2)
 	if s.testBeforeAlign != nil {
 		s.testBeforeAlign(id)
 	}
-	snapID, err := s.align(ctx, id, j.Request)
+	var snapID string
+	var err error
+	if j.Kind == KindDelta {
+		s.opts.Logf("server: %s re-aligning delta against %s", id, j.Delta.Base)
+		snapID, err = s.realign(ctx, id, *j.Delta)
+	} else {
+		s.opts.Logf("server: %s aligning %s vs %s", id, j.Request.KB1, j.Request.KB2)
+		snapID, err = s.align(ctx, id, j.Request)
+	}
 	if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
 		// The failure is the cancellation itself (not a genuine error
 		// that a racing DELETE would otherwise mask): surface the cause
@@ -326,7 +400,21 @@ func (s *Server) align(ctx context.Context, id string, req JobRequest) (string, 
 	if err != nil {
 		return "", err
 	}
-	return s.publish(res.Snapshot())
+	snapID, err := s.publish(res.Snapshot())
+	if err == nil {
+		// Keep the freshly built ontologies around: a delta job against
+		// this snapshot can then re-align without reloading the KBs.
+		s.cacheOntologies(snapID, o1, o2)
+	}
+	return snapID, err
+}
+
+// cacheOntologies remembers the ontology pair a snapshot was computed from,
+// the warm path for the next delta job against it.
+func (s *Server) cacheOntologies(snapID string, o1, o2 *store.Ontology) {
+	s.deltaMu.Lock()
+	s.ontoID, s.onto1, s.onto2 = snapID, o1, o2
+	s.deltaMu.Unlock()
 }
 
 // loadKB is store.LoadFile with cancellation: the read stream checks the
@@ -342,28 +430,140 @@ func loadKB(ctx context.Context, path string, lits *store.Literals, norm store.N
 
 // PublishResult persists a result computed outside the jobs API (for
 // example an offline batch run of core.Aligner) as a new snapshot and
-// serves it immediately.
+// serves it immediately. The result's ontologies are retained for delta
+// re-alignment against the snapshot; a later POST /v1/deltas may extend
+// them in place, so callers must not keep using them independently.
 func (s *Server) PublishResult(res *core.Result) (string, error) {
-	return s.publish(res.Snapshot())
+	id, err := s.publish(res.Snapshot())
+	if err == nil {
+		s.cacheOntologies(id, res.O1, res.O2)
+	}
+	return id, err
 }
 
 // publish persists snap under the next snapshot ID and atomically swaps the
 // serving index to it. Readers racing with publish see either the old or
 // the new index, never a partial one.
 func (s *Server) publish(snap *core.ResultSnapshot) (string, error) {
+	id := s.reserveSnapshotID()
+	if err := s.publishAs(id, snap); err != nil {
+		return "", err
+	}
+	s.gc()
+	return id, nil
+}
+
+// reserveSnapshotID allocates the next snapshot ID without publishing
+// anything under it yet. Delta jobs reserve first so the segment file can
+// be persisted under the snapshot's name before the snapshot itself — a
+// crash in between leaves an orphan segment (never consulted, since lineage
+// is read from snapshots), not a snapshot without its replay input. A
+// reservation abandoned on error leaves a gap in the sequence, which the
+// ID listing tolerates.
+func (s *Server) reserveSnapshotID() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.snapSeq++
-	id := diskstore.SnapshotID(s.snapSeq)
+	return diskstore.SnapshotID(s.snapSeq)
+}
+
+// publishAs persists snap under a reserved ID and atomically swaps the
+// serving index to it. Reservations can complete out of order (two cold
+// jobs, or a cold job racing a delta job's segment write), so the snapshot
+// list is kept in ID order and the serving index only ever moves forward —
+// a slower job publishing an older reserved ID never regresses "current",
+// and a restart (which serves the highest listed ID) agrees with the live
+// server.
+func (s *Server) publishAs(id string, snap *core.ResultSnapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	snap.CreatedAt = time.Now().UTC()
-	if err := diskstore.SaveSnapshot(s.store, id, snap); err != nil {
-		s.snapSeq--
-		return "", err
+	info := snapshotInfo(id, snap)
+	if meta, err := json.Marshal(info); err == nil {
+		// Metadata before snapshot: SaveSnapshot's Sync covers both, and
+		// an orphan metadata record (crash in between) is never consulted.
+		if err := diskstore.SaveSnapshotMeta(s.store, id, meta); err != nil {
+			return err
+		}
 	}
-	s.snaps = append(s.snaps, id)
-	s.idx.Store(buildIndex(id, snap))
+	if err := diskstore.SaveSnapshot(s.store, id, snap); err != nil {
+		return err
+	}
+	pos := len(s.snaps)
+	for pos > 0 && s.snaps[pos-1].ID > id {
+		pos--
+	}
+	s.snaps = slices.Insert(s.snaps, pos, info)
+	if cur := s.idx.Load(); cur == nil || cur.id < id {
+		s.idx.Store(buildIndex(id, snap))
+	}
 	s.cache.purge()
-	return id, nil
+	return nil
+}
+
+// gc retires snapshots beyond the retention window (Options.Retain): the
+// newest Retain snapshots stay, plus everything reachable through their
+// lineage (so delta chains remain replayable after a restart) and any
+// snapshot held by a pinned ?snapshot= index. Retired snapshots lose their
+// store record and delta segment, and the store log is compacted to
+// reclaim the space.
+func (s *Server) gc() {
+	if s.opts.Retain <= 0 {
+		return
+	}
+	// Bases of accepted-but-unfinished delta jobs must survive, or the
+	// server would doom work it already acknowledged with 202.
+	activeBases := s.jobs.activeDeltaBases()
+	s.mu.Lock()
+	keep := make(map[string]bool)
+	for i := max(0, len(s.snaps)-s.opts.Retain); i < len(s.snaps); i++ {
+		keep[s.snaps[i].ID] = true
+	}
+	if ix := s.idx.Load(); ix != nil {
+		keep[ix.id] = true
+	}
+	for id := range s.pinned {
+		keep[id] = true
+	}
+	for _, id := range activeBases {
+		keep[id] = true
+	}
+	// Lineage closure: a kept delta snapshot needs its whole base chain to
+	// reconstruct ontologies after a restart.
+	byID := make(map[string]SnapshotInfo, len(s.snaps))
+	for _, info := range s.snaps {
+		byID[info.ID] = info
+	}
+	for id := range keep {
+		for base := byID[id].Base; base != "" && !keep[base]; base = byID[base].Base {
+			keep[base] = true
+		}
+	}
+	var victims []string
+	kept := s.snaps[:0]
+	for _, info := range s.snaps {
+		if keep[info.ID] {
+			kept = append(kept, info)
+		} else {
+			victims = append(victims, info.ID)
+		}
+	}
+	s.snaps = kept
+	for _, id := range victims {
+		if err := diskstore.DeleteSnapshot(s.store, id); err != nil {
+			s.opts.Logf("server: gc: deleting %s: %v", id, err)
+		}
+		if err := diskstore.RemoveDeltaSegment(s.deltaDir, id); err != nil {
+			s.opts.Logf("server: gc: removing segment %s: %v", id, err)
+		}
+	}
+	s.mu.Unlock()
+	if len(victims) > 0 {
+		if err := s.store.Compact(); err != nil {
+			s.opts.Logf("server: gc: compact: %v", err)
+		}
+		s.opts.Logf("server: gc: retired %d snapshot(s): %v", len(victims), victims)
+	}
 }
 
 func normalizer(name string) (store.Normalizer, error) {
@@ -387,15 +587,15 @@ func kbName(path string) string { return store.BaseName(path) }
 
 // buildMux wires the versioned /v1 API. Method-specific patterns make the
 // mux answer wrong-method requests on a known path with 405 plus an Allow
-// header instead of 404. The unversioned routes of the first release
-// permanently redirect (308, which preserves method and body) to their /v1
-// forms; they are one release from removal.
+// header instead of 404. The unversioned routes of the first release (308
+// redirects for one release) are gone; /v1 is the only surface.
 func (s *Server) buildMux() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("POST /v1/deltas", s.handleSubmitDelta)
 	mux.HandleFunc("GET /v1/sameas", s.handleSameAs)
 	mux.HandleFunc("POST /v1/sameas", s.handleSameAsBatch)
 	mux.HandleFunc("GET /v1/relations", s.handleRelations)
@@ -405,21 +605,7 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	for _, p := range []string{"/jobs", "/jobs/{id}", "/sameas", "/relations",
-		"/classes", "/snapshots", "/stats", "/healthz"} {
-		mux.HandleFunc(p, redirectV1)
-	}
 	s.mux = mux
-}
-
-// redirectV1 forwards a legacy unversioned route to its /v1 equivalent with
-// 308 Permanent Redirect, keeping method, body, and query intact.
-func redirectV1(w http.ResponseWriter, r *http.Request) {
-	target := "/v1" + r.URL.EscapedPath()
-	if r.URL.RawQuery != "" {
-		target += "?" + r.URL.RawQuery
-	}
-	http.Redirect(w, r, target, http.StatusPermanentRedirect)
 }
 
 // errNoSnapshot is the read-path failure before any alignment completed.
@@ -444,7 +630,7 @@ func (s *Server) indexFor(snapID string) (*index, int, error) {
 		s.mu.Unlock()
 		return ix, 0, nil
 	}
-	known := slices.Contains(s.snaps, snapID)
+	known := slices.ContainsFunc(s.snaps, func(info SnapshotInfo) bool { return info.ID == snapID })
 	s.mu.Unlock()
 	if !known {
 		return nil, http.StatusNotFound, fmt.Errorf("unknown snapshot %q", snapID)
@@ -454,6 +640,10 @@ func (s *Server) indexFor(snapID string) (*index, int, error) {
 	// publish or the other mu-guarded endpoints. Concurrent misses on the
 	// same snapshot may build twice; last writer wins, both are correct.
 	snap, err := diskstore.LoadSnapshot(s.store, snapID)
+	if errors.Is(err, diskstore.ErrNotFound) {
+		// Retired by the GC between the known-check and the load.
+		return nil, http.StatusNotFound, fmt.Errorf("unknown snapshot %q", snapID)
+	}
 	if err != nil {
 		return nil, http.StatusInternalServerError, fmt.Errorf("loading snapshot %s: %w", snapID, err)
 	}
@@ -508,7 +698,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	j, err := s.jobs.submit(req)
+	j, err := s.jobs.submit(Job{Kind: KindAlign, Request: req})
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
@@ -746,13 +936,13 @@ func serveScores[T any](s *Server, w http.ResponseWriter, r *http.Request, field
 
 func (s *Server) handleSnapshots(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	ids := append([]string(nil), s.snaps...)
+	snaps := append([]SnapshotInfo(nil), s.snaps...)
 	s.mu.Unlock()
 	current := ""
 	if ix := s.idx.Load(); ix != nil {
 		current = ix.id
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"snapshots": ids, "current": current})
+	writeJSON(w, http.StatusOK, map[string]any{"snapshots": snaps, "current": current})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -62,7 +62,7 @@ func getJSON(t *testing.T, url string, out any) int {
 func postJob(t *testing.T, base string, req JobRequest) Job {
 	t.Helper()
 	body, _ := json.Marshal(req)
-	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func waitDone(t *testing.T, base, id string) Job {
 	deadline := time.Now().Add(60 * time.Second)
 	for time.Now().Before(deadline) {
 		var j Job
-		if code := getJSON(t, base+"/jobs/"+id, &j); code != http.StatusOK {
+		if code := getJSON(t, base+"/v1/jobs/"+id, &j); code != http.StatusOK {
 			t.Fatalf("GET /jobs/%s: %d", id, code)
 		}
 		switch j.State {
@@ -100,7 +100,7 @@ func waitDone(t *testing.T, base, id string) Job {
 // lookupKey resolves one sameAs query and returns the single match key.
 func lookupKey(t *testing.T, base, kb, key string) (string, int) {
 	t.Helper()
-	url := fmt.Sprintf("%s/sameas?kb=%s&key=%s", base, kb, queryEscape(key))
+	url := fmt.Sprintf("%s/v1/sameas?kb=%s&key=%s", base, kb, queryEscape(key))
 	var resp sameAsResponse
 	code := getJSON(t, url, &resp)
 	if code != http.StatusOK {
@@ -131,7 +131,7 @@ func TestServiceEndToEnd(t *testing.T) {
 	srv.testBeforeAlign = func(string) { <-release }
 
 	// Before any snapshot exists the read path reports 503.
-	if code := getJSON(t, ts.URL+"/sameas?kb=1&key=x", nil); code != http.StatusServiceUnavailable {
+	if code := getJSON(t, ts.URL+"/v1/sameas?kb=1&key=x", nil); code != http.StatusServiceUnavailable {
 		t.Fatalf("sameas before snapshot: %d", code)
 	}
 
@@ -147,7 +147,7 @@ func TestServiceEndToEnd(t *testing.T) {
 	// must reach running and stay there.
 	var running Job
 	for i := 0; ; i++ {
-		if getJSON(t, ts.URL+"/jobs/"+j.ID, &running); running.State == JobRunning {
+		if getJSON(t, ts.URL+"/v1/jobs/"+j.ID, &running); running.State == JobRunning {
 			break
 		}
 		if i > 5000 {
@@ -191,7 +191,7 @@ func TestServiceEndToEnd(t *testing.T) {
 	if got, code := lookupKey(t, ts.URL, "1", strings.ToUpper(bare)); code != http.StatusOK || got != pairs[0][1] {
 		t.Fatalf("normalized lookup = %q (%d)", got, code)
 	}
-	if code := getJSON(t, ts.URL+"/sameas?kb=1&key=%3Chttp://nowhere%3E", nil); code != http.StatusNotFound {
+	if code := getJSON(t, ts.URL+"/v1/sameas?kb=1&key=%3Chttp://nowhere%3E", nil); code != http.StatusNotFound {
 		t.Fatalf("missing key: %d, want 404", code)
 	}
 
@@ -203,17 +203,17 @@ func TestServiceEndToEnd(t *testing.T) {
 			P     float64 `json:"P"`
 		} `json:"relations"`
 	}
-	if code := getJSON(t, ts.URL+"/relations?dir=12&min=0.1", &rels); code != http.StatusOK || len(rels.Relations) == 0 {
+	if code := getJSON(t, ts.URL+"/v1/relations?dir=12&min=0.1", &rels); code != http.StatusOK || len(rels.Relations) == 0 {
 		t.Fatalf("relations: %d, %d entries", code, len(rels.Relations))
 	}
 	var classes struct {
 		Classes []any `json:"classes"`
 	}
-	if code := getJSON(t, ts.URL+"/classes?dir=12", &classes); code != http.StatusOK || len(classes.Classes) == 0 {
+	if code := getJSON(t, ts.URL+"/v1/classes?dir=12", &classes); code != http.StatusOK || len(classes.Classes) == 0 {
 		t.Fatalf("classes: %d, %d entries", code, len(classes.Classes))
 	}
 	var stats map[string]any
-	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
 		t.Fatalf("stats: %d", code)
 	}
 	if stats["snapshot"] == nil {
@@ -231,17 +231,17 @@ func TestServiceEndToEnd(t *testing.T) {
 	defer ts2.Close()
 
 	var snaps struct {
-		Snapshots []string `json:"snapshots"`
-		Current   string   `json:"current"`
+		Snapshots []SnapshotInfo `json:"snapshots"`
+		Current   string         `json:"current"`
 	}
-	if code := getJSON(t, ts2.URL+"/snapshots", &snaps); code != http.StatusOK {
+	if code := getJSON(t, ts2.URL+"/v1/snapshots", &snaps); code != http.StatusOK {
 		t.Fatalf("snapshots: %d", code)
 	}
 	if len(snaps.Snapshots) != 1 || snaps.Current != final.Snapshot {
 		t.Fatalf("recovered snapshots %v current %q, want [%s]", snaps.Snapshots, snaps.Current, final.Snapshot)
 	}
 	var recovered Job
-	if code := getJSON(t, ts2.URL+"/jobs/"+j.ID, &recovered); code != http.StatusOK {
+	if code := getJSON(t, ts2.URL+"/v1/jobs/"+j.ID, &recovered); code != http.StatusOK {
 		t.Fatalf("recovered job: %d", code)
 	}
 	if recovered.State != JobDone || recovered.Snapshot != final.Snapshot {
@@ -289,7 +289,7 @@ func TestConcurrentLookups(t *testing.T) {
 			client := &http.Client{}
 			for i := 0; i < 100; i++ {
 				p := pairs[(g*100+i)%len(pairs)]
-				url := fmt.Sprintf("%s/sameas?kb=1&key=%s", ts.URL, queryEscape(p[0]))
+				url := fmt.Sprintf("%s/v1/sameas?kb=1&key=%s", ts.URL, queryEscape(p[0]))
 				resp, err := client.Get(url)
 				if err != nil {
 					errs <- err
@@ -327,7 +327,7 @@ func TestSubmitValidation(t *testing.T) {
 	defer ts.Close()
 
 	post := func(body string) int {
-		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -348,10 +348,10 @@ func TestSubmitValidation(t *testing.T) {
 		filepath.Join(dir, "person1.nt"), filepath.Join(dir, "person2.nt"))); code != http.StatusBadRequest {
 		t.Errorf("bad normalize: %d", code)
 	}
-	if code := getJSON(t, ts.URL+"/jobs/job-42", nil); code != http.StatusNotFound {
+	if code := getJSON(t, ts.URL+"/v1/jobs/job-42", nil); code != http.StatusNotFound {
 		t.Errorf("missing job: %d", code)
 	}
-	if code := getJSON(t, ts.URL+"/relations", nil); code != http.StatusServiceUnavailable {
+	if code := getJSON(t, ts.URL+"/v1/relations", nil); code != http.StatusServiceUnavailable {
 		t.Errorf("relations before snapshot: %d", code)
 	}
 }
@@ -399,14 +399,14 @@ func TestDroppedJobSurvivesRestart(t *testing.T) {
 	defer srv2.Close()
 	defer ts2.Close()
 	var rec Job
-	if code := getJSON(t, ts2.URL+"/jobs/"+queued.ID, &rec); code != http.StatusOK {
+	if code := getJSON(t, ts2.URL+"/v1/jobs/"+queued.ID, &rec); code != http.StatusOK {
 		t.Fatalf("dropped job %s after restart: %d, want 200", queued.ID, code)
 	}
 	if rec.State != JobFailed || !strings.Contains(rec.Error, "shutting down") {
 		t.Fatalf("dropped job record = %+v", rec)
 	}
 	var recFirst Job
-	if code := getJSON(t, ts2.URL+"/jobs/"+first.ID, &recFirst); code != http.StatusOK || recFirst.State != JobDone {
+	if code := getJSON(t, ts2.URL+"/v1/jobs/"+first.ID, &recFirst); code != http.StatusOK || recFirst.State != JobDone {
 		t.Fatalf("first job after restart = %+v (%d), want done", recFirst, code)
 	}
 }
@@ -428,7 +428,7 @@ func TestFailedJobIsRecorded(t *testing.T) {
 	if final.State != JobFailed || final.Error == "" {
 		t.Fatalf("job = %+v, want failed with error", final)
 	}
-	if code := getJSON(t, ts.URL+"/sameas?kb=1&key=x", nil); code != http.StatusServiceUnavailable {
+	if code := getJSON(t, ts.URL+"/v1/sameas?kb=1&key=x", nil); code != http.StatusServiceUnavailable {
 		t.Fatalf("sameas after failed job: %d, want 503", code)
 	}
 }

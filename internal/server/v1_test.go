@@ -1,8 +1,9 @@
 package server
 
-// Tests for the versioned /v1 HTTP surface: legacy-route redirects, 405
-// method handling, the batch sameAs endpoint, snapshot pinning, and job
-// cancellation through the context-aware core.
+// Tests for the versioned /v1 HTTP surface: 405 method handling, the batch
+// sameAs endpoint, snapshot pinning, and job cancellation through the
+// context-aware core. The unversioned legacy routes (308 shims of the first
+// release) are gone; /v1 is the only surface (see TestLegacyRoutesRemoved).
 
 import (
 	"bytes"
@@ -19,12 +20,6 @@ import (
 
 	"repro/internal/gen"
 )
-
-// noRedirectClient returns the raw first response instead of following
-// redirects, so tests can observe the 308s themselves.
-var noRedirectClient = &http.Client{
-	CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
-}
 
 // doJSON issues one request with an optional JSON body and decodes a 2xx
 // response into out.
@@ -56,41 +51,23 @@ func doJSON(t *testing.T, method, url string, body any, out any) int {
 	return resp.StatusCode
 }
 
-// TestLegacyRoutesRedirectToV1: every unversioned route of the first
-// release answers 308 with the /v1 location, query preserved, for exactly
-// one release of migration room.
-func TestLegacyRoutesRedirectToV1(t *testing.T) {
+// TestLegacyRoutesRemoved: the unversioned routes of the first release
+// (which answered 308 for one migration release) are gone — a legacy client
+// now gets 404, not a silent redirect.
+func TestLegacyRoutesRemoved(t *testing.T) {
 	srv, ts := newTestServer(t, t.TempDir(), 1)
 	defer srv.Close()
 	defer ts.Close()
 
-	cases := []struct{ method, path, wantLoc string }{
-		{http.MethodGet, "/healthz", "/v1/healthz"},
-		{http.MethodGet, "/jobs", "/v1/jobs"},
-		{http.MethodGet, "/jobs/job-00000001", "/v1/jobs/job-00000001"},
-		{http.MethodPost, "/jobs", "/v1/jobs"},
-		{http.MethodGet, "/sameas?kb=1&key=x", "/v1/sameas?kb=1&key=x"},
-		{http.MethodGet, "/relations?dir=12&min=0.5", "/v1/relations?dir=12&min=0.5"},
-		{http.MethodGet, "/classes", "/v1/classes"},
-		{http.MethodGet, "/snapshots", "/v1/snapshots"},
-		{http.MethodGet, "/stats", "/v1/stats"},
-	}
-	for _, c := range cases {
-		req, err := http.NewRequest(c.method, ts.URL+c.path, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp, err := noRedirectClient.Do(req)
+	for _, path := range []string{"/healthz", "/jobs", "/sameas?kb=1&key=x",
+		"/relations", "/classes", "/snapshots", "/stats"} {
+		resp, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusPermanentRedirect {
-			t.Errorf("%s %s: %d, want 308", c.method, c.path, resp.StatusCode)
-			continue
-		}
-		if loc := resp.Header.Get("Location"); loc != c.wantLoc {
-			t.Errorf("%s %s: Location = %q, want %q", c.method, c.path, loc, c.wantLoc)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: %d, want 404 (legacy routes removed)", path, resp.StatusCode)
 		}
 	}
 }
@@ -271,14 +248,19 @@ func TestSnapshotPinning(t *testing.T) {
 	}
 
 	var snaps struct {
-		Snapshots []string `json:"snapshots"`
-		Current   string   `json:"current"`
+		Snapshots []SnapshotInfo `json:"snapshots"`
+		Current   string         `json:"current"`
 	}
 	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/snapshots", nil, &snaps); code != http.StatusOK {
 		t.Fatalf("snapshots: %d", code)
 	}
 	if snaps.Current != second.Snapshot || len(snaps.Snapshots) != 2 {
 		t.Fatalf("snapshots = %+v, want current %s of 2", snaps, second.Snapshot)
+	}
+	// Cold snapshots carry no lineage but do carry their KB names.
+	if info := snaps.Snapshots[1]; info.ID != second.Snapshot || info.Base != "" ||
+		info.KB1 == "" || info.Instances == 0 {
+		t.Fatalf("snapshot info = %+v, want cold metadata for %s", info, second.Snapshot)
 	}
 
 	// Unpinned and pinned-to-current reads serve the new snapshot.
@@ -384,7 +366,7 @@ func TestCancelRunningJob(t *testing.T) {
 
 	// No snapshot was published.
 	var snaps struct {
-		Snapshots []string `json:"snapshots"`
+		Snapshots []SnapshotInfo `json:"snapshots"`
 	}
 	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/snapshots", nil, &snaps); code != http.StatusOK || len(snaps.Snapshots) != 0 {
 		t.Fatalf("snapshots after canceled job = %v (%d), want none", snaps.Snapshots, code)
@@ -465,7 +447,7 @@ func TestCloseContextCancelsRunningJob(t *testing.T) {
 		t.Fatalf("job after shutdown-cancel = state %s error %q", rec.State, rec.Error)
 	}
 	var snaps struct {
-		Snapshots []string `json:"snapshots"`
+		Snapshots []SnapshotInfo `json:"snapshots"`
 	}
 	if doJSON(t, http.MethodGet, ts2.URL+"/v1/snapshots", nil, &snaps); len(snaps.Snapshots) != 0 {
 		t.Fatalf("snapshots after shutdown-canceled job = %v, want none", snaps.Snapshots)
@@ -503,7 +485,7 @@ func TestCancelQueuedJob(t *testing.T) {
 	}
 	// The canceled job never produced a second snapshot.
 	var snaps struct {
-		Snapshots []string `json:"snapshots"`
+		Snapshots []SnapshotInfo `json:"snapshots"`
 	}
 	if doJSON(t, http.MethodGet, ts.URL+"/v1/snapshots", nil, &snaps); len(snaps.Snapshots) != 1 {
 		t.Fatalf("snapshots = %v, want exactly the first job's", snaps.Snapshots)

@@ -162,6 +162,7 @@ func (b *Builder) Build() *Ontology {
 	o := &Ontology{
 		name:           b.name,
 		lits:           b.lits,
+		norm:           b.norm,
 		resourceKeys:   b.resourceKeys,
 		resourceByKey:  b.resourceByKey,
 		relationNames:  b.relationNames,
@@ -171,7 +172,8 @@ func (b *Builder) Build() *Ontology {
 		classSubs:      make(map[Resource][]Resource),
 		classSupers:    make(map[Resource][]Resource),
 	}
-	facts := b.closeSubProperties()
+	o.relSupers = b.closedSuperProperties()
+	facts := b.closeSubProperties(o.relSupers)
 	facts = dedupFacts(facts)
 	o.numFacts = len(facts)
 
@@ -181,20 +183,21 @@ func (b *Builder) Build() *Ontology {
 	return o
 }
 
-// closeSubProperties adds, for every fact r(x,y) and every (transitive)
-// superproperty s of r, the fact s(x,y). The paper assumes ontologies are
-// given in their deductive closure; this realizes that assumption.
-func (b *Builder) closeSubProperties() []fact {
+// closedSuperProperties computes the transitive rdfs:subPropertyOf closure
+// per relation. The result is retained on the ontology so delta facts can be
+// closed the same way (see ApplyDelta) without the builder.
+//
+// Transitive closure per relation by BFS. Memoized DFS would cache truncated
+// results under cycles; the graphs are small, so a full reachability walk per
+// relation is both simple and correct.
+func (b *Builder) closedSuperProperties() map[Relation][]Relation {
 	if len(b.subProp) == 0 {
-		return b.facts
+		return nil
 	}
 	supers := make(map[Relation][]Relation)
 	for _, e := range b.subProp {
 		supers[e.sub] = append(supers[e.sub], e.super)
 	}
-	// Transitive closure per relation by BFS. Memoized DFS would cache
-	// truncated results under cycles; the graphs are small, so a full
-	// reachability walk per relation is both simple and correct.
 	closed := make(map[Relation][]Relation)
 	for r := range supers {
 		seen := map[Relation]bool{r: true}
@@ -211,6 +214,16 @@ func (b *Builder) closeSubProperties() []fact {
 			queue = append(queue, supers[s]...)
 		}
 		closed[r] = dedupRelations(all)
+	}
+	return closed
+}
+
+// closeSubProperties adds, for every fact r(x,y) and every (transitive)
+// superproperty s of r, the fact s(x,y). The paper assumes ontologies are
+// given in their deductive closure; this realizes that assumption.
+func (b *Builder) closeSubProperties(closed map[Relation][]Relation) []fact {
+	if len(closed) == 0 {
+		return b.facts
 	}
 	out := b.facts
 	for _, f := range b.facts {

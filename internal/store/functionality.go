@@ -41,9 +41,29 @@ func (m FunMode) String() string {
 	}
 }
 
-// computeFunctionality fills o.fun with the harmonic-mean definition.
+// computeFunctionality fills o.fun with the harmonic-mean definition and
+// o.funArgs with the distinct first-argument counts the harmonic mean is
+// derived from. ApplyDelta maintains both incrementally (fun(r) =
+// funArgs[r] / #statements), so deltas never rescan the statement lists.
 func computeFunctionality(o *Ontology) {
-	o.fun = o.FunctionalityWith(FunHarmonicMean)
+	o.fun = make([]float64, len(o.relationNames))
+	o.funArgs = make([]int, len(o.relationNames))
+	for base := 0; base < len(o.relationNames); base += 2 {
+		stmts := o.relStmts[base]
+		if len(stmts) == 0 {
+			continue
+		}
+		subjs := make(map[Node]struct{}, len(stmts))
+		objs := make(map[Node]struct{}, len(stmts))
+		for _, st := range stmts {
+			subjs[st.S] = struct{}{}
+			objs[st.O] = struct{}{}
+		}
+		o.funArgs[base] = len(subjs)
+		o.funArgs[base+1] = len(objs)
+		o.fun[base] = float64(len(subjs)) / float64(len(stmts))
+		o.fun[base+1] = float64(len(objs)) / float64(len(stmts))
+	}
 }
 
 // FunctionalityWith computes the global functionality of every relation

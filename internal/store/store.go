@@ -121,10 +121,12 @@ func (ls *Literals) Value(l Lit) string { return ls.vals[l] }
 func (ls *Literals) Len() int { return len(ls.vals) }
 
 // Ontology is the frozen, indexed form of one RDFS ontology, produced by
-// Builder.Build. It is immutable and safe for concurrent readers.
+// Builder.Build. It is safe for concurrent readers; the only mutation path
+// is ApplyDelta, which requires exclusive access (see delta.go).
 type Ontology struct {
 	name string
 	lits *Literals
+	norm Normalizer // retained from the builder so deltas intern identically
 
 	resourceKeys  []string
 	resourceByKey map[string]Resource
@@ -143,7 +145,8 @@ type Ontology struct {
 	// and are iterated with arguments swapped.
 	relStmts [][]Stmt
 
-	fun []float64 // global functionality per Relation (harmonic mean, Eq. 2)
+	fun     []float64 // global functionality per Relation (harmonic mean, Eq. 2)
+	funArgs []int     // per Relation: #distinct first arguments, for delta updates
 
 	// Schema.
 	isClass     []bool
@@ -151,6 +154,8 @@ type Ontology struct {
 	classInsts  map[Resource][]Resource // class -> instances (deductively closed)
 	classSubs   map[Resource][]Resource // class -> direct subclasses
 	classSupers map[Resource][]Resource // class -> direct superclasses
+
+	relSupers map[Relation][]Relation // transitive superproperties, for delta closure
 
 	instances []Resource // resources that are not classes
 	numFacts  int        // base statements after sub-property closure

@@ -102,6 +102,12 @@ type (
 	ServerOptions = server.Options
 	// JobRequest is the body of POST /v1/jobs.
 	JobRequest = server.JobRequest
+	// DeltaRequest is the body of POST /v1/deltas (incremental
+	// re-alignment against a published snapshot).
+	DeltaRequest = server.DeltaRequest
+	// SnapshotInfo is the served metadata of one snapshot version,
+	// including the lineage of incrementally derived snapshots.
+	SnapshotInfo = server.SnapshotInfo
 	// Job is the externally visible record of one alignment job.
 	Job = server.Job
 	// JobState is the lifecycle state of an alignment job.

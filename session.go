@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/incremental"
 	"repro/internal/store"
 )
 
@@ -79,6 +80,11 @@ type Session struct {
 	lits     *Literals
 	litsSet  bool // lits pinned by WithLiterals (or adopted by the first Use)
 	ontos    []*Ontology
+
+	// last is the most recent completed Align or Realign result; Realign
+	// snapshots it lazily to warm-start, so Align pays nothing for
+	// sessions that never realign.
+	last *Result
 }
 
 // SessionOption configures a Session at construction.
@@ -195,13 +201,54 @@ func (s *Session) ontoAt(i int) *Ontology {
 // Align runs the full PARIS fixpoint over the two loaded ontologies. The
 // context is checked between every pass (instance, sub-relation, subclass),
 // so cancellation or a deadline aborts the run within one pass; Align then
-// returns the context's error and no result.
+// returns the context's error and no result. A completed Align records its
+// result as the warm-start state for Realign.
 func (s *Session) Align(ctx context.Context) (*Result, error) {
 	a, err := s.Aligner()
 	if err != nil {
 		return nil, err
 	}
-	return a.RunContext(ctx)
+	res, err := a.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.last = res
+	return res, nil
+}
+
+// Delta is a batch of triple additions for Session.Realign: Add1 extends the
+// first loaded ontology, Add2 the second. Deletions are not supported.
+type Delta struct {
+	Add1, Add2 []Triple
+}
+
+// Realign ingests the delta into the session's ontologies in place and
+// re-runs the fixpoint warm-started from the last Align or Realign result,
+// so a small delta converges in a fraction of the passes a fresh Align
+// needs. Without a prior result the run is a cold Align over the extended
+// ontologies. Schema additions (rdfs:subClassOf, rdfs:subPropertyOf) are
+// rejected; rebuild a new session for those.
+//
+// On success the result becomes the warm-start state for the next Realign.
+// On failure the ontologies may hold a partially applied delta and the
+// session keeps its previous warm-start state.
+func (s *Session) Realign(ctx context.Context, d Delta) (*Result, error) {
+	if len(s.ontos) != 2 {
+		return nil, ErrNotReady
+	}
+	// Snapshot before the delta mutates the ontologies; resource IDs stay
+	// valid (ApplyDelta only appends), so the keys resolve identically.
+	var prior *core.ResultSnapshot
+	if s.last != nil {
+		prior = s.last.Snapshot()
+	}
+	res, _, err := incremental.Realign(ctx, s.ontos[0], s.ontos[1],
+		incremental.Delta{Add1: d.Add1, Add2: d.Add2}, prior, s.config())
+	if err != nil {
+		return nil, err
+	}
+	s.last = res
+	return res, nil
 }
 
 // Aligner returns a fresh step-by-step aligner over the session's two
@@ -211,6 +258,12 @@ func (s *Session) Aligner() (*Aligner, error) {
 	if len(s.ontos) != 2 {
 		return nil, ErrNotReady
 	}
+	return core.NewChecked(s.ontos[0], s.ontos[1], s.config())
+}
+
+// config resolves the session's alignment configuration, composing the
+// WithProgress callback with any user Config.OnIteration.
+func (s *Session) config() Config {
 	cfg := s.cfg
 	if s.progress != nil {
 		progress, user := s.progress, cfg.OnIteration
@@ -223,7 +276,7 @@ func (s *Session) Aligner() (*Aligner, error) {
 			}
 		}
 	}
-	return core.NewChecked(s.ontos[0], s.ontos[1], cfg)
+	return cfg
 }
 
 // AlignContext runs the full fixpoint over two prebuilt ontologies with

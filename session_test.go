@@ -238,3 +238,79 @@ func TestAlignContext(t *testing.T) {
 		t.Fatalf("AlignContext mismatch = %v, want *LiteralTableError", err)
 	}
 }
+
+// TestSessionRealign: after an Align, Realign ingests matching deltas into
+// both sides and warm-starts from the previous result, aligning the new pair
+// without losing the old one; an empty delta is a no-op that re-converges in
+// one pass.
+func TestSessionRealign(t *testing.T) {
+	ctx := context.Background()
+	s := NewSession()
+	if _, err := s.Load(ctx, FromFile(writeKB(t, "kb1.nt", kb1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(ctx, FromFile(writeKB(t, "kb2.nt", kb2))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Align(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	add1, err := ParseNTriples(`<http://a.org/cash> <http://a.org/email> "johnny@cash.com" .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add2, err := ParseNTriples(`<http://b.org/johnny> <http://b.org/mail> "johnny@cash.com" .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Realign(ctx, Delta{Add1: add1, Add2: add2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.InstanceMap()
+	if m["<http://a.org/elvis>"] != "<http://b.org/presley>" {
+		t.Fatalf("original pair lost after realign: %v", m)
+	}
+	if m["<http://a.org/cash>"] != "<http://b.org/johnny>" {
+		t.Fatalf("delta pair not aligned: %v", m)
+	}
+
+	// Empty delta: same assignments again, single warm pass.
+	res2, err := s.Realign(ctx, Delta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Iterations) != 1 {
+		t.Fatalf("empty-delta realign took %d passes, want 1", len(res2.Iterations))
+	}
+	m2 := res2.InstanceMap()
+	if m2["<http://a.org/cash>"] != "<http://b.org/johnny>" || len(m2) != len(m) {
+		t.Fatalf("empty-delta realign moved assignments: %v vs %v", m2, m)
+	}
+}
+
+// TestSessionRealignWithoutAlign: Realign on a never-aligned session is a
+// cold run over the extended ontologies.
+func TestSessionRealignWithoutAlign(t *testing.T) {
+	ctx := context.Background()
+	s := NewSession()
+	if _, err := s.Load(ctx, FromFile(writeKB(t, "kb1.nt", kb1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(ctx, FromFile(writeKB(t, "kb2.nt", kb2))); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Realign(ctx, Delta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InstanceMap()["<http://a.org/elvis>"] != "<http://b.org/presley>" {
+		t.Fatalf("cold realign missed the pair: %v", res.InstanceMap())
+	}
+
+	// Not ready without two ontologies.
+	if _, err := NewSession().Realign(ctx, Delta{}); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("Realign on empty session = %v, want ErrNotReady", err)
+	}
+}
