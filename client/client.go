@@ -84,8 +84,9 @@ func IsNotFound(err error) bool {
 
 // Client talks to one parisd instance. It is safe for concurrent use.
 type Client struct {
-	base string
-	http *http.Client
+	base      string
+	http      *http.Client
+	snapLimit int64
 }
 
 // Option configures a Client.
@@ -95,6 +96,17 @@ type Option func(*Client)
 // transports, timeouts, middleware).
 func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.http = h }
+}
+
+// WithSnapshotLimit raises (or lowers) the GetSnapshot download bound,
+// default 1 GiB. Match it to the server's Options.MaxSnapshotBytes when
+// publishing deployments whose snapshots exceed the default.
+func WithSnapshotLimit(bytes int64) Option {
+	return func(c *Client) {
+		if bytes > 0 {
+			c.snapLimit = bytes
+		}
+	}
 }
 
 // New returns a client for the service at baseURL (for example
@@ -112,7 +124,11 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 	if u.Path != "" && u.Path != "/" {
 		return nil, fmt.Errorf("client: base URL %q must not carry a path (the client adds /v1)", baseURL)
 	}
-	c := &Client{base: strings.TrimSuffix(u.String(), "/"), http: http.DefaultClient}
+	c := &Client{
+		base:      strings.TrimSuffix(u.String(), "/"),
+		http:      http.DefaultClient,
+		snapLimit: maxSnapshotDownload,
+	}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -340,6 +356,73 @@ func (c *Client) Snapshots(ctx context.Context) (SnapshotList, error) {
 	return out, err
 }
 
+// maxSnapshotDownload is the default GetSnapshot body bound, matching the
+// service's default ingestion bound; WithSnapshotLimit overrides it.
+const maxSnapshotDownload = 1 << 30
+
+// GetSnapshot fetches one persisted snapshot in its portable binary form
+// (GET /v1/snapshots/{id}) — the export half of sharded publication: fetch
+// a version off the aligner, split it, push the slices. An unknown ID is an
+// *Error with status 404.
+func (c *Client) GetSnapshot(ctx context.Context, id string) (*core.ResultSnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/snapshots/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	// Read one byte past the cap so truncation is detected and reported as
+	// a size problem, not as the corrupt-snapshot error a silently cut-off
+	// body would produce downstream.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, c.snapLimit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > c.snapLimit {
+		return nil, fmt.Errorf("client: snapshot %s exceeds the %d-byte download limit (raise it with WithSnapshotLimit)", id, c.snapLimit)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return nil, &Error{StatusCode: resp.StatusCode, Message: msg}
+	}
+	snap := new(core.ResultSnapshot)
+	if err := snap.UnmarshalBinary(data); err != nil {
+		return nil, fmt.Errorf("client: decoding snapshot %s: %w", id, err)
+	}
+	return snap, nil
+}
+
+// PutSnapshot publishes a pre-computed snapshot under an explicit ID
+// (PUT /v1/snapshots/{id}, binary body). The sharded publisher uses this to
+// push per-shard slices under one common ID so pinned reads resolve
+// consistently across shards; it equally serves offline batch runs whose
+// results were computed outside the jobs API. Publishing an ID the server
+// already holds returns an *Error with status 409.
+func (c *Client) PutSnapshot(ctx context.Context, id string, snap *core.ResultSnapshot) (SnapshotInfo, error) {
+	var info SnapshotInfo
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		return info, fmt.Errorf("client: encoding snapshot: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		c.base+"/v1/snapshots/"+url.PathEscape(id), bytes.NewReader(data))
+	if err != nil {
+		return info, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	return info, c.roundTrip(req, &info)
+}
+
 // Stats fetches the service statistics (GET /v1/stats) as loose JSON.
 func (c *Client) Stats(ctx context.Context) (map[string]any, error) {
 	var out map[string]any
@@ -370,6 +453,11 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	return c.roundTrip(req, out)
+}
+
+// roundTrip sends a prepared request and decodes the response like do.
+func (c *Client) roundTrip(req *http.Request, out any) error {
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -391,7 +479,7 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	}
 	if out != nil {
 		if err := json.Unmarshal(data, out); err != nil {
-			return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+			return fmt.Errorf("client: decoding %s %s response: %w", req.Method, req.URL.Path, err)
 		}
 	}
 	return nil

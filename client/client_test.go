@@ -13,6 +13,7 @@ import (
 	"time"
 
 	paris "repro"
+	"repro/internal/core"
 	"repro/internal/gen"
 )
 
@@ -399,5 +400,62 @@ func TestClientDeltaRealign(t *testing.T) {
 	})
 	if err != nil || len(res.Matches) != 1 || res.Matches[0].Key != "<http://person2.example.org/hum8888>" {
 		t.Fatalf("delta pair in post-restart snapshot = %+v, %v", res, err)
+	}
+}
+
+// TestClientPutSnapshot covers snapshot ingestion: publish a hand-built
+// snapshot under an explicit ID, read it back through the lookup and
+// listing endpoints, and hit the 409 (taken ID) and 400 (malformed ID)
+// paths.
+func TestClientPutSnapshot(t *testing.T) {
+	c, _, _ := newService(t, 5)
+	ctx := context.Background()
+
+	snap := &core.ResultSnapshot{
+		KB1: "left", KB2: "right",
+		Instances: []core.SnapshotAssignment{
+			{Key1: "<http://left/x>", Key2: "<http://right/y>", P: 0.9},
+		},
+	}
+	info, err := c.PutSnapshot(ctx, "snap-00000005", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "snap-00000005" || info.Instances != 1 || info.KB1 != "left" {
+		t.Fatalf("ingested info = %+v", info)
+	}
+	res, err := c.SameAs(ctx, SameAsQuery{KB: "1", Key: "<http://left/x>"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot != "snap-00000005" || len(res.Matches) != 1 || res.Matches[0].Key != "<http://right/y>" {
+		t.Fatalf("lookup after ingest = %+v", res)
+	}
+	list, err := c.Snapshots(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Current != "snap-00000005" || len(list.Snapshots) != 1 {
+		t.Fatalf("snapshot list after ingest = %+v", list)
+	}
+
+	// Export round-trips the ingested snapshot byte for byte.
+	back, err := c.GetSnapshot(ctx, "snap-00000005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.KB1 != "left" || len(back.Instances) != 1 || back.Instances[0].Key2 != "<http://right/y>" {
+		t.Fatalf("exported snapshot = %+v", back)
+	}
+
+	var se *Error
+	if _, err := c.PutSnapshot(ctx, "snap-00000005", snap); !errors.As(err, &se) || se.StatusCode != 409 {
+		t.Fatalf("re-ingesting a taken ID: %v, want 409", err)
+	}
+	if _, err := c.PutSnapshot(ctx, "not-a-snapshot-id", snap); !errors.As(err, &se) || se.StatusCode != 400 {
+		t.Fatalf("malformed ID: %v, want 400", err)
+	}
+	if _, err := c.GetSnapshot(ctx, "snap-00000042"); !IsNotFound(err) {
+		t.Fatalf("exporting unknown snapshot: %v, want 404", err)
 	}
 }

@@ -19,6 +19,8 @@
 //	GET    /v1/relations?dir=12&min=0.1
 //	GET    /v1/classes?dir=12&min=0.1
 //	GET    /v1/snapshots  persisted snapshot versions with lineage
+//	GET    /v1/snapshots/{id}  export one snapshot (binary encoding)
+//	PUT    /v1/snapshots/{id}  publish a pre-computed snapshot under that ID
 //	GET    /v1/stats      serving statistics
 //	GET    /v1/healthz    liveness probe
 //
@@ -37,6 +39,12 @@
 // -retain N, superseded snapshots beyond the newest N are retired after each
 // publish unless pinned by lineage or an active ?snapshot= reader. The Go
 // package repro/client wraps this API with typed methods.
+//
+// With -shard i/N the daemon serves as one shard of an N-way sharded
+// deployment behind a parisrouter: it answers lookups for its slice of the
+// key space only, refuses job and delta submissions, and receives per-shard
+// snapshot slices through PUT /v1/snapshots/{id} (pushed by the publisher,
+// or pre-written into -state with shard.WriteSlices before startup).
 package main
 
 import (
@@ -52,6 +60,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -61,6 +70,8 @@ func main() {
 	queue := flag.Int("queue", 16, "pending-job queue depth")
 	cache := flag.Int("cache", 4096, "normalized-lookup LRU cache entries")
 	retain := flag.Int("retain", 0, "snapshots to keep (0 keeps all); lineage-pinned snapshots always survive")
+	shardSpec := flag.String("shard", "", "serve as shard i/N of a sharded deployment (e.g. 1/3): lookups only, slices via PUT /v1/snapshots/{id}")
+	maxSnap := flag.Int64("max-snapshot-bytes", 0, "PUT /v1/snapshots/{id} body limit (0 = 1 GiB)")
 	flag.Parse()
 
 	if *state == "" {
@@ -68,14 +79,24 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	var sp shard.Spec
+	if *shardSpec != "" {
+		var err error
+		if sp, err = shard.ParseSpec(*shardSpec); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	srv, err := server.New(server.Options{
-		StateDir:   *state,
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheSize:  *cache,
-		Retain:     *retain,
-		Logf:       log.Printf,
+		StateDir:         *state,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheSize:        *cache,
+		Retain:           *retain,
+		ShardIndex:       sp.Index,
+		ShardCount:       sp.Count,
+		MaxSnapshotBytes: *maxSnap,
+		Logf:             log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)

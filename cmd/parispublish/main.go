@@ -1,0 +1,140 @@
+// Command parispublish distributes one published alignment snapshot across
+// a sharded deployment — the publisher of the two-phase publish:
+//
+//	parispublish -from http://aligner:7171 \
+//	    -shards http://h0:7171,http://h1:7171,http://h2:7171 \
+//	    [-snapshot snap-00000001] [-router http://router:7170]
+//
+// It fetches the snapshot (the currently served version unless -snapshot
+// names one) from the aligner in its binary form, splits it into per-shard
+// slices by hash of the normalized entity key, and pushes slice i to shard
+// i under the snapshot's own ID (phase one). With -router it then asks the
+// router to refresh its routing epoch (phase two); without it, the router's
+// own -poll loop picks the new version up. Shard URLs must be in
+// shard-index order, matching the fleet's -shard i/N flags.
+//
+// The push is idempotent in the way that matters operationally: a shard
+// that already holds the ID answers 409, which parispublish treats as that
+// shard having acknowledged, so a half-failed publish can simply be rerun.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/client"
+	"repro/internal/shard"
+)
+
+func main() {
+	from := flag.String("from", "", "base URL of the aligner holding the snapshot (required)")
+	snapID := flag.String("snapshot", "", "snapshot ID to distribute (default: the aligner's current version)")
+	shards := flag.String("shards", "", "comma-separated shard base URLs in shard-index order (required)")
+	router := flag.String("router", "", "router base URL to refresh after the push (optional)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	maxSnap := flag.Int64("max-snapshot-bytes", 0, "snapshot download limit (0 = 1 GiB); match the aligner's -max-snapshot-bytes")
+	flag.Parse()
+
+	if *from == "" || *shards == "" {
+		fmt.Fprintln(os.Stderr, "usage: parispublish -from URL -shards URL0,URL1,... [-snapshot ID] [-router URL]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var opts []client.Option
+	if *maxSnap > 0 {
+		opts = append(opts, client.WithSnapshotLimit(*maxSnap))
+	}
+	src, err := client.New(*from, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	id := *snapID
+	if id == "" {
+		list, err := src.Snapshots(ctx)
+		if err != nil {
+			log.Fatalf("parispublish: listing snapshots on %s: %v", *from, err)
+		}
+		if list.Current == "" {
+			log.Fatalf("parispublish: %s serves no snapshot yet", *from)
+		}
+		id = list.Current
+	}
+	snap, err := src.GetSnapshot(ctx, id)
+	if err != nil {
+		log.Fatalf("parispublish: fetching %s: %v", id, err)
+	}
+	log.Printf("parispublish: fetched %s (%s vs %s, %d instances)",
+		id, snap.KB1, snap.KB2, len(snap.Instances))
+
+	peers, err := shardClients(*shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// shard.Publish treats a 409 (the shard already holds the version) as
+	// that shard's acknowledgment, so a half-failed publish is simply rerun.
+	if err := shard.Publish(ctx, peers, id, snap); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("parispublish: %s acknowledged by all %d shards", id, len(peers))
+
+	if *router != "" {
+		epoch, err := refresh(ctx, *router)
+		if err != nil {
+			log.Fatalf("parispublish: router refresh: %v", err)
+		}
+		log.Printf("parispublish: routing epoch now %s", epoch)
+	}
+}
+
+func shardClients(list string) ([]*client.Client, error) {
+	var peers []*client.Client
+	for i, u := range strings.Split(list, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		peer, err := client.New(u)
+		if err != nil {
+			return nil, fmt.Errorf("parispublish: shard %d: %w", i, err)
+		}
+		peers = append(peers, peer)
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("parispublish: no shard URLs")
+	}
+	return peers, nil
+}
+
+func refresh(ctx context.Context, routerURL string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(routerURL, "/")+"/v1/refresh", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Epoch string `json:"epoch"`
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("router answered %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	return out.Epoch, nil
+}

@@ -1,0 +1,121 @@
+// Command parisrouter is the stateless scatter-gather router of a sharded
+// PARIS deployment: N parisd shards (-shard i/N) each hold one
+// hash-partitioned slice of the published sameAs index, and the router fans
+// the /v1 read surface out to them.
+//
+// Usage:
+//
+//	parisrouter -shards http://h0:7171,http://h1:7171,http://h2:7171 [-addr :7170] [-poll 2s]
+//
+// The shard URLs must be in shard-index order: the i-th URL is the shard
+// started with -shard i/N. The router serves:
+//
+//	GET  /v1/sameas     proxied verbatim to the shard owning the key
+//	POST /v1/sameas     batch lookup, scatter-gathered across owning shards
+//	GET  /v1/relations  proxied to shard 0 (slices carry full schema tables)
+//	GET  /v1/classes    likewise
+//	GET  /v1/snapshots  deployment versions; "current" is the routing epoch
+//	POST /v1/refresh    advance the routing epoch (publisher hook)
+//	GET  /v1/stats      router statistics
+//	GET  /v1/healthz    liveness probe
+//
+// Publication is two-phase: a publisher splits one snapshot into per-shard
+// slices and pushes them under a common ID (PUT /v1/snapshots/{id} on each
+// shard), then the router flips its routing epoch — the version every
+// unpinned read resolves against — only once all shards list the new ID.
+// Until then readers keep resolving the previous epoch, so a publish in
+// flight never produces a torn cross-shard view. The router polls the
+// shards every -poll interval (and on POST /v1/refresh) to advance the
+// epoch. ?snapshot=-pinned reads proxy straight through, since snapshot IDs
+// are common across shards.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", ":7170", "HTTP listen address")
+	shards := flag.String("shards", "", "comma-separated shard base URLs in shard-index order (required)")
+	poll := flag.Duration("poll", 2*time.Second, "epoch refresh interval")
+	flag.Parse()
+
+	if *shards == "" {
+		fmt.Fprintln(os.Stderr, "usage: parisrouter -shards URL0,URL1,... [-addr :7170]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	var urls []string
+	for _, u := range strings.Split(*shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	rt, err := shard.NewRouter(urls, shard.WithLogf(log.Printf))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := rt.Refresh(context.Background()); err != nil {
+		// Shards may simply not be up yet; the poll loop keeps trying.
+		log.Printf("parisrouter: initial refresh: %v", err)
+	}
+
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(*poll)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), *poll)
+				if _, err := rt.Refresh(ctx); err != nil {
+					log.Printf("parisrouter: refresh: %v", err)
+				}
+				cancel()
+			}
+		}
+	}()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("parisrouter: listening on %s, routing %d shard(s), epoch %q",
+			*addr, rt.Shards(), rt.Epoch())
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case s := <-sig:
+		log.Printf("parisrouter: %v, shutting down", s)
+	}
+	close(stop)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("parisrouter: HTTP shutdown: %v", err)
+	}
+}

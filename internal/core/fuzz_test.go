@@ -1,0 +1,79 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzSnapshotDecode hammers the versioned binary snapshot decoder with
+// mutated inputs. The corpus is seeded from the committed testdata snapshots
+// (one version-1 encoding without the lineage tail, one version-2 with it)
+// plus a fresh marshal, so the fuzzer starts from both wire formats the
+// decoder must accept. Two properties must hold on every input:
+//
+//  1. UnmarshalBinary never panics and never over-allocates on corrupt
+//     counts — it returns an error instead.
+//  2. Any input it accepts round-trips: re-marshaling the decoded snapshot
+//     and decoding again yields byte-identical output (byte comparison, not
+//     struct equality, so NaN probabilities the fuzzer synthesizes cannot
+//     produce false mismatches).
+func FuzzSnapshotDecode(f *testing.F) {
+	for _, name := range []string{"snapshot_v1.bin", "snapshot_v2.bin"} {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			f.Fatalf("reading seed %s: %v", name, err)
+		}
+		f.Add(data)
+	}
+	if data, err := sampleSnapshot().MarshalBinary(); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(snapshotMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var snap ResultSnapshot
+		if err := snap.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := snap.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshaling accepted input: %v", err)
+		}
+		var again ResultSnapshot
+		if err := again.UnmarshalBinary(out); err != nil {
+			t.Fatalf("decoding re-marshaled snapshot: %v", err)
+		}
+		out2, err := again.MarshalBinary()
+		if err != nil {
+			t.Fatalf("second re-marshal: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("round trip unstable: %d vs %d bytes", len(out), len(out2))
+		}
+	})
+}
+
+// TestFuzzSeedsDecode pins the committed corpus: both seed files must decode
+// cleanly in their respective versions (the fuzz target itself would skip
+// them silently if they ever rotted into invalid inputs).
+func TestFuzzSeedsDecode(t *testing.T) {
+	for name, version := range map[string]byte{"snapshot_v1.bin": 1, "snapshot_v2.bin": 2} {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := data[len(snapshotMagic)]; got != version {
+			t.Errorf("%s: version byte = %d, want %d", name, got, version)
+		}
+		var snap ResultSnapshot
+		if err := snap.UnmarshalBinary(data); err != nil {
+			t.Errorf("%s does not decode: %v", name, err)
+		}
+		if snap.KB1 != "ykb" || len(snap.Instances) != 2 {
+			t.Errorf("%s decoded unexpectedly: kb1=%q instances=%d", name, snap.KB1, len(snap.Instances))
+		}
+	}
+}

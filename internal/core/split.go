@@ -1,0 +1,50 @@
+package core
+
+// Snapshot slicing for sharded serving (internal/shard): one published
+// ResultSnapshot is split into N per-shard slices, each carrying exactly the
+// instance assignments a shard needs to answer lookups for the keys it owns.
+
+// Split partitions the snapshot into n slices in a single pass over the
+// instance table. owner maps an entity key to the shard that serves lookups
+// for it; it must be deterministic and return values in [0, n).
+//
+// An assignment is placed on the shard owning its ontology-1 key and, when
+// different, duplicated on the shard owning its ontology-2 key — so forward
+// (kb=1) and reverse (kb=2) lookups each find every assignment they could
+// resolve, and per-shard reverse deduplication (several ontology-1 entities
+// sharing one ontology-2 match) sees the same candidate set as a single
+// process. Relative instance order is preserved within each slice, keeping
+// normalized-lookup results in the order a single process returns them.
+//
+// The relation and class tables are schema-sized, not KB-sized, so every
+// slice carries a full copy (deep-copied: the serving layer sorts them in
+// place) and any one shard can answer /v1/relations and /v1/classes for the
+// whole deployment. Header fields — KB names, iteration statistics,
+// timestamps, and lineage — are replicated verbatim.
+func (s *ResultSnapshot) Split(n int, owner func(key string) int) []*ResultSnapshot {
+	out := make([]*ResultSnapshot, n)
+	for i := range out {
+		out[i] = &ResultSnapshot{
+			KB1:         s.KB1,
+			KB2:         s.KB2,
+			Relations12: append([]SnapshotRelation(nil), s.Relations12...),
+			Relations21: append([]SnapshotRelation(nil), s.Relations21...),
+			Classes12:   append([]SnapshotClass(nil), s.Classes12...),
+			Classes21:   append([]SnapshotClass(nil), s.Classes21...),
+			Iterations:  append([]IterationStats(nil), s.Iterations...),
+			ClassTime:   s.ClassTime,
+			CreatedAt:   s.CreatedAt,
+			Base:        s.Base,
+			DeltaDigest: s.DeltaDigest,
+			DeltaAdded:  s.DeltaAdded,
+		}
+	}
+	for _, a := range s.Instances {
+		o1 := owner(a.Key1)
+		out[o1].Instances = append(out[o1].Instances, a)
+		if o2 := owner(a.Key2); o2 != o1 {
+			out[o2].Instances = append(out[o2].Instances, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSplitCoversEveryAssignment checks the slicing invariants: each
+// assignment lands on the shard owning its Key1 and on the shard owning its
+// Key2 (once when they coincide), order is preserved within a slice, and the
+// schema-level tables plus header fields are replicated on every slice.
+func TestSplitCoversEveryAssignment(t *testing.T) {
+	snap := sampleSnapshot()
+	snap.Instances = []SnapshotAssignment{
+		{Key1: "<http://a/k0>", Key2: "<http://b/k1>", P: 0.9}, // split across 0 and 1
+		{Key1: "<http://a/k1>", Key2: "<http://b/k1>", P: 0.8}, // both owned by 1
+		{Key1: "<http://a/k2>", Key2: "<http://b/k0>", P: 0.7}, // split across 2 and 0
+	}
+	owner := func(key string) int { return int(key[len(key)-2] - '0') }
+
+	slices := snap.Split(3, owner)
+	if len(slices) != 3 {
+		t.Fatalf("Split returned %d slices, want 3", len(slices))
+	}
+	counts := map[SnapshotAssignment]int{}
+	for _, sl := range slices {
+		for _, a := range sl.Instances {
+			counts[a]++
+		}
+	}
+	for i, a := range snap.Instances {
+		want := 2
+		if owner(a.Key1) == owner(a.Key2) {
+			want = 1
+		}
+		if counts[a] != want {
+			t.Errorf("instance %d appears on %d slices, want %d", i, counts[a], want)
+		}
+	}
+	if got := slices[0].Instances; len(got) != 2 || got[0].Key1 != "<http://a/k0>" || got[1].Key1 != "<http://a/k2>" {
+		t.Errorf("slice 0 instances = %v, want k0 then k2 in original order", got)
+	}
+
+	for i, sl := range slices {
+		if sl.KB1 != snap.KB1 || sl.KB2 != snap.KB2 || sl.Base != snap.Base ||
+			sl.DeltaDigest != snap.DeltaDigest || sl.DeltaAdded != snap.DeltaAdded ||
+			!sl.CreatedAt.Equal(snap.CreatedAt) || sl.ClassTime != snap.ClassTime {
+			t.Errorf("slice %d header diverges from source", i)
+		}
+		if !reflect.DeepEqual(sl.Relations12, snap.Relations12) ||
+			!reflect.DeepEqual(sl.Relations21, snap.Relations21) ||
+			!reflect.DeepEqual(sl.Classes12, snap.Classes12) ||
+			!reflect.DeepEqual(sl.Classes21, snap.Classes21) ||
+			!reflect.DeepEqual(sl.Iterations, snap.Iterations) {
+			t.Errorf("slice %d schema tables diverge from source", i)
+		}
+	}
+
+	// The copies must be deep: sorting one slice's relations (as the serving
+	// index does) must not reorder another's.
+	if len(slices[0].Relations12) > 1 {
+		slices[0].Relations12[0], slices[0].Relations12[1] = slices[0].Relations12[1], slices[0].Relations12[0]
+		if reflect.DeepEqual(slices[0].Relations12, slices[1].Relations12) {
+			t.Error("relation tables share backing storage across slices")
+		}
+	}
+}

@@ -57,7 +57,7 @@ func SaveSnapshot(s *Store, id string, snap *core.ResultSnapshot) error {
 
 // LoadSnapshot reads back one persisted snapshot.
 func LoadSnapshot(s *Store, id string) (*core.ResultSnapshot, error) {
-	data, err := s.Get([]byte(kindSnapshot + id))
+	data, err := LoadSnapshotRaw(s, id)
 	if err != nil {
 		return nil, err
 	}
@@ -66,6 +66,15 @@ func LoadSnapshot(s *Store, id string) (*core.ResultSnapshot, error) {
 		return nil, fmt.Errorf("diskstore: snapshot %s: %w", id, err)
 	}
 	return snap, nil
+}
+
+// LoadSnapshotRaw reads back one persisted snapshot's binary encoding
+// without decoding it — the record is the exact MarshalBinary output
+// SaveSnapshot stored, so exporting a snapshot over the wire can serve
+// these bytes directly instead of materializing a multi-GB struct only to
+// re-encode it.
+func LoadSnapshotRaw(s *Store, id string) ([]byte, error) {
+	return s.Get([]byte(kindSnapshot + id))
 }
 
 // SaveSnapshotMeta persists an opaque metadata record for a snapshot. Save

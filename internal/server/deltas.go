@@ -34,6 +34,9 @@ const maxDeltaBody = 32 << 20
 // handleSubmitDelta validates a delta request, resolves its base snapshot,
 // and enqueues it on the shared worker pool.
 func (s *Server) handleSubmitDelta(w http.ResponseWriter, r *http.Request) {
+	if s.rejectOnShard(w) {
+		return
+	}
 	var req DeltaRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxDeltaBody)).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)

@@ -244,3 +244,99 @@ func TestSnapshotGC(t *testing.T) {
 		t.Fatalf("read of retired snapshot: %d, want 404", code)
 	}
 }
+
+// TestCanceledQueuedDeltaFreesSlotAndBasePin closes the queue-coverage gap
+// left by the running-job cancellation tests: canceling a delta job that is
+// still *queued* must free its queue slot immediately (a full queue of
+// canceled jobs must not refuse new submissions until a worker drains it)
+// and release the base snapshot it had pinned against the retention GC —
+// the "reserved version" an accepted delta holds until it runs.
+func TestCanceledQueuedDeltaFreesSlotAndBasePin(t *testing.T) {
+	dir := t.TempDir()
+	d := writePersonsKB(t, dir, 20)
+	srv, err := New(Options{
+		StateDir: filepath.Join(dir, "state"), Workers: 1, QueueDepth: 1, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	req := JobRequest{
+		KB1: filepath.Join(dir, d.Name1+".nt"),
+		KB2: filepath.Join(dir, d.Name2+".nt"),
+	}
+	var first Job
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", req, &first); code != http.StatusAccepted {
+		t.Fatalf("first job: %d", code)
+	}
+	base := waitDone(t, ts.URL, first.ID)
+	if base.State != JobDone {
+		t.Fatalf("base job failed: %s", base.Error)
+	}
+
+	// Gate the single worker on a second align job so the delta stays
+	// queued behind it.
+	picked := make(chan string, 4)
+	release := make(chan struct{})
+	srv.testBeforeAlign = func(id string) { picked <- id; <-release }
+	var blocker Job
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", req, &blocker); code != http.StatusAccepted {
+		t.Fatalf("blocker job: %d", code)
+	}
+	<-picked
+
+	var dj Job
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/deltas", DeltaRequest{
+		Base: base.Snapshot, KB: "1", NTriples: deltaPerson1,
+	}, &dj); code != http.StatusAccepted {
+		t.Fatalf("delta job: %d", code)
+	}
+	if dj.State != JobQueued {
+		t.Fatalf("delta job state = %q, want queued", dj.State)
+	}
+
+	// The queue (depth 1) is now full, and the queued delta pins its base.
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", req, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("submission into full queue: %d, want 503", code)
+	}
+	if bases := srv.jobs.activeDeltaBases(); len(bases) != 1 || bases[0] != base.Snapshot {
+		t.Fatalf("active delta bases = %v, want [%s]", bases, base.Snapshot)
+	}
+
+	var canceled Job
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+dj.ID, nil, &canceled); code != http.StatusOK {
+		t.Fatalf("DELETE queued delta: %d, want 200", code)
+	}
+	if canceled.State != JobFailed {
+		t.Fatalf("canceled queued delta = %+v, want failed", canceled)
+	}
+
+	// Slot freed immediately: the queue accepts a new job although the
+	// worker is still busy and has drained nothing.
+	var next Job
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", req, &next); code != http.StatusAccepted {
+		t.Fatalf("submission after cancel: %d, want 202 (slot not freed)", code)
+	}
+	// Base pin released: the GC may retire the base snapshot again.
+	if bases := srv.jobs.activeDeltaBases(); len(bases) != 0 {
+		t.Fatalf("active delta bases after cancel = %v, want none", bases)
+	}
+
+	close(release)
+	if j := waitDone(t, ts.URL, blocker.ID); j.State != JobDone {
+		t.Fatalf("blocker job = %+v, want done", j)
+	}
+	if j := waitDone(t, ts.URL, next.ID); j.State != JobDone {
+		t.Fatalf("post-cancel job = %+v, want done", j)
+	}
+	// The canceled delta never ran and never published.
+	snaps, _ := snapshotList(t, ts.URL)
+	for _, info := range snaps {
+		if info.DeltaDigest != "" {
+			t.Fatalf("a delta snapshot was published despite cancellation: %+v", info)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"os"
@@ -51,8 +52,27 @@ type Options struct {
 	// each publish, snapshots beyond the newest Retain are retired from
 	// the store unless pinned by the lineage of a kept snapshot (so delta
 	// chains stay replayable) or by an active ?snapshot= pinned index.
-	// Zero keeps everything.
+	// Zero keeps everything. In shard mode one extra version is kept so
+	// the router's previous epoch survives a publish window; size Retain
+	// to cover every version that may land between router refreshes — a
+	// retired version the router still routes to would 404 unpinned reads.
 	Retain int
+
+	// MaxSnapshotBytes bounds one PUT /v1/snapshots/{id} body (default
+	// 1 GiB). Raise it on shards of deployments whose per-shard slices
+	// exceed the default; streaming slice transfer (no whole-snapshot
+	// buffering) is a roadmap item.
+	MaxSnapshotBytes int64
+
+	// ShardCount, when positive, runs the server as one shard of an
+	// N-way sharded deployment (parisd -shard i/N behind a parisrouter):
+	// it serves lookups for its slice of the key space only, refuses
+	// alignment and delta submissions (those belong on the aligner that
+	// computes the full snapshot), and receives its per-shard snapshot
+	// slices through PUT /v1/snapshots/{id}. ShardIndex is this shard's
+	// 0-based position in [0, ShardCount).
+	ShardCount int
+	ShardIndex int
 
 	// Logf, when non-nil, receives one line per significant event.
 	Logf func(format string, args ...any)
@@ -62,11 +82,19 @@ type Options struct {
 const (
 	maxJobWorkers    = 256
 	maxJobIterations = 1000
-	// maxBatchKeys bounds one POST /v1/sameas request.
-	maxBatchKeys = 10000
 	// maxPinnedIndexes bounds the cache of non-current snapshot indexes
 	// kept alive for ?snapshot= pinned reads.
 	maxPinnedIndexes = 4
+)
+
+// Bounds of one POST /v1/sameas batch request, exported so the shard
+// router's pre-flight rejections can never diverge from what a shard would
+// answer — the router mirrors these, not copies of their values.
+const (
+	// MaxBatchKeys bounds the keys of one batch lookup.
+	MaxBatchKeys = 10000
+	// MaxBatchBody bounds the request body of one batch lookup.
+	MaxBatchBody = 8 << 20
 )
 
 func (o Options) withDefaults() Options {
@@ -78,6 +106,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CacheSize <= 0 {
 		o.CacheSize = 4096
+	}
+	if o.MaxSnapshotBytes <= 0 {
+		o.MaxSnapshotBytes = 1 << 30
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -135,6 +166,12 @@ func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	if opts.StateDir == "" {
 		return nil, fmt.Errorf("server: Options.StateDir is required")
+	}
+	if opts.ShardCount < 0 || opts.ShardIndex < 0 ||
+		(opts.ShardCount == 0 && opts.ShardIndex != 0) ||
+		(opts.ShardCount > 0 && opts.ShardIndex >= opts.ShardCount) {
+		return nil, fmt.Errorf("server: invalid shard %d/%d (index must be in [0, count))",
+			opts.ShardIndex, opts.ShardCount)
 	}
 	if err := os.MkdirAll(opts.StateDir, 0o755); err != nil {
 		return nil, err
@@ -467,17 +504,33 @@ func (s *Server) reserveSnapshotID() string {
 	return diskstore.SnapshotID(s.snapSeq)
 }
 
+// errSnapshotExists reports an attempt to publish under an ID that is
+// already taken — only possible through snapshot ingestion, where the
+// caller names the ID instead of reserving one.
+var errSnapshotExists = errors.New("snapshot already exists")
+
 // publishAs persists snap under a reserved ID and atomically swaps the
 // serving index to it. Reservations can complete out of order (two cold
 // jobs, or a cold job racing a delta job's segment write), so the snapshot
 // list is kept in ID order and the serving index only ever moves forward —
 // a slower job publishing an older reserved ID never regresses "current",
 // and a restart (which serves the highest listed ID) agrees with the live
-// server.
+// server. A snapshot that already carries a publication time (an ingested
+// slice of a snapshot published elsewhere) keeps it, so all shards of one
+// version agree on when it was created.
 func (s *Server) publishAs(id string, snap *core.ResultSnapshot) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	snap.CreatedAt = time.Now().UTC()
+	pos := len(s.snaps)
+	for pos > 0 && s.snaps[pos-1].ID > id {
+		pos--
+	}
+	if pos > 0 && s.snaps[pos-1].ID == id {
+		return fmt.Errorf("%s: %w", id, errSnapshotExists)
+	}
+	if snap.CreatedAt.IsZero() {
+		snap.CreatedAt = time.Now().UTC()
+	}
 	info := snapshotInfo(id, snap)
 	if meta, err := json.Marshal(info); err == nil {
 		// Metadata before snapshot: SaveSnapshot's Sync covers both, and
@@ -488,10 +541,6 @@ func (s *Server) publishAs(id string, snap *core.ResultSnapshot) error {
 	}
 	if err := diskstore.SaveSnapshot(s.store, id, snap); err != nil {
 		return err
-	}
-	pos := len(s.snaps)
-	for pos > 0 && s.snaps[pos-1].ID > id {
-		pos--
 	}
 	s.snaps = slices.Insert(s.snaps, pos, info)
 	if cur := s.idx.Load(); cur == nil || cur.id < id {
@@ -514,9 +563,18 @@ func (s *Server) gc() {
 	// Bases of accepted-but-unfinished delta jobs must survive, or the
 	// server would doom work it already acknowledged with 202.
 	activeBases := s.jobs.activeDeltaBases()
+	retain := s.opts.Retain
+	if s.opts.ShardCount > 0 {
+		// A shard keeps one extra version: between this shard ingesting a
+		// new snapshot and the last shard acknowledging it, the router
+		// still pins every unpinned read to the previous epoch — retiring
+		// it here would 404 those reads for exactly the window the
+		// two-phase publish exists to protect.
+		retain++
+	}
 	s.mu.Lock()
 	keep := make(map[string]bool)
-	for i := max(0, len(s.snaps)-s.opts.Retain); i < len(s.snaps); i++ {
+	for i := max(0, len(s.snaps)-retain); i < len(s.snaps); i++ {
 		keep[s.snaps[i].ID] = true
 	}
 	if ix := s.idx.Load(); ix != nil {
@@ -601,6 +659,8 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("GET /v1/relations", s.handleRelations)
 	mux.HandleFunc("GET /v1/classes", s.handleClasses)
 	mux.HandleFunc("GET /v1/snapshots", s.handleSnapshots)
+	mux.HandleFunc("GET /v1/snapshots/{id}", s.handleExportSnapshot)
+	mux.HandleFunc("PUT /v1/snapshots/{id}", s.handleIngestSnapshot)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -662,7 +722,114 @@ func (s *Server) indexFor(snapID string) (*index, int, error) {
 	return ix, 0, nil
 }
 
+// rejectOnShard answers job- and delta-submission requests on a shard: a
+// shard serves a read-only slice of the key space and receives its data
+// through PUT /v1/snapshots/{id}, never by aligning.
+func (s *Server) rejectOnShard(w http.ResponseWriter) bool {
+	if s.opts.ShardCount <= 0 {
+		return false
+	}
+	httpError(w, http.StatusForbidden,
+		"this server is shard %d/%d and serves lookups only; submit jobs to the aligner",
+		s.opts.ShardIndex, s.opts.ShardCount)
+	return true
+}
+
+// handleIngestSnapshot implements PUT /v1/snapshots/{id}: publish a
+// pre-computed snapshot (the versioned binary encoding) under an explicit,
+// caller-chosen ID. This is how a sharded deployment distributes per-shard
+// slices — the publisher splits one snapshot and pushes slice i to shard i
+// under a common ID, so a pinned ?snapshot= read resolves consistently on
+// every shard — and it also serves offline batch runs that compute results
+// outside the jobs API. Re-publishing a taken ID answers 409.
+func (s *Server) handleIngestSnapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	seq, err := diskstore.ParseSnapshotID(id)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxSnapshotBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "snapshot exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	snap := new(core.ResultSnapshot)
+	if err := snap.UnmarshalBinary(data); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Keep the ID sequence ahead of ingested IDs so a later reserved ID
+	// can never collide with one named by a publisher. The other direction
+	// needs a guard on aligners only: an unlisted ID at or below the
+	// sequence may be reserved by an in-flight job (reservation precedes
+	// publication), and publishing over it would doom 202-acknowledged
+	// work when that job finishes. Shards never reserve — jobs are refused
+	// there — so re-pushing an older version to a shard stays legal (the
+	// rerun-a-half-failed-publish case).
+	s.mu.Lock()
+	if seq > s.snapSeq {
+		s.snapSeq = seq
+	} else if s.opts.ShardCount == 0 &&
+		!slices.ContainsFunc(s.snaps, func(info SnapshotInfo) bool { return info.ID == id }) {
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict,
+			"snapshot ID %s may collide with an in-flight job reservation; use an ID above the current sequence", id)
+		return
+	}
+	s.mu.Unlock()
+	if err := s.publishAs(id, snap); err != nil {
+		if errors.Is(err, errSnapshotExists) {
+			httpError(w, http.StatusConflict, "%v", err)
+		} else {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	s.gc()
+	s.opts.Logf("server: ingested snapshot %s (%s vs %s, %d instances)",
+		id, snap.KB1, snap.KB2, len(snap.Instances))
+	writeJSON(w, http.StatusCreated, snapshotInfo(id, snap))
+}
+
+// handleExportSnapshot implements GET /v1/snapshots/{id}: the persisted
+// snapshot in its portable binary encoding, the counterpart of ingestion —
+// a publisher fetches a version off the aligner with it, splits it, and
+// pushes the slices to the shard fleet. The stored record is the exact
+// MarshalBinary output, so it is served verbatim without decoding — a
+// multi-GB snapshot export costs one buffer, not three.
+func (s *Server) handleExportSnapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	known := slices.ContainsFunc(s.snaps, func(info SnapshotInfo) bool { return info.ID == id })
+	s.mu.Unlock()
+	if !known {
+		httpError(w, http.StatusNotFound, "unknown snapshot %q", id)
+		return
+	}
+	data, err := diskstore.LoadSnapshotRaw(s.store, id)
+	if errors.Is(err, diskstore.ErrNotFound) { // retired by the GC since the check
+		httpError(w, http.StatusNotFound, "unknown snapshot %q", id)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "loading snapshot %s: %v", id, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.rejectOnShard(w) {
+		return
+	}
 	var req JobRequest
 	// A job request is a handful of strings and numbers; cap the body so a
 	// huge payload cannot balloon the heap before validation.
@@ -854,7 +1021,7 @@ func (s *Server) handleSameAsBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req batchSameAsRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBatchBody)).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
@@ -862,8 +1029,8 @@ func (s *Server) handleSameAsBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "keys must not be empty")
 		return
 	}
-	if len(req.Keys) > maxBatchKeys {
-		httpError(w, http.StatusBadRequest, "at most %d keys per batch (got %d)", maxBatchKeys, len(req.Keys))
+	if len(req.Keys) > MaxBatchKeys {
+		httpError(w, http.StatusBadRequest, "at most %d keys per batch (got %d)", MaxBatchKeys, len(req.Keys))
 		return
 	}
 	fwd, ok := direction(w, ix, req.KB)
@@ -958,6 +1125,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	stats["snapshots"] = len(s.snaps)
 	s.mu.Unlock()
+	if s.opts.ShardCount > 0 {
+		stats["shard"] = map[string]any{
+			"index": s.opts.ShardIndex, "count": s.opts.ShardCount,
+		}
+	}
 	if ix := s.idx.Load(); ix != nil {
 		stats["snapshot"] = map[string]any{
 			"id": ix.id, "kb1": ix.kb1, "kb2": ix.kb2,

@@ -192,7 +192,7 @@ func TestBatchSameAs(t *testing.T) {
 	for name, body := range map[string]any{
 		"no keys":  map[string]any{"kb": "1"},
 		"bad kb":   map[string]any{"kb": "7", "keys": []string{"x"}},
-		"too many": map[string]any{"kb": "1", "keys": make([]string, maxBatchKeys+1)},
+		"too many": map[string]any{"kb": "1", "keys": make([]string, MaxBatchKeys+1)},
 		"bad json": nil,
 	} {
 		var code int

@@ -1,0 +1,46 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/literal"
+)
+
+// Partitioner deterministically assigns entity keys to shards. It hashes
+// the normalized (folded) form of the key — lowercased, alphanumeric runes
+// only, the same fold the serving index uses for normalized lookups — with
+// FNV-1a, so:
+//
+//   - every spelling a single-process lookup would accept ("<http://a/X>",
+//     "http://a/x", "HTTP://A/X") routes to the shard holding the canonical
+//     entry, and
+//   - all canonical keys a normalized lookup could return collapse to one
+//     fold and therefore live on one shard, keeping sharded answers
+//     byte-identical to single-process ones.
+//
+// The assignment is a pure function of (key, shard count): restarts,
+// rebuilds, and independent router replicas all agree.
+type Partitioner struct {
+	count int
+}
+
+// NewPartitioner returns a partitioner over count shards, rejecting
+// non-positive counts.
+func NewPartitioner(count int) (Partitioner, error) {
+	if count <= 0 {
+		return Partitioner{}, fmt.Errorf("shard: partitioner needs a positive shard count, got %d", count)
+	}
+	return Partitioner{count: count}, nil
+}
+
+// Count returns the number of shards keys are partitioned over.
+func (p Partitioner) Count() int { return p.count }
+
+// Owner returns the shard index in [0, Count) that serves lookups for key.
+func (p Partitioner) Owner(key string) int {
+	h := fnv.New64a()
+	io.WriteString(h, literal.AlphaNumString(key))
+	return int(h.Sum64() % uint64(p.count))
+}

@@ -1,0 +1,140 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/client"
+	"repro/internal/core"
+	"repro/internal/diskstore"
+)
+
+// Publish splits snap into per-shard slices (one pass, core.Split) and
+// pushes slice i to shard i under the given snapshot ID — phase one of the
+// two-phase publish. The ID is common to every shard, so a ?snapshot=-
+// pinned read resolves consistently across the deployment. shards must be
+// in shard-index order and id a diskstore snapshot ID (snap-NNNNNNNN).
+//
+// Publish returns once every shard has acknowledged (persisted and
+// published) its slice; the caller then flips the routing epoch (phase two,
+// Router.Refresh or POST /v1/refresh). On failure some shards may hold the
+// new version while others do not — readers are unaffected, since the
+// router keeps resolving the old epoch until all shards acknowledge, and
+// rerunning the same Publish converges: a shard that already holds the ID
+// answers 409, which counts as acknowledged.
+func Publish(ctx context.Context, shards []*client.Client, id string, snap *core.ResultSnapshot) error {
+	if _, err := diskstore.ParseSnapshotID(id); err != nil {
+		return err
+	}
+	part, err := NewPartitioner(len(shards))
+	if err != nil {
+		return err
+	}
+	// A misordered shard list would persist slices on the wrong shards —
+	// data corruption, not just misrouting — so check each shard's
+	// self-reported i/N coordinates against its position before pushing.
+	if err := verifyShardOrder(ctx, shards, func(i int) string { return fmt.Sprintf("peer %d", i) }); err != nil {
+		return err
+	}
+	stampCreated(snap)
+	slices := snap.Split(len(shards), part.Owner)
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := shards[i].PutSnapshot(ctx, id, slices[i])
+			var se *client.Error
+			if errors.As(err, &se) && se.StatusCode == http.StatusConflict {
+				// A 409 usually means the shard already holds the version
+				// (an earlier, partly failed publish) — but the status also
+				// covers the reservation-collision rejection, which stores
+				// nothing. Only an ID the shard actually lists counts as
+				// the acknowledgment.
+				if list, lerr := shards[i].Snapshots(ctx); lerr == nil {
+					for _, info := range list.Snapshots {
+						if info.ID == id {
+							err = nil
+							break
+						}
+					}
+				}
+			}
+			if err != nil {
+				errs[i] = fmt.Errorf("shard: pushing %s to shard %d: %w", id, i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSlices splits snap and persists slice i into stateDirs[i] through
+// the diskstore — the offline path: prepare the shard state directories
+// before the shard processes start, instead of pushing slices to running
+// shards over HTTP. Each directory becomes a valid parisd -state dir
+// serving the slice as its newest snapshot.
+func WriteSlices(stateDirs []string, id string, snap *core.ResultSnapshot) error {
+	if _, err := diskstore.ParseSnapshotID(id); err != nil {
+		return err
+	}
+	part, err := NewPartitioner(len(stateDirs))
+	if err != nil {
+		return err
+	}
+	stampCreated(snap)
+	slices := snap.Split(len(stateDirs), part.Owner)
+	for i, dir := range stateDirs {
+		if err := writeSlice(dir, id, slices[i]); err != nil {
+			return fmt.Errorf("shard: writing slice %d to %s: %w", i, dir, err)
+		}
+	}
+	return nil
+}
+
+// stampCreated gives a freshly built snapshot its publication time before
+// slicing, so every shard of the version records the same creation instant
+// (a shard preserves a non-zero CreatedAt on ingest and would otherwise
+// stamp its own).
+func stampCreated(snap *core.ResultSnapshot) {
+	if snap.CreatedAt.IsZero() {
+		snap.CreatedAt = time.Now().UTC()
+	}
+}
+
+// writeSlice persists one slice into one state directory, metadata record
+// included so the shard's recovery can list it without a full decode.
+func writeSlice(dir, id string, slice *core.ResultSnapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	st, err := diskstore.Open(filepath.Join(dir, "paris.db"))
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	info := client.SnapshotInfo{
+		ID: id, KB1: slice.KB1, KB2: slice.KB2,
+		Created: slice.CreatedAt, Instances: len(slice.Instances),
+		Base: slice.Base, DeltaDigest: slice.DeltaDigest, DeltaAdded: slice.DeltaAdded,
+	}
+	if meta, err := json.Marshal(info); err == nil {
+		if err := diskstore.SaveSnapshotMeta(st, id, meta); err != nil {
+			return err
+		}
+	}
+	return diskstore.SaveSnapshot(st, id, slice)
+}

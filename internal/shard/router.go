@@ -1,0 +1,492 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/client"
+	"repro/internal/server"
+)
+
+// The router rejects oversized batches with the shard servers' own bounds
+// (and therefore the same messages a single process would produce).
+const (
+	maxBatchKeys = server.MaxBatchKeys
+	maxBatchBody = server.MaxBatchBody
+)
+
+// defaultShardClient returns the router's default HTTP client: the stock
+// transport keeps only two idle connections per host, so a router fanning
+// every batch out to the same few shards under load would churn TCP
+// connections; raise the per-host idle pool to keep the scatter path on
+// warm connections.
+func defaultShardClient() *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 0 // no global cap; the per-host cap governs
+	tr.MaxIdleConnsPerHost = 256
+	return &http.Client{Transport: tr}
+}
+
+// RouterOption configures a Router.
+type RouterOption func(*Router)
+
+// WithHTTPClient substitutes the *http.Client used for shard requests
+// (timeouts, connection pooling, middleware).
+func WithHTTPClient(h *http.Client) RouterOption {
+	return func(rt *Router) { rt.httpc = h }
+}
+
+// WithLogf installs a logger; the default discards.
+func WithLogf(f func(format string, args ...any)) RouterOption {
+	return func(rt *Router) { rt.logf = f }
+}
+
+// Router is the stateless front of a sharded deployment: it owns no index,
+// only the shard topology and a routing epoch. Reads route to the shard
+// owning the queried key; batch lookups scatter-gather across the owning
+// shards with per-shard contexts. Every read without an explicit ?snapshot=
+// is pinned to the routing epoch — the newest snapshot version every shard
+// has acknowledged — so a publish in flight (slices landed on some shards
+// but not all) never produces a torn cross-shard view. Refresh advances the
+// epoch, and only forward.
+type Router struct {
+	part  Partitioner
+	urls  []string
+	peers []*client.Client
+	httpc *http.Client
+	logf  func(format string, args ...any)
+
+	// epochMu serializes epoch advancement; readers go through the atomic.
+	epochMu sync.Mutex
+	epoch   atomic.Value // string; "" before the first acknowledged version
+
+	lookups atomic.Uint64
+	mux     *http.ServeMux
+}
+
+// NewRouter builds a router over the shard base URLs, in shard-index order:
+// shardURLs[i] must be the shard started with -shard i/N, where N is
+// len(shardURLs).
+func NewRouter(shardURLs []string, opts ...RouterOption) (*Router, error) {
+	part, err := NewPartitioner(len(shardURLs))
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		part:  part,
+		httpc: defaultShardClient(),
+		logf:  func(string, ...any) {},
+	}
+	rt.epoch.Store("")
+	for _, opt := range opts {
+		opt(rt)
+	}
+	for i, u := range shardURLs {
+		u = strings.TrimSuffix(u, "/")
+		peer, err := client.New(u, client.WithHTTPClient(rt.httpc))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		rt.urls = append(rt.urls, u)
+		rt.peers = append(rt.peers, peer)
+	}
+	rt.buildMux()
+	return rt, nil
+}
+
+// Shards returns the number of shards behind the router.
+func (rt *Router) Shards() int { return len(rt.peers) }
+
+// Epoch returns the routing epoch: the snapshot ID unpinned reads resolve
+// against, empty before any version has been acknowledged by every shard.
+func (rt *Router) Epoch() string { return rt.epoch.Load().(string) }
+
+// verifyShardOrder checks each peer's self-reported shard coordinates
+// (/v1/stats) against its position in the list; desc names peer i in
+// errors. A plain parisd (no shard coordinates in its stats) passes
+// unchecked: it holds a full index, any position works.
+func verifyShardOrder(ctx context.Context, peers []*client.Client, desc func(int) string) error {
+	for i, peer := range peers {
+		stats, err := peer.Stats(ctx)
+		if err != nil {
+			return fmt.Errorf("shard %d (%s): %w", i, desc(i), err)
+		}
+		if err := checkShardCoords(stats, i, len(peers), desc(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkShardCoords validates one shard's self-reported i/N against its
+// position.
+func checkShardCoords(stats map[string]any, pos, count int, desc string) error {
+	sh, ok := stats["shard"].(map[string]any)
+	if !ok {
+		return nil
+	}
+	idx, _ := sh["index"].(float64)
+	cnt, _ := sh["count"].(float64)
+	if int(idx) != pos || int(cnt) != count {
+		return fmt.Errorf("shard: shard order mismatch: position %d is %s, which reports shard %d/%d (want %d/%d)",
+			pos, desc, int(idx), int(cnt), pos, count)
+	}
+	return nil
+}
+
+// Refresh recomputes the routing epoch: the newest snapshot version listed
+// by every shard, polled concurrently. It is phase two of the two-phase
+// publish — the epoch flips only once each shard has acknowledged
+// (persisted and published) its slice, and it never moves backward, so a
+// shard restarted with an older state cannot regress routing. Every pass
+// also re-checks each shard's self-reported -shard i/N coordinates against
+// its position (not just once at startup: a shard restarted mid-life with
+// swapped flags would otherwise misroute silently). Refresh returns the
+// epoch in force after the check; an unreachable or misordered shard
+// leaves the epoch untouched.
+func (rt *Router) Refresh(ctx context.Context) (string, error) {
+	type report struct {
+		list  client.SnapshotList
+		stats map[string]any
+		err   error
+	}
+	reports := make([]report, len(rt.peers))
+	var wg sync.WaitGroup
+	for i := range rt.peers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := &reports[i]
+			if r.stats, r.err = rt.peers[i].Stats(ctx); r.err != nil {
+				return
+			}
+			r.list, r.err = rt.peers[i].Snapshots(ctx)
+		}(i)
+	}
+	wg.Wait()
+	acks := map[string]int{}
+	for i := range rt.peers {
+		if reports[i].err != nil {
+			return rt.Epoch(), fmt.Errorf("shard %d (%s): %w", i, rt.urls[i], reports[i].err)
+		}
+		if err := checkShardCoords(reports[i].stats, i, len(rt.peers), rt.urls[i]); err != nil {
+			return rt.Epoch(), err
+		}
+		for _, info := range reports[i].list.Snapshots {
+			acks[info.ID]++
+		}
+	}
+	best := ""
+	for id, n := range acks {
+		if n == len(rt.peers) && id > best {
+			best = id
+		}
+	}
+	rt.epochMu.Lock()
+	defer rt.epochMu.Unlock()
+	if cur := rt.Epoch(); best > cur {
+		rt.epoch.Store(best)
+		rt.logf("router: epoch %s -> %s", cur, best)
+	}
+	return rt.Epoch(), nil
+}
+
+// Handler returns the router's HTTP API: the /v1 read surface of a parisd,
+// served scatter-gather, plus POST /v1/refresh to advance the epoch.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+func (rt *Router) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/sameas", rt.handleSameAs)
+	mux.HandleFunc("POST /v1/sameas", rt.handleSameAsBatch)
+	mux.HandleFunc("GET /v1/relations", rt.handleScores)
+	mux.HandleFunc("GET /v1/classes", rt.handleScores)
+	mux.HandleFunc("GET /v1/snapshots", rt.handleSnapshots)
+	mux.HandleFunc("POST /v1/refresh", rt.handleRefresh)
+	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	rt.mux = mux
+}
+
+// pinned resolves the snapshot a read should be served from: the explicit
+// ?snapshot= when given, otherwise the routing epoch. ok is false (and the
+// 503 a snapshot-less single process would send has been written) when
+// neither exists.
+func (rt *Router) pinned(w http.ResponseWriter, q url.Values) (pin string, ok bool) {
+	if pin = q.Get("snapshot"); pin != "" {
+		return pin, true
+	}
+	if pin = rt.Epoch(); pin == "" {
+		// Mirror the single-process read path before any snapshot exists.
+		httpError(w, http.StatusServiceUnavailable, "no completed alignment yet")
+		return "", false
+	}
+	return pin, true
+}
+
+// handleSameAs routes one lookup to the shard owning the key and relays the
+// shard's response verbatim — the sharded answer is byte-identical to the
+// single-process one.
+func (rt *Router) handleSameAs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	pin, ok := rt.pinned(w, q)
+	if !ok {
+		return
+	}
+	q.Set("snapshot", pin)
+	rt.lookups.Add(1)
+	rt.proxy(w, r, rt.part.Owner(q.Get("key")), q)
+}
+
+// handleScores serves /v1/relations and /v1/classes. Every snapshot slice
+// carries the full schema-level tables (they are schema-sized, not
+// KB-sized), so shard 0 answers for the whole deployment.
+func (rt *Router) handleScores(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	pin, ok := rt.pinned(w, q)
+	if !ok {
+		return
+	}
+	q.Set("snapshot", pin)
+	rt.proxy(w, r, 0, q)
+}
+
+// proxy relays the request to one shard with the rewritten query and copies
+// the response through untouched.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, shard int, q url.Values) {
+	u := rt.urls[shard] + r.URL.Path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, nil)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "shard %d unreachable: %v", shard, err)
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	// The status line is written; a copy error has nowhere to go.
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// batchRequest mirrors the shard servers' POST /v1/sameas request body.
+type batchRequest struct {
+	KB   string   `json:"kb"`
+	Keys []string `json:"keys"`
+}
+
+// batchResponse mirrors the shard servers' POST /v1/sameas response body,
+// field for field, so the reassembled scatter-gather answer is
+// byte-identical to a single process serving the unsplit snapshot.
+type batchResponse struct {
+	Snapshot string                     `json:"snapshot"`
+	KB       string                     `json:"kb"`
+	Found    int                        `json:"found"`
+	Results  []client.BatchSameAsResult `json:"results"`
+}
+
+// handleSameAsBatch scatter-gathers one batch lookup: keys group by owning
+// shard, per-shard sub-batches fan out concurrently (each under its own
+// cancelable context — the first failure cancels the stragglers), and the
+// per-key answers reassemble in request order.
+func (rt *Router) handleSameAsBatch(w http.ResponseWriter, r *http.Request) {
+	explicit := r.URL.Query().Get("snapshot") != ""
+	pin, ok := rt.pinned(w, r.URL.Query())
+	if !ok {
+		return
+	}
+	// A single process resolves the snapshot before it looks at the body,
+	// so an unknown explicit pin must win over any body problem for the
+	// error paths to stay byte-identical. The router cannot know the pin
+	// without a shard, so it probes one only when a local rejection is
+	// about to diverge — the happy path pays nothing.
+	reject := func(code int, format string, args ...any) {
+		if explicit && !rt.pinExists(r.Context(), pin) {
+			httpError(w, http.StatusNotFound, "unknown snapshot %q", pin)
+			return
+		}
+		httpError(w, code, format, args...)
+	}
+	var req batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody)).Decode(&req); err != nil {
+		reject(http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if len(req.Keys) == 0 {
+		reject(http.StatusBadRequest, "keys must not be empty")
+		return
+	}
+	if len(req.Keys) > maxBatchKeys {
+		reject(http.StatusBadRequest, "at most %d keys per batch (got %d)", maxBatchKeys, len(req.Keys))
+		return
+	}
+	rt.lookups.Add(uint64(len(req.Keys)))
+
+	// Group keys by owning shard, remembering every key's request position
+	// so answers reassemble in order.
+	groupKeys := make([][]string, len(rt.peers))
+	groupPos := make([][]int, len(rt.peers))
+	for i, key := range req.Keys {
+		o := rt.part.Owner(key)
+		groupKeys[o] = append(groupKeys[o], key)
+		groupPos[o] = append(groupPos[o], i)
+	}
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	type reply struct {
+		resp client.BatchSameAsResponse
+		err  error
+	}
+	replies := make([]reply, len(rt.peers))
+	var wg sync.WaitGroup
+	for i := range rt.peers {
+		if len(groupKeys[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := rt.peers[i].SameAsBatch(ctx, client.BatchSameAsQuery{
+				KB: req.KB, Keys: groupKeys[i], Snapshot: pin,
+			})
+			if err != nil {
+				// Cancel the sibling sub-batches: the batch is already
+				// doomed, no point finishing the fan-out.
+				cancel()
+			}
+			replies[i] = reply{resp, err}
+		}(i)
+	}
+	wg.Wait()
+
+	// Propagate failures deterministically: a server-reported error (every
+	// shard would report the same invalid kb or unknown snapshot) beats a
+	// transport error, and a genuine transport error beats the
+	// context-canceled ripple it caused on the sibling sub-batches — the
+	// reported shard must be the one that actually failed, not a healthy
+	// cancellation victim. Ties go to the lowest shard index.
+	var transportErr error
+	transportShard := -1
+	for i := range replies {
+		err := replies[i].err
+		if err == nil {
+			continue
+		}
+		var se *client.Error
+		if errors.As(err, &se) {
+			httpError(w, se.StatusCode, "%s", se.Message)
+			return
+		}
+		if transportErr == nil ||
+			(errors.Is(transportErr, context.Canceled) && !errors.Is(err, context.Canceled)) {
+			transportErr, transportShard = err, i
+		}
+	}
+	if transportErr != nil {
+		httpError(w, http.StatusBadGateway, "shard %d: %v", transportShard, transportErr)
+		return
+	}
+
+	out := batchResponse{
+		Snapshot: pin, KB: req.KB,
+		Results: make([]client.BatchSameAsResult, len(req.Keys)),
+	}
+	for i := range replies {
+		if got, want := len(replies[i].resp.Results), len(groupPos[i]); got != want {
+			httpError(w, http.StatusBadGateway, "shard %d returned %d results for %d keys", i, got, want)
+			return
+		}
+		for j, pos := range groupPos[i] {
+			out.Results[pos] = replies[i].resp.Results[j]
+		}
+		out.Found += replies[i].resp.Found
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// pinExists reports whether an explicitly pinned snapshot exists on the
+// deployment, asking shard 0 (publication pushes every version to every
+// shard). A probe failure counts as existing — the caller's local error
+// then stands, which is also what an unreachable fleet would surface.
+func (rt *Router) pinExists(ctx context.Context, pin string) bool {
+	list, err := rt.peers[0].Snapshots(ctx)
+	if err != nil {
+		return true
+	}
+	for _, info := range list.Snapshots {
+		if info.ID == pin {
+			return true
+		}
+	}
+	return false
+}
+
+// handleSnapshots reports the deployment's snapshot versions (shard 0's
+// list: publication pushes every version to every shard, so any one shard
+// knows them all) with the router's epoch as "current" — a version pushed
+// but not yet acknowledged everywhere is listed, but not current.
+func (rt *Router) handleSnapshots(w http.ResponseWriter, r *http.Request) {
+	list, err := rt.peers[0].Snapshots(r.Context())
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "shard 0: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"snapshots": list.Snapshots, "current": rt.Epoch(),
+	})
+}
+
+// handleRefresh triggers an epoch advance check (POST /v1/refresh), the
+// hook a publisher calls after pushing slices to every shard.
+func (rt *Router) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	epoch, err := rt.Refresh(r.Context())
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"epoch": epoch})
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"router": map[string]any{
+			"shards":  len(rt.peers),
+			"epoch":   rt.Epoch(),
+			"lookups": rt.lookups.Load(),
+		},
+	})
+}
+
+// writeJSON and httpError mirror the shard servers' encoders exactly
+// (Content-Type, HTML escaping, trailing newline), so routed and direct
+// responses are byte-identical.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

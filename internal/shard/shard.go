@@ -1,0 +1,58 @@
+// Package shard partitions the published sameAs index across N shard
+// processes so knowledge bases too large for one heap can still be served —
+// the sharded-serving follow-on to the alignment service (internal/server).
+//
+// The pieces:
+//
+//   - Partitioner assigns entity keys to shards by hashing the normalized
+//     (folded) key, so every spelling a single process would resolve —
+//     bracketed or bare IRIs, any casing or punctuation — routes to the
+//     shard holding the canonical entry.
+//   - core.ResultSnapshot.Split slices one published snapshot into N
+//     per-shard snapshots in a single pass.
+//   - Publish pushes slice i to shard i over HTTP (PUT /v1/snapshots/{id})
+//     under one common snapshot ID; WriteSlices does the same through the
+//     diskstore for state directories prepared offline.
+//   - Router is the stateless scatter-gather front: it proxies GET
+//     /v1/sameas to the owning shard, fans POST /v1/sameas batches out with
+//     per-shard contexts, and pins every unpinned read to its routing
+//     epoch — a snapshot version acknowledged by all shards — so readers
+//     never observe a torn cross-shard view while a publish is in flight.
+//
+// Publication is two-phase: slices land on every shard first (phase one,
+// readers keep resolving the old epoch), then the router's Refresh observes
+// the new version on all shards and flips the epoch atomically (phase two).
+package shard
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Spec identifies one shard of an N-way deployment, the parsed form of
+// parisd's -shard i/N flag (0-based index).
+type Spec struct {
+	Index, Count int
+}
+
+// ParseSpec parses "i/N" (for example "1/3") and rejects mismatched shard
+// coordinates: a malformed pair, a non-positive count, or an index outside
+// [0, N).
+func ParseSpec(s string) (Spec, error) {
+	idx, cnt, ok := strings.Cut(s, "/")
+	if !ok {
+		return Spec{}, fmt.Errorf("shard: malformed spec %q (want i/N)", s)
+	}
+	i, err1 := strconv.Atoi(idx)
+	n, err2 := strconv.Atoi(cnt)
+	if err1 != nil || err2 != nil {
+		return Spec{}, fmt.Errorf("shard: malformed spec %q (want i/N)", s)
+	}
+	if n <= 0 || i < 0 || i >= n {
+		return Spec{}, fmt.Errorf("shard: spec %q out of range (index must be in [0, count))", s)
+	}
+	return Spec{Index: i, Count: n}, nil
+}
+
+func (sp Spec) String() string { return fmt.Sprintf("%d/%d", sp.Index, sp.Count) }
