@@ -16,6 +16,7 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -51,6 +52,15 @@ type (
 	// SnapshotInfo is the metadata of one snapshot version, including the
 	// lineage (base version + delta digest) of incremental snapshots.
 	SnapshotInfo = server.SnapshotInfo
+	// JobEvent is one frame of a job's SSE progress stream (WatchJob).
+	JobEvent = server.JobEvent
+	// IngestProgress is the cumulative per-block state of a streaming KB
+	// load, carried on Job.Ingest and in "ingest" JobEvents.
+	IngestProgress = server.IngestProgress
+	// UploadRecord is the submission recorded on a KB ingest job.
+	UploadRecord = server.UploadRecord
+	// KBInfo is one entry of the uploaded-KB listing (KBs).
+	KBInfo = server.KBInfo
 	// SnapshotRelation is one directed sub-relation score by name.
 	SnapshotRelation = core.SnapshotRelation
 	// SnapshotClass is one directed subclass score by class key.
@@ -63,6 +73,14 @@ const (
 	JobRunning = server.JobRunning
 	JobDone    = server.JobDone
 	JobFailed  = server.JobFailed
+)
+
+// Job progress stream event types, re-exported from the service.
+const (
+	EventState     = server.EventState
+	EventIteration = server.EventIteration
+	EventIngest    = server.EventIngest
+	EventDone      = server.EventDone
 )
 
 // Error is a non-2xx response from the service.
@@ -80,6 +98,19 @@ func (e *Error) Error() string {
 func IsNotFound(err error) bool {
 	var se *Error
 	return errors.As(err, &se) && se.StatusCode == http.StatusNotFound
+}
+
+// decodeError turns a non-2xx response body into a typed *Error: the
+// server's {"error": ...} envelope when present, the raw body otherwise.
+func decodeError(statusCode int, data []byte) *Error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(data))
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	return &Error{StatusCode: statusCode, Message: msg}
 }
 
 // Client talks to one parisd instance. It is safe for concurrent use.
@@ -210,6 +241,157 @@ func (c *Client) SubmitDelta(ctx context.Context, req DeltaRequest) (Job, error)
 	var j Job
 	err := c.do(ctx, http.MethodPost, "/v1/deltas", nil, req, &j)
 	return j, err
+}
+
+// UploadKBRequest addresses one KB upload (POST /v1/kbs).
+type UploadKBRequest struct {
+	// Name is the KB's name on the server; jobs reference it as
+	// "kb:<name>" (or by the committed path the ingest job reports).
+	Name string
+	// Format carries the parser-selecting extensions: ".nt" (default),
+	// ".ntriples", optionally with a ".gz" suffix when the stream is
+	// gzip-compressed.
+	Format string
+	// Offset resumes an interrupted upload: the server appends the body
+	// at this byte offset, which must equal the spooled size (an
+	// *UploadError reports the right one on mismatch). Zero starts over.
+	Offset int64
+}
+
+// UploadError is a failed upload whose spool survives on the server: retry
+// with UploadKBRequest.Offset = Offset and only the remaining bytes.
+type UploadError struct {
+	StatusCode int
+	Message    string
+	Offset     int64
+}
+
+func (e *UploadError) Error() string {
+	return fmt.Sprintf("paris server: %s (HTTP %d, resume at offset %d)", e.Message, e.StatusCode, e.Offset)
+}
+
+// UploadKB streams a (possibly gzipped) N-Triples dump from r to the server
+// (POST /v1/kbs, chunked body) and returns the accepted ingest job: the
+// server validates the dump through its streaming parallel pipeline —
+// follow the per-block progress with WatchJob or WaitJob — and commits it
+// for use in later SubmitJob calls (Job.KB holds the committed path once
+// done). An interrupted or refused upload keeps its spooled bytes
+// server-side; the returned *UploadError carries the offset to resume from.
+func (c *Client) UploadKB(ctx context.Context, req UploadKBRequest, r io.Reader) (Job, error) {
+	var j Job
+	v := url.Values{"name": {req.Name}}
+	if req.Format != "" {
+		v.Set("format", req.Format)
+	}
+	if req.Offset > 0 {
+		v.Set("offset", strconv.FormatInt(req.Offset, 10))
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/kbs?"+v.Encode(), r)
+	if err != nil {
+		return j, err
+	}
+	httpReq.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.http.Do(httpReq)
+	if err != nil {
+		return j, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return j, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		e := decodeError(resp.StatusCode, data)
+		var body struct {
+			Offset *int64 `json:"offset"`
+		}
+		if json.Unmarshal(data, &body) == nil && body.Offset != nil {
+			return j, &UploadError{StatusCode: e.StatusCode, Message: e.Message, Offset: *body.Offset}
+		}
+		return j, e
+	}
+	if err := json.Unmarshal(data, &j); err != nil {
+		return j, fmt.Errorf("client: decoding upload response: %w", err)
+	}
+	return j, nil
+}
+
+// KBs lists the server's uploaded knowledge bases (GET /v1/kbs): committed
+// ones ready to align, and partial uploads with their resume offsets.
+func (c *Client) KBs(ctx context.Context) ([]KBInfo, error) {
+	var out struct {
+		KBs []KBInfo `json:"kbs"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/kbs", nil, nil, &out)
+	return out.KBs, err
+}
+
+// WatchJob streams a job's progress over SSE (GET /v1/jobs/{id} with
+// Accept: text/event-stream) until it reaches a terminal state, calling
+// onEvent (may be nil) for every frame — "state" first, then "iteration"
+// per fixpoint pass and "ingest" per streaming-load block, and finally
+// "done". It returns the terminal job record. Unlike WaitJob it needs no
+// polling interval: events arrive as the server produces them.
+func (c *Client) WatchJob(ctx context.Context, id string, onEvent func(JobEvent)) (Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return Job{}, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return Job{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return Job{}, decodeError(resp.StatusCode, data)
+	}
+	if !strings.Contains(resp.Header.Get("Content-Type"), "text/event-stream") {
+		// A server (or proxy) that cannot stream answers with the plain
+		// JSON record; fall back to polling.
+		var j Job
+		if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+			return Job{}, fmt.Errorf("client: decoding job: %w", err)
+		}
+		if j.State == JobDone || j.State == JobFailed {
+			return j, nil
+		}
+		return c.WaitJob(ctx, id, 0)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var event string
+	var last Job
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			event = "" // frame boundary; data lines already dispatched
+		case strings.HasPrefix(line, ":"):
+			// keep-alive comment
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var j Job
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &j); err != nil {
+				return last, fmt.Errorf("client: decoding %q event: %w", event, err)
+			}
+			last = j
+			if onEvent != nil {
+				onEvent(JobEvent{Type: event, Job: j})
+			}
+			if event == EventDone {
+				return j, nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return last, err
+	}
+	return last, fmt.Errorf("client: job event stream ended before %q: %w", EventDone, io.ErrUnexpectedEOF)
 }
 
 // SameAsQuery addresses one entity lookup.
@@ -386,14 +568,7 @@ func (c *Client) GetSnapshot(ctx context.Context, id string) (*core.ResultSnapsh
 		return nil, fmt.Errorf("client: snapshot %s exceeds the %d-byte download limit (raise it with WithSnapshotLimit)", id, c.snapLimit)
 	}
 	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		msg := strings.TrimSpace(string(data))
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			msg = e.Error
-		}
-		return nil, &Error{StatusCode: resp.StatusCode, Message: msg}
+		return nil, decodeError(resp.StatusCode, data)
 	}
 	snap := new(core.ResultSnapshot)
 	if err := snap.UnmarshalBinary(data); err != nil {
@@ -468,14 +643,7 @@ func (c *Client) roundTrip(req *http.Request, out any) error {
 		return err
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		msg := strings.TrimSpace(string(data))
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			msg = e.Error
-		}
-		return &Error{StatusCode: resp.StatusCode, Message: msg}
+		return decodeError(resp.StatusCode, data)
 	}
 	if out != nil {
 		if err := json.Unmarshal(data, out); err != nil {

@@ -4,9 +4,13 @@ package client
 // against a real in-process alignment service.
 
 import (
+	"bytes"
+	"compress/gzip"
 	"context"
 	"errors"
+	"io"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -457,5 +461,135 @@ func TestClientPutSnapshot(t *testing.T) {
 	}
 	if _, err := c.GetSnapshot(ctx, "snap-00000042"); !IsNotFound(err) {
 		t.Fatalf("exporting unknown snapshot: %v, want 404", err)
+	}
+}
+
+// TestClientUploadAndWatch drives the push-based ingestion surface:
+// UploadKB streams a gzipped dump as a chunked body, WatchJob follows the
+// ingest job's per-block SSE progress to completion, the committed KB
+// aligns via its kb: reference, and an interrupted upload resumes from the
+// offset the *UploadError reports.
+func TestClientUploadAndWatch(t *testing.T) {
+	c, d, dir := newService(t, 40)
+	ctx := context.Background()
+
+	// Render KB1 as a gzipped stream fed through an io.Pipe, so the body
+	// is genuinely chunked (no preset Content-Length).
+	kb1, err := os.ReadFile(filepath.Join(dir, d.Name1+".nt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	if _, err := zw.Write(kb1); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		_, err := io.Copy(pw, bytes.NewReader(zbuf.Bytes()))
+		pw.CloseWithError(err)
+	}()
+	job, err := c.UploadKB(ctx, UploadKBRequest{Name: "pushed", Format: ".nt.gz"}, pr)
+	if err != nil {
+		t.Fatalf("UploadKB: %v", err)
+	}
+	if job.Kind != "ingest" || job.Upload == nil || job.Upload.Bytes != int64(zbuf.Len()) {
+		t.Fatalf("upload job = %+v", job)
+	}
+
+	var events []JobEvent
+	final, err := c.WatchJob(ctx, job.ID, func(ev JobEvent) { events = append(events, ev) })
+	if err != nil {
+		t.Fatalf("WatchJob: %v", err)
+	}
+	if final.State != JobDone || final.KB == "" {
+		t.Fatalf("ingest job = %+v", final)
+	}
+	if len(events) < 2 || events[0].Type != EventState || events[len(events)-1].Type != EventDone {
+		t.Fatalf("event stream shape: %+v", events)
+	}
+	sawIngest := false
+	for _, ev := range events {
+		if ev.Type == EventIngest {
+			sawIngest = true
+			break
+		}
+	}
+	if !sawIngest && (final.Ingest == nil || final.Ingest.Triples == 0) {
+		t.Fatalf("no ingest progress observed: %+v", events)
+	}
+
+	// The listing shows the committed KB; align it against the local file
+	// via its kb: reference and watch that job too — it must stream both
+	// ingest (KB loads) and iteration events.
+	kbs, err := c.KBs(ctx)
+	if err != nil || len(kbs) != 1 || kbs[0].Name != "pushed" || kbs[0].State != "ready" {
+		t.Fatalf("KBs = %+v, %v", kbs, err)
+	}
+	alignJob, err := c.SubmitJob(ctx, JobRequest{
+		KB1: "kb:pushed",
+		KB2: filepath.Join(dir, d.Name2+".nt"),
+	})
+	if err != nil {
+		t.Fatalf("SubmitJob(kb:pushed): %v", err)
+	}
+	var iters, ingests int
+	alignFinal, err := c.WatchJob(ctx, alignJob.ID, func(ev JobEvent) {
+		switch ev.Type {
+		case EventIteration:
+			iters++
+		case EventIngest:
+			ingests++
+		}
+	})
+	if err != nil {
+		t.Fatalf("WatchJob(align): %v", err)
+	}
+	if alignFinal.State != JobDone || alignFinal.Snapshot == "" {
+		t.Fatalf("align job = %+v", alignFinal)
+	}
+	if iters == 0 && len(alignFinal.Iterations) == 0 {
+		t.Fatal("no iteration progress observed")
+	}
+	pairs := d.Gold.Pairs()
+	res, err := c.SameAs(ctx, SameAsQuery{KB: "1", Key: pairs[0][0]})
+	if err != nil || len(res.Matches) != 1 || res.Matches[0].Key != pairs[0][1] {
+		t.Fatalf("SameAs over pushed KB = %+v, %v", res, err)
+	}
+
+	// Watching an unknown job is a 404 *Error.
+	if _, err := c.WatchJob(ctx, "job-404", nil); !IsNotFound(err) {
+		t.Fatalf("WatchJob(unknown) = %v, want 404", err)
+	}
+
+	// Resumable errors: a truncated gzip upload fails validation but keeps
+	// its spool; the offset handshake lets the client send only the rest.
+	half := zbuf.Len() / 2
+	job, err = c.UploadKB(ctx, UploadKBRequest{Name: "cut", Format: ".nt.gz"},
+		bytes.NewReader(zbuf.Bytes()[:half]))
+	if err != nil {
+		t.Fatalf("UploadKB(half): %v", err)
+	}
+	if fail, err := c.WaitJob(ctx, job.ID, time.Millisecond); err != nil || fail.State != JobFailed {
+		t.Fatalf("truncated upload job = %+v, %v", fail, err)
+	}
+	var ue *UploadError
+	if _, err := c.UploadKB(ctx, UploadKBRequest{Name: "cut", Format: ".nt.gz", Offset: 3},
+		bytes.NewReader(zbuf.Bytes()[3:])); !errors.As(err, &ue) {
+		t.Fatalf("mismatched offset error = %v, want *UploadError", err)
+	}
+	if ue.Offset != int64(half) {
+		t.Fatalf("resume offset = %d, want %d", ue.Offset, half)
+	}
+	job, err = c.UploadKB(ctx, UploadKBRequest{Name: "cut", Format: ".nt.gz", Offset: ue.Offset},
+		bytes.NewReader(zbuf.Bytes()[half:]))
+	if err != nil {
+		t.Fatalf("UploadKB(resume): %v", err)
+	}
+	if done, err := c.WaitJob(ctx, job.ID, time.Millisecond); err != nil || done.State != JobDone {
+		t.Fatalf("resumed upload job = %+v, %v", done, err)
 	}
 }

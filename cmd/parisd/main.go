@@ -14,6 +14,8 @@
 //	GET    /v1/jobs/{id}  job state with per-iteration progress
 //	DELETE /v1/jobs/{id}  cancel a queued or running job
 //	POST   /v1/deltas     {"kb": "1", "ntriples": "..."}  incremental re-align
+//	POST   /v1/kbs?name=N&format=.nt.gz[&offset=M]  push a KB dump (chunked body)
+//	GET    /v1/kbs        uploaded KBs (ready + partial with resume offsets)
 //	GET    /v1/sameas?kb=1&key=<iri>   entity lookup (kb=2 for the reverse)
 //	POST   /v1/sameas     {"kb": "1", "keys": [...]}  batch lookup
 //	GET    /v1/relations?dir=12&min=0.1
@@ -29,6 +31,23 @@
 // lineage (base version, delta digest) shows in GET /v1/snapshots. Delta
 // batches are persisted as append-only segments, so a restart replays base
 // KBs + deltas when further deltas arrive.
+//
+// POST /v1/kbs pushes a (possibly gzipped) N-Triples dump to the daemon as
+// a streamed chunked body, so KBs can be aligned on a remote parisd without
+// shipping files to its disk out of band. The spooled dump is validated by
+// an ingest job on the worker pool — the streaming parallel loader
+// (internal/ingest) parses blocks concurrently under -ingest-budget bytes
+// of memory with -ingest-workers parsers, spilling sorted runs to temp
+// segments for dumps bigger than the budget — then committed under
+// <state>/kbs/; jobs reference it as "kb:<name>". An interrupted upload
+// keeps its spooled bytes: GET /v1/kbs reports the offset, and re-POSTing
+// with ?offset=M appends the remainder instead of starting over. Alignment
+// jobs load their KB files through the same pipeline, with per-block
+// progress on the job record.
+//
+// GET /v1/jobs/{id} with "Accept: text/event-stream" streams job progress
+// as server-sent events (state, iteration, ingest, done frames) instead of
+// polling.
 //
 // Read endpoints (/v1/sameas, /v1/relations, /v1/classes) accept
 // ?snapshot=<id> to pin a published snapshot version for repeatable reads.
@@ -72,6 +91,9 @@ func main() {
 	retain := flag.Int("retain", 0, "snapshots to keep (0 keeps all); lineage-pinned snapshots always survive")
 	shardSpec := flag.String("shard", "", "serve as shard i/N of a sharded deployment (e.g. 1/3): lookups only, slices via PUT /v1/snapshots/{id}")
 	maxSnap := flag.Int64("max-snapshot-bytes", 0, "PUT /v1/snapshots/{id} body limit (0 = 1 GiB)")
+	ingestWorkers := flag.Int("ingest-workers", 0, "parallel parse workers for streaming KB loads (0 = min(GOMAXPROCS, 8))")
+	ingestBudget := flag.Int64("ingest-budget", 0, "memory budget in bytes for streaming KB loads before spilling to disk (0 = 256 MiB)")
+	maxUpload := flag.Int64("max-upload-bytes", 0, "total spooled size limit of one POST /v1/kbs upload (0 = 16 GiB)")
 	flag.Parse()
 
 	if *state == "" {
@@ -96,6 +118,9 @@ func main() {
 		ShardIndex:       sp.Index,
 		ShardCount:       sp.Count,
 		MaxSnapshotBytes: *maxSnap,
+		IngestWorkers:    *ingestWorkers,
+		IngestBudget:     *ingestBudget,
+		MaxUploadBytes:   *maxUpload,
 		Logf:             log.Printf,
 	})
 	if err != nil {

@@ -1,0 +1,190 @@
+package ingest_test
+
+// Differential acceptance: the streaming parallel pipeline and the legacy
+// single-pass loader must be indistinguishable — identical ontologies
+// (dictionary IDs included, since the merge replays exact input order) and
+// byte-identical alignment snapshots over the movies and world corpora.
+// Wall-clock fields (per-iteration timings, ClassTime) are zeroed before
+// the byte comparison; they measure the run, not the alignment.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/store"
+)
+
+// writeCorpus serializes a generated dataset to <dir>/<name>.nt files and
+// gzips the first one, so the differential covers the .nt.gz path too.
+func writeCorpus(t *testing.T, d *gen.Dataset) (path1, path2 string) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := d.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	plain1 := filepath.Join(dir, d.Name1+".nt")
+	path1 = plain1 + ".gz"
+	src, err := os.Open(plain1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := os.Create(path1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(dst)
+	if _, err := io.Copy(zw, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path1, filepath.Join(dir, d.Name2+".nt")
+}
+
+// loadPair loads both corpus files into one shared literal table.
+func loadPair(t *testing.T, path1, path2 string, opts ...store.LoadOption) (*store.Ontology, *store.Ontology) {
+	t.Helper()
+	lits := store.NewLiterals()
+	o1, err := store.LoadFile(path1, store.BaseName(path1), lits, nil, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := store.LoadFile(path2, store.BaseName(path2), lits, nil, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o1, o2
+}
+
+// assertOntologiesIdentical compares every observable of two ontologies,
+// dictionary IDs included: the pipeline's order guarantee means even the
+// interned ID spaces must coincide with a sequential load.
+func assertOntologiesIdentical(t *testing.T, want, got *store.Ontology) {
+	t.Helper()
+	if w, g := want.Stats(), got.Stats(); w != g {
+		t.Fatalf("stats differ:\n  legacy  %+v\n  ingest  %+v", w, g)
+	}
+	if want.NumResources() != got.NumResources() {
+		t.Fatalf("resources: %d vs %d", want.NumResources(), got.NumResources())
+	}
+	for i := 0; i < want.NumResources(); i++ {
+		x := store.Resource(i)
+		if want.ResourceKey(x) != got.ResourceKey(x) {
+			t.Fatalf("resource %d: key %q vs %q", i, want.ResourceKey(x), got.ResourceKey(x))
+		}
+		if want.IsClass(x) != got.IsClass(x) {
+			t.Fatalf("resource %d (%s): IsClass %v vs %v", i, want.ResourceKey(x), want.IsClass(x), got.IsClass(x))
+		}
+		we, ge := want.Edges(x), got.Edges(x)
+		if len(we) != len(ge) {
+			t.Fatalf("resource %d (%s): %d edges vs %d", i, want.ResourceKey(x), len(we), len(ge))
+		}
+		for j := range we {
+			if we[j] != ge[j] {
+				t.Fatalf("resource %d edge %d: %+v vs %+v", i, j, we[j], ge[j])
+			}
+		}
+	}
+	if want.NumRelations() != got.NumRelations() {
+		t.Fatalf("relations: %d vs %d", want.NumRelations(), got.NumRelations())
+	}
+	for _, r := range want.Relations() {
+		if want.RelationName(r) != got.RelationName(r) {
+			t.Fatalf("relation %d: name %q vs %q", r, want.RelationName(r), got.RelationName(r))
+		}
+		if want.Fun(r) != got.Fun(r) {
+			t.Fatalf("relation %s: fun %v vs %v", want.RelationName(r), want.Fun(r), got.Fun(r))
+		}
+		if want.NumStatements(r) != got.NumStatements(r) {
+			t.Fatalf("relation %s: %d statements vs %d", want.RelationName(r), want.NumStatements(r), got.NumStatements(r))
+		}
+	}
+	if want.Literals().Len() != got.Literals().Len() {
+		t.Fatalf("literals: %d vs %d", want.Literals().Len(), got.Literals().Len())
+	}
+	for i := 0; i < want.Literals().Len(); i++ {
+		if want.Literals().Value(store.Lit(i)) != got.Literals().Value(store.Lit(i)) {
+			t.Fatalf("literal %d: %q vs %q", i, want.Literals().Value(store.Lit(i)), got.Literals().Value(store.Lit(i)))
+		}
+	}
+}
+
+// stripTimings zeroes the wall-clock fields of a snapshot in place.
+func stripTimings(s *core.ResultSnapshot) {
+	for i := range s.Iterations {
+		s.Iterations[i].InstanceTime = 0
+		s.Iterations[i].RelationTime = 0
+	}
+	s.ClassTime = 0
+}
+
+func runDifferential(t *testing.T, d *gen.Dataset) {
+	path1, path2 := writeCorpus(t, d)
+
+	legacy1, legacy2 := loadPair(t, path1, path2)
+	// A deliberately starved budget plus several workers: the pipeline must
+	// spill and merge, the configuration furthest from a sequential read.
+	spill := t.TempDir()
+	ingest1, ingest2 := loadPair(t, path1, path2,
+		store.WithParallelism(4), store.WithMemoryBudget(64<<10), store.WithSpillDir(spill))
+
+	assertOntologiesIdentical(t, legacy1, ingest1)
+	assertOntologiesIdentical(t, legacy2, ingest2)
+
+	cfg := core.Config{Workers: 1}
+	resLegacy, err := core.New(legacy1, legacy2, cfg).RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resIngest, err := core.New(ingest1, ingest2, cfg).RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapLegacy, snapIngest := resLegacy.Snapshot(), resIngest.Snapshot()
+	stripTimings(snapLegacy)
+	stripTimings(snapIngest)
+	wantBytes, err := snapLegacy.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := snapIngest.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantBytes, gotBytes) {
+		t.Fatalf("alignment snapshots differ: %d vs %d bytes (assignments %d vs %d)",
+			len(wantBytes), len(gotBytes), len(snapLegacy.Instances), len(snapIngest.Instances))
+	}
+
+	// The spill dir must be empty again: temp segments live only for the
+	// duration of one load.
+	ents, err := os.ReadDir(spill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Errorf("spill segments left behind: %d entries", len(ents))
+	}
+}
+
+func TestDifferentialMoviesCorpus(t *testing.T) {
+	runDifferential(t, gen.Movies(gen.MoviesConfig{Seed: 11, People: 400, Movies: 120}))
+}
+
+func TestDifferentialWorldCorpus(t *testing.T) {
+	runDifferential(t, gen.World(gen.WorldConfig{
+		Seed: 11, People: 250, Cities: 25, Companies: 12, Movies: 50, Albums: 40, Books: 40,
+	}))
+}

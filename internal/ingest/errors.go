@@ -1,0 +1,61 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Corruption classes the pipeline refuses with a typed *Error instead of
+// skipping: these are not "one malformed line in an otherwise healthy dump"
+// (which non-strict mode skips and counts, like the sequential reader) but
+// signs that the stream itself is damaged — continuing would silently drop
+// or mangle an unbounded amount of data.
+var (
+	// ErrOversizedLine reports a line longer than Options.MaxLine — in a
+	// line-based format, a missing newline turns the rest of the dump into
+	// "one line", so a bound on line length is the earliest corruption trip.
+	ErrOversizedLine = errors.New("line exceeds the maximum length")
+
+	// ErrBareCR reports a carriage return that is not part of a CRLF pair:
+	// either classic-Mac line endings (the whole file is one LF-free line
+	// with embedded CRs) or a raw CR inside a literal, which N-Triples
+	// requires to be escaped as \r.
+	ErrBareCR = errors.New("bare carriage return (expected \\n or \\r\\n line endings)")
+
+	// ErrInvalidUTF8 reports an IRI whose bytes are not valid UTF-8.
+	ErrInvalidUTF8 = errors.New("invalid UTF-8 in IRI")
+)
+
+// Error is a typed ingest failure located by byte offset into the
+// (decompressed) input stream. Offsets point at the start of the offending
+// line when the problem is line-scoped, or at the read position when the
+// stream itself failed (for example a truncated gzip member).
+type Error struct {
+	// Offset is the 0-based byte offset into the decompressed stream.
+	Offset int64
+	// Line is the 1-based line number when known, 0 otherwise.
+	Line int
+	// Msg describes the problem.
+	Msg string
+	// Err is the underlying cause (one of the sentinel errors above, a
+	// *rdf.ParseError, or an I/O error). May be nil.
+	Err error
+}
+
+// Error implements the error interface, always naming the byte offset.
+func (e *Error) Error() string {
+	where := fmt.Sprintf("byte offset %d", e.Offset)
+	if e.Line > 0 {
+		where = fmt.Sprintf("line %d (byte offset %d)", e.Line, e.Offset)
+	}
+	if e.Err != nil && e.Msg != "" {
+		return fmt.Sprintf("ingest: %s at %s: %v", e.Msg, where, e.Err)
+	}
+	if e.Err != nil {
+		return fmt.Sprintf("ingest: %v at %s", e.Err, where)
+	}
+	return fmt.Sprintf("ingest: %s at %s", e.Msg, where)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }

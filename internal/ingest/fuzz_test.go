@@ -1,0 +1,79 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzBlockScanner drives the line-aligned block splitter with arbitrary
+// bytes and checks its structural invariants: no panics, blocks concatenate
+// back to the input, every block but the last ends at a line boundary,
+// offsets and sequence numbers are contiguous, and the only accepted
+// failure is the typed oversized-line error at a sane offset.
+func FuzzBlockScanner(f *testing.F) {
+	// Seed corpus: the shapes the scanner must carve correctly — plain
+	// triples, comments, CRLF, blank lines, a missing final newline, long
+	// lines spanning blocks, multi-byte UTF-8, and binary junk.
+	f.Add([]byte("<http://x/a> <http://x/p> <http://x/b> .\n"), 16)
+	f.Add([]byte("# comment\n\n<http://x/a> <http://x/p> \"v\" .\n"), 8)
+	f.Add([]byte("<http://x/a> <http://x/p> <http://x/b> .\r\n<http://x/c> <http://x/p> \"x\" .\r\n"), 12)
+	f.Add([]byte("<http://x/a> <http://x/p> \"no final newline\" ."), 7)
+	f.Add([]byte(strings.Repeat("x", 300)+"\n<http://x/a> <http://x/p> <http://x/b> .\n"), 32)
+	f.Add([]byte("<http://x/é> <http://x/p> \"üñïçødé\"@de .\n"), 5)
+	f.Add([]byte("\x00\xff\xfe garbage \x80\n\n\n"), 3)
+	f.Add([]byte("a\rb\n"), 4)
+	f.Add(bytes.Repeat([]byte("<s> <p> <o> .\n"), 50), 10)
+
+	f.Fuzz(func(t *testing.T, data []byte, blockSize int) {
+		if blockSize < 1 || blockSize > 1<<16 {
+			t.Skip()
+		}
+		const maxLine = 1 << 12
+		sc := NewBlockScanner(bytes.NewReader(data), blockSize, maxLine)
+		var rebuilt []byte
+		wantSeq := 0
+		for {
+			b, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				var ie *Error
+				if !errors.As(err, &ie) {
+					t.Fatalf("non-typed scanner error: %v", err)
+				}
+				if !errors.Is(err, ErrOversizedLine) {
+					t.Fatalf("unexpected error class from in-memory input: %v", err)
+				}
+				if ie.Offset < 0 || ie.Offset > int64(len(data)) {
+					t.Fatalf("error offset %d outside input of %d bytes", ie.Offset, len(data))
+				}
+				return // oversized line is a legal terminal outcome
+			}
+			if b.Seq != wantSeq {
+				t.Fatalf("block seq %d, want %d", b.Seq, wantSeq)
+			}
+			wantSeq++
+			if b.Offset != int64(len(rebuilt)) {
+				t.Fatalf("block offset %d, want %d", b.Offset, len(rebuilt))
+			}
+			if len(b.Data) == 0 {
+				t.Fatal("empty block")
+			}
+			rebuilt = append(rebuilt, b.Data...)
+			if int64(len(rebuilt)) < int64(len(data)) && b.Data[len(b.Data)-1] != '\n' {
+				t.Fatal("non-final block does not end at a line boundary")
+			}
+		}
+		if !bytes.Equal(rebuilt, data) {
+			t.Fatalf("blocks do not concatenate back to the input: %d vs %d bytes", len(rebuilt), len(data))
+		}
+		// Errors must be sticky EOF from here on.
+		if _, err := sc.Next(); err != io.EOF {
+			t.Fatalf("post-EOF Next: %v", err)
+		}
+	})
+}

@@ -1,0 +1,452 @@
+// Package ingest is the streaming parallel KB loader: a chunked N-Triples
+// pipeline that splits the input at line boundaries into fixed-size blocks,
+// fans the blocks out to parallel parse workers (strings deduplicated
+// through a sharded symbol table), spills sorted triple runs to temp
+// segments when the configured memory budget fills, and k-way-merges the
+// runs back into exact input order for the consumer — so a multi-GB dump
+// never has to fit through one in-memory pass, and the result is
+// bit-compatible with the sequential loader.
+//
+// The order guarantee is the load-bearing design point: every worker drains
+// blocks off one channel, so each worker's stream of block sequence numbers
+// is increasing, every buffered run is born sorted by (block, line), and the
+// final merge reproduces the dump exactly as written. Dictionary IDs
+// assigned downstream (store.Builder interns in first-occurrence order)
+// therefore come out identical to a sequential load — the property the
+// differential acceptance test pins down.
+package ingest
+
+import (
+	"bytes"
+	"container/heap"
+	"context"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"unicode/utf8"
+
+	"repro/internal/rdf"
+)
+
+// DefaultMemoryBudget bounds the triples buffered across all parse workers
+// before runs spill to temp segments.
+const DefaultMemoryBudget = 256 << 20
+
+// minWorkerBudget floors the per-worker spill threshold so a tiny budget
+// degrades into frequent spills, not a spill per triple.
+const minWorkerBudget = 64 << 10
+
+// Options configures one pipeline run. The zero value of every field has a
+// usable default.
+type Options struct {
+	// Workers is the number of parallel parse workers (default
+	// min(GOMAXPROCS, 8)).
+	Workers int
+
+	// BlockSize is the target block payload in bytes (default
+	// DefaultBlockSize). Blocks are the unit of parallelism, progress
+	// reporting, and cancellation.
+	BlockSize int
+
+	// MaxLine bounds a single input line (default DefaultMaxLine); longer
+	// lines fail with ErrOversizedLine rather than buffering without bound.
+	MaxLine int
+
+	// MemoryBudget bounds the bytes of parsed triples buffered in memory
+	// across all workers (default DefaultMemoryBudget); beyond it, sorted
+	// runs spill to temp segments and are merged back at the end.
+	MemoryBudget int64
+
+	// TempDir hosts the per-run spill directory (default os.TempDir()). The
+	// directory and every segment are removed when Run returns, on every
+	// path including errors and cancellation.
+	TempDir string
+
+	// Strict makes malformed lines fatal. The default mirrors the
+	// sequential reader: malformed lines are skipped and counted, because
+	// real-world dumps contain occasional garbage. Stream-level corruption
+	// (oversized lines, bare carriage returns, invalid UTF-8 in IRIs,
+	// truncated or damaged compressed input) is always fatal, with a typed
+	// *Error naming the byte offset.
+	Strict bool
+
+	// Progress, when non-nil, receives the cumulative pipeline counters
+	// after every parsed block and every spill. Calls are serialized; keep
+	// the callback fast.
+	Progress func(Progress)
+}
+
+// Progress is the cumulative state of a pipeline run: per-block counters
+// during the run (via Options.Progress) and the final totals (returned by
+// Run).
+type Progress struct {
+	// Blocks and Bytes count consumed input (decompressed).
+	Blocks int   `json:"blocks"`
+	Bytes  int64 `json:"bytes"`
+	// Triples counts parsed triples; Skipped counts malformed lines
+	// dropped in non-strict mode.
+	Triples int64 `json:"triples"`
+	Skipped int64 `json:"skipped,omitempty"`
+	// Spills counts temp segments written and SpilledTriples the triples
+	// routed through them.
+	Spills         int   `json:"spills,omitempty"`
+	SpilledTriples int64 `json:"spilled_triples,omitempty"`
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = min(runtime.GOMAXPROCS(0), 8)
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = DefaultBlockSize
+	}
+	if o.MaxLine <= 0 {
+		o.MaxLine = DefaultMaxLine
+	}
+	if o.MemoryBudget <= 0 {
+		o.MemoryBudget = DefaultMemoryBudget
+	}
+	return o
+}
+
+// tracker accumulates the shared counters and serializes Progress callbacks.
+type tracker struct {
+	mu sync.Mutex
+	fn func(Progress)
+	p  Progress
+}
+
+func (t *tracker) block(bytes int, triples int, skipped int64) {
+	t.mu.Lock()
+	t.p.Blocks++
+	t.p.Bytes += int64(bytes)
+	t.p.Triples += int64(triples)
+	t.p.Skipped += skipped
+	if t.fn != nil {
+		t.fn(t.p)
+	}
+	t.mu.Unlock()
+}
+
+func (t *tracker) spill(triples int) {
+	t.mu.Lock()
+	t.p.Spills++
+	t.p.SpilledTriples += int64(triples)
+	if t.fn != nil {
+		t.fn(t.p)
+	}
+	t.mu.Unlock()
+}
+
+func (t *tracker) snapshot() Progress {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.p
+}
+
+// Run streams the N-Triples document r through the parallel pipeline,
+// calling emit for every triple in exact input order. It returns the final
+// counters and the first error: a typed *Error for corrupt input, the
+// context's error when canceled (checked per block, so a cancel aborts a
+// multi-GB load promptly and removes every temp segment), or emit's error.
+func Run(ctx context.Context, r io.Reader, opts Options, emit func(rdf.Triple) error) (Progress, error) {
+	opts = opts.withDefaults()
+	dir, err := os.MkdirTemp(opts.TempDir, "paris-ingest-")
+	if err != nil {
+		return Progress{}, err
+	}
+	// Cleanup is unconditional: temp segments exist only for the duration
+	// of one Run, whatever the outcome.
+	defer os.RemoveAll(dir)
+
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var failMu sync.Mutex
+	var failErr error
+	fail := func(err error) {
+		failMu.Lock()
+		if failErr == nil && err != nil {
+			failErr = err
+			cancel()
+		}
+		failMu.Unlock()
+	}
+	// firstErr must take the mutex: the scanner goroutine is not part of
+	// the worker WaitGroup and may still be recording a cancellation error
+	// when the workers have already drained.
+	firstErr := func() error {
+		failMu.Lock()
+		defer failMu.Unlock()
+		return failErr
+	}
+	// canceled records the enclosing context's error (bare, so callers'
+	// errors.Is(err, ctx.Err()) holds) and reports whether to stop.
+	canceled := func() bool {
+		if pctx.Err() == nil {
+			return false
+		}
+		if err := ctx.Err(); err != nil {
+			fail(err)
+		}
+		return true
+	}
+
+	trk := &tracker{fn: opts.Progress}
+	tab := NewSymTab()
+	blocks := make(chan Block, opts.Workers)
+
+	// Scanner: one goroutine slicing the stream into line-aligned blocks.
+	// It must be joined on every return path: Run's contract is that r is
+	// no longer touched once Run returns (callers close gzip readers and
+	// reuse readers immediately), and the scanner may be inside r.Read
+	// when a worker error or cancellation ends the run early. The join is
+	// bounded by one Read — the loop checks the canceled context before
+	// and after every read.
+	scanDone := make(chan struct{})
+	defer func() {
+		cancel()
+		<-scanDone
+	}()
+	go func() {
+		defer close(scanDone)
+		defer close(blocks)
+		sc := NewBlockScanner(r, opts.BlockSize, opts.MaxLine)
+		for {
+			if canceled() {
+				return
+			}
+			b, err := sc.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				fail(err)
+				return
+			}
+			select {
+			case blocks <- b:
+			case <-pctx.Done():
+				canceled()
+				return
+			}
+		}
+	}()
+
+	// Parse workers: each drains blocks (its sequence of Seq values is
+	// increasing, so its buffer is born sorted), interns strings through
+	// the shared table, and spills its buffer as one sorted run whenever
+	// the per-worker share of the budget fills. The spill threshold
+	// targets half the budget across workers: the other half is headroom
+	// for in-flight blocks, the symbol table, the merge cursors, and GC
+	// slack, so the process's peak heap — not just the triple buffers —
+	// stays inside the configured budget.
+	perWorker := max(opts.MemoryBudget/(2*int64(opts.Workers)), minWorkerBudget)
+	type workerOut struct {
+		paths []string
+		tail  []seqTriple
+	}
+	outs := make([]workerOut, opts.Workers)
+	var spillSeq atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			syms := newLocalSyms(tab)
+			var buf []seqTriple
+			var bufBytes int64
+			for b := range blocks {
+				if canceled() {
+					return
+				}
+				ts, skipped, err := parseBlock(b, syms, opts)
+				if err != nil {
+					fail(err)
+					return
+				}
+				for _, st := range ts {
+					bufBytes += approxSize(st.t)
+				}
+				buf = append(buf, ts...)
+				trk.block(len(b.Data), len(ts), skipped)
+				if bufBytes >= perWorker {
+					path, err := spillRun(dir, int(spillSeq.Add(1))-1, buf)
+					if err != nil {
+						fail(err)
+						return
+					}
+					outs[w].paths = append(outs[w].paths, path)
+					trk.spill(len(buf))
+					buf, bufBytes = nil, 0
+				}
+			}
+			outs[w].tail = buf
+		}(w)
+	}
+	wg.Wait()
+	if err := firstErr(); err != nil {
+		return trk.snapshot(), err
+	}
+
+	// K-way merge: one cursor per run (spilled segments plus in-memory
+	// tails), ordered by (block, line) — the consumer sees exact input
+	// order.
+	var hp runHeap
+	closeAll := func() {
+		for _, c := range hp {
+			c.close()
+		}
+	}
+	for _, o := range outs {
+		for _, p := range o.paths {
+			c, err := diskCursor(p)
+			if err != nil {
+				closeAll()
+				return trk.snapshot(), err
+			}
+			if c.ok {
+				hp = append(hp, c)
+			} else {
+				c.close()
+			}
+		}
+		if len(o.tail) > 0 {
+			hp = append(hp, memCursor(o.tail))
+		}
+	}
+	defer closeAll()
+	heap.Init(&hp)
+	emitted := 0
+	for hp.Len() > 0 {
+		c := hp[0]
+		if err := emit(c.cur.t); err != nil {
+			return trk.snapshot(), err
+		}
+		emitted++
+		if emitted%8192 == 0 {
+			// The merge reads temp files, not the input stream, so it
+			// needs its own cancellation checks.
+			if err := ctx.Err(); err != nil {
+				return trk.snapshot(), err
+			}
+		}
+		if err := c.next(); err != nil {
+			return trk.snapshot(), err
+		}
+		if c.ok {
+			heap.Fix(&hp, 0)
+		} else {
+			heap.Pop(&hp)
+			c.close()
+		}
+	}
+	return trk.snapshot(), nil
+}
+
+// spillRun writes one sorted run to a new temp segment and returns its path.
+func spillRun(dir string, seq int, ts []seqTriple) (string, error) {
+	w, err := newRunWriter(dir, seq)
+	if err != nil {
+		return "", err
+	}
+	for _, st := range ts {
+		if err := w.add(st); err != nil {
+			w.f.Close()
+			return "", err
+		}
+	}
+	if err := w.close(); err != nil {
+		return "", err
+	}
+	return w.f.Name(), nil
+}
+
+// parseBlock parses one block's lines, mirroring the sequential reader's
+// skip semantics (blank lines, '#' comments, and — in non-strict mode —
+// malformed lines), plus the corruption checks that are always fatal: a
+// per-line length bound, bare carriage returns, and invalid UTF-8 in IRIs.
+func parseBlock(b Block, syms *localSyms, opts Options) ([]seqTriple, int64, error) {
+	data := b.Data
+	out := make([]seqTriple, 0, len(data)/64)
+	var skipped int64
+	lineNo := b.Line - 1
+	var lineIdx uint32
+	for off := 0; off < len(data); {
+		lineNo++
+		lineIdx++
+		lineStart := off
+		var raw []byte
+		if nl := bytes.IndexByte(data[off:], '\n'); nl >= 0 {
+			raw = data[off : off+nl]
+			off += nl + 1
+		} else {
+			raw = data[off:]
+			off = len(data)
+		}
+		if len(raw) > opts.MaxLine {
+			return nil, 0, &Error{
+				Offset: b.Offset + int64(lineStart), Line: lineNo,
+				Msg: "oversized line", Err: ErrOversizedLine,
+			}
+		}
+		if len(raw) > 0 && raw[len(raw)-1] == '\r' {
+			raw = raw[:len(raw)-1] // CRLF line ending
+		}
+		if i := bytes.IndexByte(raw, '\r'); i >= 0 {
+			return nil, 0, &Error{
+				Offset: b.Offset + int64(lineStart+i), Line: lineNo,
+				Err: ErrBareCR,
+			}
+		}
+		line := strings.TrimSpace(string(raw))
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		t, err := rdf.ParseLine(line, lineNo)
+		if err != nil {
+			if opts.Strict {
+				return nil, 0, &Error{
+					Offset: b.Offset + int64(lineStart), Line: lineNo,
+					Msg: "malformed triple", Err: err,
+				}
+			}
+			skipped++
+			continue
+		}
+		if iri, bad := invalidIRI(t); bad {
+			return nil, 0, &Error{
+				Offset: b.Offset + int64(lineStart), Line: lineNo,
+				Msg: "IRI " + iri, Err: ErrInvalidUTF8,
+			}
+		}
+		t.Subject.Value = syms.intern(t.Subject.Value)
+		t.Predicate.Value = syms.intern(t.Predicate.Value)
+		t.Object.Value = syms.intern(t.Object.Value)
+		t.Object.Datatype = syms.intern(t.Object.Datatype)
+		out = append(out, seqTriple{block: uint32(b.Seq), line: lineIdx, t: t})
+	}
+	return out, skipped, nil
+}
+
+// invalidIRI reports the first IRI term of t whose bytes are not valid
+// UTF-8 (quoted, for the error message).
+func invalidIRI(t rdf.Triple) (string, bool) {
+	for _, term := range []rdf.Term{t.Subject, t.Predicate, t.Object} {
+		if term.IsIRI() && !utf8.ValidString(term.Value) {
+			return quoteLossy(term.Value), true
+		}
+		if term.IsLiteral() && term.Datatype != "" && !utf8.ValidString(term.Datatype) {
+			return quoteLossy(term.Datatype), true
+		}
+	}
+	return "", false
+}
+
+// quoteLossy renders a possibly invalid-UTF-8 string for an error message.
+func quoteLossy(s string) string {
+	return strings.ToValidUTF8(s, "�")
+}

@@ -1,0 +1,343 @@
+package ingest
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// genDoc builds a deterministic N-Triples document with n facts plus a few
+// comments and blank lines, returning the document and the triples a
+// sequential strict parse yields.
+func genDoc(n int) string {
+	var b strings.Builder
+	b.WriteString("# synthetic ingest corpus\n\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "<http://x/e%d> <http://x/knows> <http://x/e%d> .\n", i, (i*7+3)%n)
+		if i%3 == 0 {
+			fmt.Fprintf(&b, "<http://x/e%d> <http://x/name> \"entity %d\" .\n", i, i)
+		}
+		if i%5 == 0 {
+			fmt.Fprintf(&b, "<http://x/e%d> <http://x/age> \"%d\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n", i, i%90)
+		}
+	}
+	return b.String()
+}
+
+// sequential parses doc exactly like the legacy loader (non-strict
+// NTriplesReader).
+func sequential(t *testing.T, doc string) []rdf.Triple {
+	t.Helper()
+	r := rdf.NewNTriplesReader(strings.NewReader(doc))
+	out, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func runCollect(t *testing.T, doc string, opts Options) ([]rdf.Triple, Progress) {
+	t.Helper()
+	opts.TempDir = t.TempDir()
+	var got []rdf.Triple
+	stats, err := Run(context.Background(), strings.NewReader(doc), opts, func(tr rdf.Triple) error {
+		got = append(got, tr)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, stats
+}
+
+func assertSameTriples(t *testing.T, want, got []rdf.Triple) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("triple count: want %d, got %d", len(want), len(got))
+	}
+	for i := range want {
+		if !want[i].Equal(got[i]) {
+			t.Fatalf("triple %d: want %v, got %v", i, want[i], got[i])
+		}
+	}
+}
+
+func TestPipelineMatchesSequentialOrder(t *testing.T) {
+	doc := genDoc(2000)
+	want := sequential(t, doc)
+	got, stats := runCollect(t, doc, Options{Workers: 4, BlockSize: 1 << 10})
+	assertSameTriples(t, want, got)
+	if stats.Triples != int64(len(want)) {
+		t.Errorf("stats.Triples = %d, want %d", stats.Triples, len(want))
+	}
+	if stats.Blocks < 2 {
+		t.Errorf("expected multiple blocks, got %d", stats.Blocks)
+	}
+}
+
+func TestPipelineSpillsUnderBudgetAndStillOrders(t *testing.T) {
+	doc := genDoc(3000)
+	want := sequential(t, doc)
+	// A budget far below the document size forces every worker to spill
+	// several sorted runs; the k-way merge must still reproduce input order.
+	got, stats := runCollect(t, doc, Options{Workers: 3, BlockSize: 1 << 10, MemoryBudget: 1})
+	assertSameTriples(t, want, got)
+	if stats.Spills == 0 {
+		t.Fatal("expected spill segments under a 1-byte budget")
+	}
+	if stats.SpilledTriples == 0 {
+		t.Fatal("expected spilled triples to be counted")
+	}
+}
+
+func TestPipelineSkipsMalformedLinesLikeSequential(t *testing.T) {
+	doc := "<http://x/a> <http://x/p> <http://x/b> .\n" +
+		"this line is garbage\n" +
+		"<http://x/c> <http://x/p> \"v\" .\n"
+	want := sequential(t, doc)
+	got, stats := runCollect(t, doc, Options{Workers: 2})
+	assertSameTriples(t, want, got)
+	if stats.Skipped != 1 {
+		t.Errorf("Skipped = %d, want 1", stats.Skipped)
+	}
+}
+
+func TestPipelineStrictModeFailsOnMalformed(t *testing.T) {
+	doc := "<http://x/a> <http://x/p> <http://x/b> .\ngarbage here\n"
+	_, err := Run(context.Background(), strings.NewReader(doc), Options{Strict: true, TempDir: t.TempDir()},
+		func(rdf.Triple) error { return nil })
+	var ie *Error
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *Error, got %v", err)
+	}
+	if ie.Offset != 41 {
+		t.Errorf("Offset = %d, want 41 (start of the malformed line)", ie.Offset)
+	}
+	var pe *rdf.ParseError
+	if !errors.As(err, &pe) {
+		t.Errorf("want wrapped *rdf.ParseError, got %v", err)
+	}
+}
+
+func TestPipelineGzipTruncationTyped(t *testing.T) {
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	doc := genDoc(500)
+	if _, err := zw.Write([]byte(doc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the gzip stream mid-member: decompression delivers a prefix and
+	// then fails. The pipeline must surface a typed error with the
+	// decompressed offset, not silently accept the prefix.
+	trunc := zbuf.Bytes()[:zbuf.Len()/2]
+	zr, err := gzip.NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(context.Background(), zr, Options{TempDir: t.TempDir()}, func(rdf.Triple) error { return nil })
+	var ie *Error
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *Error for truncated gzip, got %v", err)
+	}
+	if ie.Offset <= 0 || ie.Offset > int64(len(doc)) {
+		t.Errorf("Offset = %d, want within the decompressed prefix (0, %d]", ie.Offset, len(doc))
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("want wrapped io.ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestPipelineOversizedLiteralTyped(t *testing.T) {
+	good := "<http://x/a> <http://x/p> <http://x/b> .\n"
+	monster := "<http://x/a> <http://x/p> \"" + strings.Repeat("x", 64<<10) + "\" .\n"
+	doc := good + monster
+	_, err := Run(context.Background(), strings.NewReader(doc),
+		Options{BlockSize: 1 << 10, MaxLine: 8 << 10, TempDir: t.TempDir()},
+		func(rdf.Triple) error { return nil })
+	var ie *Error
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *Error for oversized literal, got %v", err)
+	}
+	if !errors.Is(err, ErrOversizedLine) {
+		t.Errorf("want ErrOversizedLine, got %v", err)
+	}
+	if ie.Offset != int64(len(good)) {
+		t.Errorf("Offset = %d, want %d (start of the oversized line)", ie.Offset, len(good))
+	}
+}
+
+func TestPipelineBareCRTyped(t *testing.T) {
+	for name, doc := range map[string]string{
+		// Classic-Mac line endings: no LF at all, CRs in the middle.
+		"classic-mac": "<http://x/a> <http://x/p> <http://x/b> .\r<http://x/c> <http://x/p> <http://x/d> .\r",
+		// Raw CR inside a literal (must be escaped as \r in N-Triples).
+		"raw-cr-in-literal": "<http://x/a> <http://x/p> \"bad\rvalue\" .\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			_, err := Run(context.Background(), strings.NewReader(doc), Options{TempDir: t.TempDir()},
+				func(rdf.Triple) error { return nil })
+			var ie *Error
+			if !errors.As(err, &ie) {
+				t.Fatalf("want *Error, got %v", err)
+			}
+			if !errors.Is(err, ErrBareCR) {
+				t.Errorf("want ErrBareCR, got %v", err)
+			}
+			if ie.Offset != int64(strings.IndexByte(doc, '\r')) {
+				t.Errorf("Offset = %d, want %d (the bare CR)", ie.Offset, strings.IndexByte(doc, '\r'))
+			}
+		})
+	}
+}
+
+func TestPipelineInvalidUTF8IRITyped(t *testing.T) {
+	good := "<http://x/a> <http://x/p> <http://x/b> .\n"
+	bad := "<http://x/\xff\xfe> <http://x/p> <http://x/c> .\n"
+	doc := good + bad
+	_, err := Run(context.Background(), strings.NewReader(doc), Options{TempDir: t.TempDir()},
+		func(rdf.Triple) error { return nil })
+	var ie *Error
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *Error for invalid UTF-8 IRI, got %v", err)
+	}
+	if !errors.Is(err, ErrInvalidUTF8) {
+		t.Errorf("want ErrInvalidUTF8, got %v", err)
+	}
+	if ie.Offset != int64(len(good)) {
+		t.Errorf("Offset = %d, want %d (start of the offending line)", ie.Offset, len(good))
+	}
+	if ie.Line != 2 {
+		t.Errorf("Line = %d, want 2", ie.Line)
+	}
+}
+
+// TestPipelineCancellationCleansTempSegments is the regression test for the
+// coarse-cancellation bug: the pipeline must notice ctx cancellation at
+// block granularity mid-load and must not leave spill segments behind.
+func TestPipelineCancellationCleansTempSegments(t *testing.T) {
+	doc := genDoc(5000)
+	tmp := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	blocks := 0
+	_, err := Run(ctx, strings.NewReader(doc), Options{
+		Workers:      2,
+		BlockSize:    1 << 10,
+		MemoryBudget: 1, // force spills so there are segments to clean up
+		TempDir:      tmp,
+		Progress: func(p Progress) {
+			blocks = p.Blocks
+			if p.Blocks >= 3 {
+				once.Do(cancel)
+			}
+		},
+	}, func(rdf.Triple) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if blocks >= 200 {
+		t.Errorf("cancellation was not prompt: %d blocks consumed after cancel at 3", blocks)
+	}
+	ents, derr := os.ReadDir(tmp)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if len(ents) != 0 {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Errorf("temp segments left behind after cancellation: %v", names)
+	}
+}
+
+func TestPipelineEmitErrorStopsMerge(t *testing.T) {
+	doc := genDoc(100)
+	boom := errors.New("boom")
+	n := 0
+	_, err := Run(context.Background(), strings.NewReader(doc), Options{TempDir: t.TempDir()},
+		func(rdf.Triple) error {
+			n++
+			if n == 10 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want emit error, got %v", err)
+	}
+	if n != 10 {
+		t.Errorf("emit called %d times, want 10", n)
+	}
+}
+
+func TestPipelineEmptyAndCommentOnlyInput(t *testing.T) {
+	for name, doc := range map[string]string{
+		"empty":        "",
+		"comments":     "# nothing\n# here\n\n",
+		"no-final-eol": "<http://x/a> <http://x/p> <http://x/b> .",
+	} {
+		t.Run(name, func(t *testing.T) {
+			want := sequential(t, doc)
+			got, _ := runCollect(t, doc, Options{Workers: 2})
+			assertSameTriples(t, want, got)
+		})
+	}
+}
+
+func TestPipelineCRLFMatchesSequential(t *testing.T) {
+	doc := strings.ReplaceAll(genDoc(300), "\n", "\r\n")
+	want := sequential(t, doc)
+	got, _ := runCollect(t, doc, Options{Workers: 3, BlockSize: 512})
+	assertSameTriples(t, want, got)
+}
+
+func TestSymTabInterns(t *testing.T) {
+	tab := NewSymTab()
+	a := tab.Intern("hello")
+	b := tab.Intern(string([]byte("hello"))) // distinct backing, equal value
+	if a != b {
+		t.Fatal("interned strings differ")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (second spelling must reuse the first)", tab.Len())
+	}
+	if tab.Intern("") != "" {
+		t.Fatal("empty string must intern to itself")
+	}
+}
+
+func TestProgressMonotonic(t *testing.T) {
+	doc := genDoc(2000)
+	var mu sync.Mutex
+	var last Progress
+	_, err := Run(context.Background(), strings.NewReader(doc), Options{
+		Workers: 4, BlockSize: 1 << 10, TempDir: t.TempDir(),
+		Progress: func(p Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			if p.Blocks < last.Blocks || p.Bytes < last.Bytes || p.Triples < last.Triples {
+				t.Errorf("progress went backwards: %+v after %+v", p, last)
+			}
+			last = p
+		},
+	}, func(rdf.Triple) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Blocks == 0 {
+		t.Fatal("no progress reported")
+	}
+}

@@ -1,0 +1,255 @@
+package ingest
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/rdf"
+)
+
+// seqTriple is a parsed triple tagged with its position in the input stream:
+// block sequence number and line index within the block. (block, line) is a
+// total order equal to input order, which is what makes the parallel
+// pipeline's output bit-compatible with the sequential loader — runs are
+// sorted by it, and the final merge replays the dump exactly as written.
+type seqTriple struct {
+	block uint32
+	line  uint32
+	t     rdf.Triple
+}
+
+func seqLess(a, b seqTriple) bool {
+	if a.block != b.block {
+		return a.block < b.block
+	}
+	return a.line < b.line
+}
+
+// approxSize estimates the heap bytes one buffered triple pins: its string
+// payloads plus per-triple bookkeeping (a 184-byte seqTriple struct —
+// three Terms of a kind byte and three string headers each — plus slice
+// growth slack; interned payloads are shared, so most of the marginal cost
+// is the struct). The budget accounting only needs to be proportionate,
+// not exact.
+func approxSize(t rdf.Triple) int64 {
+	n := len(t.Subject.Value) + len(t.Predicate.Value) + len(t.Object.Value) +
+		len(t.Object.Datatype) + len(t.Object.Lang)
+	return int64(n) + 224
+}
+
+// Run file format (temp segments, never persisted beyond one pipeline run):
+//
+//	record  = uvarint block, uvarint line, term subject, term predicate,
+//	          term object
+//	term    = kind byte, uvarint len + bytes (value),
+//	          and for literals uvarint len + bytes (datatype),
+//	          uvarint len + bytes (lang)
+//
+// Records appear in (block, line) order — each worker drains blocks in
+// increasing Seq order, so its buffer is born sorted and spills sorted.
+
+// runWriter streams one sorted run to a temp segment file.
+type runWriter struct {
+	f   *os.File
+	bw  *bufio.Writer
+	n   int64 // records written
+	tmp []byte
+}
+
+func newRunWriter(dir string, seq int) (*runWriter, error) {
+	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("run-%04d.seg", seq)))
+	if err != nil {
+		return nil, err
+	}
+	return &runWriter{f: f, bw: bufio.NewWriterSize(f, 256<<10)}, nil
+}
+
+func (w *runWriter) add(st seqTriple) error {
+	w.tmp = binary.AppendUvarint(w.tmp[:0], uint64(st.block))
+	w.tmp = binary.AppendUvarint(w.tmp, uint64(st.line))
+	if _, err := w.bw.Write(w.tmp); err != nil {
+		return err
+	}
+	if err := w.writeTerm(st.t.Subject); err != nil {
+		return err
+	}
+	if err := w.writeTerm(st.t.Predicate); err != nil {
+		return err
+	}
+	if err := w.writeTerm(st.t.Object); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+func (w *runWriter) writeTerm(t rdf.Term) error {
+	if err := w.bw.WriteByte(byte(t.Kind)); err != nil {
+		return err
+	}
+	if err := w.writeString(t.Value); err != nil {
+		return err
+	}
+	if t.Kind == rdf.KindLiteral {
+		if err := w.writeString(t.Datatype); err != nil {
+			return err
+		}
+		return w.writeString(t.Lang)
+	}
+	return nil
+}
+
+func (w *runWriter) writeString(s string) error {
+	w.tmp = binary.AppendUvarint(w.tmp[:0], uint64(len(s)))
+	if _, err := w.bw.Write(w.tmp); err != nil {
+		return err
+	}
+	_, err := w.bw.WriteString(s)
+	return err
+}
+
+// close flushes and closes the segment, leaving it on disk for the merge.
+func (w *runWriter) close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// runCursor yields one sorted run during the merge: either a spilled segment
+// streamed back from disk or a worker's in-memory tail.
+type runCursor struct {
+	cur seqTriple
+	ok  bool
+
+	// in-memory run
+	mem []seqTriple
+
+	// disk run
+	br *bufio.Reader
+	f  *os.File
+}
+
+func memCursor(ts []seqTriple) *runCursor {
+	c := &runCursor{mem: ts}
+	c.advance()
+	return c
+}
+
+func diskCursor(path string) (*runCursor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	c := &runCursor{f: f, br: bufio.NewReaderSize(f, 256<<10)}
+	if err := c.next(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// advance pops the next record of an in-memory run.
+func (c *runCursor) advance() {
+	if len(c.mem) == 0 {
+		c.ok = false
+		return
+	}
+	c.cur, c.mem, c.ok = c.mem[0], c.mem[1:], true
+}
+
+// next decodes the next record of a disk run; at end of segment ok is false.
+func (c *runCursor) next() error {
+	if c.br == nil {
+		c.advance()
+		return nil
+	}
+	block, err := binary.ReadUvarint(c.br)
+	if err == io.EOF {
+		c.ok = false
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("ingest: corrupt spill segment: %w", err)
+	}
+	line, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return fmt.Errorf("ingest: corrupt spill segment: %w", err)
+	}
+	c.cur.block, c.cur.line = uint32(block), uint32(line)
+	if c.cur.t.Subject, err = c.readTerm(); err != nil {
+		return err
+	}
+	if c.cur.t.Predicate, err = c.readTerm(); err != nil {
+		return err
+	}
+	if c.cur.t.Object, err = c.readTerm(); err != nil {
+		return err
+	}
+	c.ok = true
+	return nil
+}
+
+func (c *runCursor) readTerm() (rdf.Term, error) {
+	kind, err := c.br.ReadByte()
+	if err != nil {
+		return rdf.Term{}, fmt.Errorf("ingest: corrupt spill segment: %w", err)
+	}
+	t := rdf.Term{Kind: rdf.TermKind(kind)}
+	if t.Value, err = c.readString(); err != nil {
+		return rdf.Term{}, err
+	}
+	if t.Kind == rdf.KindLiteral {
+		if t.Datatype, err = c.readString(); err != nil {
+			return rdf.Term{}, err
+		}
+		if t.Lang, err = c.readString(); err != nil {
+			return rdf.Term{}, err
+		}
+	}
+	return t, nil
+}
+
+func (c *runCursor) readString() (string, error) {
+	n, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return "", fmt.Errorf("ingest: corrupt spill segment: %w", err)
+	}
+	if n == 0 {
+		return "", nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(c.br, b); err != nil {
+		return "", fmt.Errorf("ingest: corrupt spill segment: %w", err)
+	}
+	return string(b), nil
+}
+
+func (c *runCursor) close() {
+	if c.f != nil {
+		c.f.Close()
+	}
+}
+
+// runHeap is the k-way merge frontier, ordered by (block, line).
+type runHeap []*runCursor
+
+func (h runHeap) Len() int           { return len(h) }
+func (h runHeap) Less(i, j int) bool { return seqLess(h[i].cur, h[j].cur) }
+func (h runHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x any)        { *h = append(*h, x.(*runCursor)) }
+func (h *runHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+var _ heap.Interface = (*runHeap)(nil)

@@ -1,0 +1,98 @@
+package ingest
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// symShards is the stripe count of the shared symbol table. Power of two so
+// the shard pick is a mask; 64 stripes keep contention negligible for the
+// worker counts the pipeline runs (≤ tens).
+const symShards = 64
+
+// SymTab is a sharded string interner shared by the parse workers: every
+// distinct term spelling (IRI, blank label, literal form) is allocated once,
+// however many blocks and workers encounter it. In a real dump the same
+// entity and predicate IRIs recur millions of times; without interning each
+// occurrence would pin its own copy of the parsed line in the run buffers,
+// and the memory budget would buy far fewer buffered triples.
+//
+// The zero value is not ready; use NewSymTab. All methods are safe for
+// concurrent use.
+type SymTab struct {
+	seed   maphash.Seed
+	shards [symShards]symShard
+}
+
+type symShard struct {
+	mu sync.Mutex
+	m  map[string]string
+}
+
+// NewSymTab returns an empty symbol table.
+func NewSymTab() *SymTab {
+	t := &SymTab{seed: maphash.MakeSeed()}
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]string)
+	}
+	return t
+}
+
+// Intern returns the canonical copy of s, storing s itself on first sight.
+func (t *SymTab) Intern(s string) string {
+	if s == "" {
+		return ""
+	}
+	sh := &t.shards[maphash.String(t.seed, s)&(symShards-1)]
+	sh.mu.Lock()
+	v, ok := sh.m[s]
+	if !ok {
+		sh.m[s] = s
+		v = s
+	}
+	sh.mu.Unlock()
+	return v
+}
+
+// Len returns the number of distinct strings interned so far.
+func (t *SymTab) Len() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// localSyms is a per-worker, lock-free cache in front of the shared table:
+// hot spellings (the handful of predicates, the current block's subjects)
+// resolve without touching a stripe lock. It is bounded by reset, not
+// eviction — simpler, and a reset merely costs a few shared lookups.
+type localSyms struct {
+	tab *SymTab
+	m   map[string]string
+}
+
+// localSymsCap bounds the per-worker cache before it is reset.
+const localSymsCap = 1 << 16
+
+func newLocalSyms(tab *SymTab) *localSyms {
+	return &localSyms{tab: tab, m: make(map[string]string, 1024)}
+}
+
+func (l *localSyms) intern(s string) string {
+	if s == "" {
+		return ""
+	}
+	if v, ok := l.m[s]; ok {
+		return v
+	}
+	v := l.tab.Intern(s)
+	if len(l.m) >= localSymsCap {
+		l.m = make(map[string]string, 1024)
+	}
+	l.m[v] = v
+	return v
+}

@@ -80,6 +80,15 @@ func (r *NTriplesReader) ReadAll() ([]Triple, error) {
 	}
 }
 
+// ParseLine parses a single N-Triples line (without its terminator).
+// lineNo is the 1-based line number reported in errors. This is the exact
+// per-line parser NTriplesReader uses, exported so the parallel ingest
+// pipeline (internal/ingest) parses blocks with byte-identical semantics to
+// a sequential read.
+func ParseLine(line string, lineNo int) (Triple, error) {
+	return parseNTriplesLine(line, lineNo)
+}
+
 // ParseNTriples parses a complete N-Triples document held in a string.
 func ParseNTriples(doc string) ([]Triple, error) {
 	r := NewNTriplesReader(strings.NewReader(doc))

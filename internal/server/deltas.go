@@ -238,11 +238,11 @@ func (s *Server) ontologiesForLocked(ctx context.Context, snapID string) (*store
 	s.opts.Logf("server: reconstructing ontologies for %s: root %s + %d delta segment(s)",
 		snapID, cur, len(chain))
 	lits := store.NewLiterals()
-	o1, err := loadKB(ctx, root.Request.KB1, lits, norm)
+	o1, err := s.loadKB(ctx, "", "kb1", root.Request.KB1, lits, norm)
 	if err != nil {
 		return nil, nil, err
 	}
-	o2, err := loadKB(ctx, root.Request.KB2, lits, norm)
+	o2, err := s.loadKB(ctx, "", "kb2", root.Request.KB2, lits, norm)
 	if err != nil {
 		return nil, nil, err
 	}

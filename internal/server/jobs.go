@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ingest"
 )
 
 // errCanceled is the cancellation cause installed by cancel; it becomes the
@@ -27,8 +28,9 @@ const (
 
 // Job kinds. The empty kind means KindAlign (records predate delta jobs).
 const (
-	KindAlign = "align"
-	KindDelta = "delta"
+	KindAlign  = "align"
+	KindDelta  = "delta"
+	KindIngest = "ingest"
 )
 
 // JobRequest is the body of POST /jobs: the two knowledge-base files to
@@ -73,20 +75,47 @@ type DeltaRequest struct {
 	Workers       int `json:"workers,omitempty"`
 }
 
+// IngestProgress is the cumulative per-block state of a streaming KB load:
+// consumed blocks and bytes, parsed and skipped triples, spill counters.
+// Phase names the load the counters belong to — "kb1"/"kb2" for the two
+// loads of an alignment job, the KB name for an upload validation — since
+// a job's Ingest slot holds the *current* load: consumers watching an
+// align job see the counters restart when the second KB begins, and Phase
+// is what tells them that is a new load, not a glitch.
+type IngestProgress struct {
+	ingest.Progress
+	Phase string `json:"phase,omitempty"`
+}
+
+// UploadRecord is the submission of a KB ingest job (POST /v1/kbs): a dump
+// streamed into the server's spool, to be validated through the parallel
+// ingest pipeline and committed into the KB directory.
+type UploadRecord struct {
+	// Name is the caller-chosen KB name; the committed file is
+	// <state>/kbs/<name><format>.
+	Name string `json:"name"`
+	// Format carries the parser-selecting extensions (".nt", ".nt.gz", …).
+	Format string `json:"format"`
+	// Bytes is the spooled (compressed, if gzip) upload size.
+	Bytes int64 `json:"bytes"`
+}
+
 // Job is the externally visible record of one alignment job, returned by
 // the jobs API and persisted on completion so restarts keep the history.
 type Job struct {
 	ID    string   `json:"id"`
 	State JobState `json:"state"`
 
-	// Kind is KindAlign (full alignment, the default when empty) or
-	// KindDelta (incremental re-alignment).
+	// Kind is KindAlign (full alignment, the default when empty),
+	// KindDelta (incremental re-alignment), or KindIngest (a pushed KB
+	// upload being validated and committed).
 	Kind string `json:"kind,omitempty"`
 
 	// Request holds the submission of an align job; Delta that of a delta
-	// job.
+	// job; Upload that of an ingest job.
 	Request JobRequest    `json:"request"`
 	Delta   *DeltaRequest `json:"delta,omitempty"`
+	Upload  *UploadRecord `json:"upload,omitempty"`
 
 	Created time.Time `json:"created"`
 	// Started and Finished are pointers so the fields are omitted from
@@ -99,11 +128,22 @@ type Job struct {
 	// fixpoint iteration, so GET /jobs/{id} reports live progress.
 	Iterations []core.IterationStats `json:"iterations,omitempty"`
 
+	// Ingest is the latest per-block progress of the streaming loads a job
+	// performs: the upload validation of an ingest job, or the KB loads at
+	// the start of an align job. The pointee is immutable (updates replace
+	// the pointer), so clones may share it.
+	Ingest *IngestProgress `json:"ingest,omitempty"`
+
 	// Error holds the failure cause when State is failed.
 	Error string `json:"error,omitempty"`
 
 	// Snapshot is the ID of the persisted snapshot when State is done.
 	Snapshot string `json:"snapshot,omitempty"`
+
+	// KB is the committed server-side path of an ingest job's knowledge
+	// base when State is done — the path to reference in a later
+	// POST /v1/jobs.
+	KB string `json:"kb,omitempty"`
 }
 
 // jobManager runs jobs on a bounded worker pool. Submitted jobs wait in a
@@ -120,6 +160,13 @@ type jobManager struct {
 	// cancels holds the cancel function of every running job, keyed by job
 	// ID, so DELETE /v1/jobs/{id} can abort the fixpoint mid-flight.
 	cancels map[string]context.CancelCauseFunc
+
+	// watchers holds the live SSE subscriber channels per job. Progress
+	// events are sent best-effort (a slow subscriber drops intermediate
+	// events, which are cumulative); terminal transitions close every
+	// channel, and the subscriber re-reads the final record itself — so
+	// completion is never lost to a full buffer.
+	watchers map[string][]chan JobEvent
 
 	pending []string // queued job IDs, oldest first; at most depth
 	depth   int
@@ -140,11 +187,12 @@ type jobManager struct {
 // the queue at close.
 func newJobManager(workers, depth int, run func(ctx context.Context, id string), onDrop func(Job)) *jobManager {
 	m := &jobManager{
-		jobs:    make(map[string]*Job),
-		cancels: make(map[string]context.CancelCauseFunc),
-		depth:   depth,
-		run:     run,
-		onDrop:  onDrop,
+		jobs:     make(map[string]*Job),
+		cancels:  make(map[string]context.CancelCauseFunc),
+		watchers: make(map[string][]chan JobEvent),
+		depth:    depth,
+		run:      run,
+		onDrop:   onDrop,
 	}
 	m.cond = sync.NewCond(&m.mu)
 	for i := 0; i < workers; i++ {
@@ -202,6 +250,7 @@ func (m *jobManager) submit(template Job) (Job, error) {
 		Kind:    template.Kind,
 		Request: template.Request,
 		Delta:   template.Delta,
+		Upload:  template.Upload,
 		Created: time.Now().UTC(),
 	}
 	m.jobs[j.ID] = j
@@ -331,6 +380,7 @@ func (m *jobManager) cancel(id string) (j Job, prev JobState, ok bool) {
 				break
 			}
 		}
+		m.closeWatchersLocked(id)
 	} else if prev == JobRunning {
 		cancelFn = m.cancels[id]
 	}
@@ -342,12 +392,108 @@ func (m *jobManager) cancel(id string) (j Job, prev JobState, ok bool) {
 	return j, prev, true
 }
 
+// JobEvent is one frame of the job progress stream (SSE on
+// GET /v1/jobs/{id} with Accept: text/event-stream).
+type JobEvent struct {
+	// Type is EventState (initial view), EventIteration (a fixpoint
+	// iteration completed), EventIngest (a streaming-load block landed),
+	// or EventDone (terminal state reached).
+	Type string `json:"type"`
+	Job  Job    `json:"job"`
+}
+
+// Job progress stream event types.
+const (
+	EventState     = "state"
+	EventIteration = "iteration"
+	EventIngest    = "ingest"
+	EventDone      = "done"
+)
+
+// watch subscribes to a job's progress events, returning the job's current
+// view atomically with the subscription (no transition can fall between
+// them). The channel closes when the job reaches a terminal state — or
+// immediately, for a job that already has; the subscriber fetches the final
+// record with get. cancel must be called to release the subscription.
+func (m *jobManager) watch(id string) (j Job, ch <-chan JobEvent, cancel func(), ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	jp, found := m.jobs[id]
+	if !found {
+		return Job{}, nil, nil, false
+	}
+	c := make(chan JobEvent, 16)
+	if jp.State == JobDone || jp.State == JobFailed {
+		close(c)
+		return cloneJob(jp), c, func() {}, true
+	}
+	m.watchers[id] = append(m.watchers[id], c)
+	cancel = func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		ws := m.watchers[id]
+		for i, w := range ws {
+			if w == c {
+				m.watchers[id] = append(ws[:i], ws[i+1:]...)
+				return
+			}
+		}
+	}
+	return cloneJob(jp), c, cancel, true
+}
+
+// notifyLocked sends a progress event to every subscriber of j,
+// best-effort. Callers hold m.mu.
+func (m *jobManager) notifyLocked(j *Job, typ string) {
+	ws := m.watchers[j.ID]
+	if len(ws) == 0 {
+		return
+	}
+	ev := JobEvent{Type: typ, Job: cloneJob(j)}
+	for _, c := range ws {
+		select {
+		case c <- ev:
+		default: // slow subscriber: drop; counters are cumulative
+		}
+	}
+}
+
+// closeWatchersLocked ends every subscription of a job that just reached a
+// terminal state. Callers hold m.mu.
+func (m *jobManager) closeWatchersLocked(id string) {
+	for _, c := range m.watchers[id] {
+		close(c)
+	}
+	delete(m.watchers, id)
+}
+
 // progress appends one completed iteration to a running job.
 func (m *jobManager) progress(id string, it core.IterationStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if j, ok := m.jobs[id]; ok {
 		j.Iterations = append(j.Iterations, it)
+		m.notifyLocked(j, EventIteration)
+	}
+}
+
+// ingestProgress replaces a running job's streaming-load progress view. The
+// pointee is never mutated afterwards, so concurrent clones stay valid.
+func (m *jobManager) ingestProgress(id string, p IngestProgress) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[id]; ok {
+		j.Ingest = &p
+		m.notifyLocked(j, EventIngest)
+	}
+}
+
+// setKB records the committed KB path of an ingest job before finish.
+func (m *jobManager) setKB(id, path string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[id]; ok {
+		j.KB = path
 	}
 }
 
@@ -369,6 +515,7 @@ func (m *jobManager) finish(id, snapshotID string, err error) Job {
 		j.State = JobDone
 		j.Snapshot = snapshotID
 	}
+	m.closeWatchersLocked(id)
 	return cloneJob(j)
 }
 
@@ -430,6 +577,7 @@ func (m *jobManager) drop(id string) {
 		j.Finished = &now
 		j.Error = "dropped: server shutting down"
 		dropped = cloneJob(j)
+		m.closeWatchersLocked(id)
 	}
 	m.mu.Unlock()
 	if dropped.ID != "" && m.onDrop != nil {

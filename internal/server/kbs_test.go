@@ -1,0 +1,386 @@
+package server
+
+// Tests for push-based KB ingestion (POST /v1/kbs): end-to-end upload →
+// ingest job → commit → align via "kb:" references, resumable-error
+// semantics with offset handshakes, typed validation failures, and the SSE
+// progress stream on GET /v1/jobs/{id}.
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rdf"
+)
+
+// corpusDocs renders a persons dataset as two N-Triples documents.
+func corpusDocs(t *testing.T, n int) (doc1, doc2 []byte, d *gen.Dataset) {
+	t.Helper()
+	d = gen.Persons(gen.PersonsConfig{N: n, Seed: 7})
+	render := func(ts []rdf.Triple) []byte {
+		var b bytes.Buffer
+		if err := rdf.WriteNTriples(&b, ts); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	return render(d.Triples1), render(d.Triples2), d
+}
+
+func gzipBytes(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	zw := gzip.NewWriter(&b)
+	if _, err := zw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// postKB streams body to POST /v1/kbs and decodes the response JSON.
+func postKB(t *testing.T, base, query string, body []byte, out any) int {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/kbs?"+query, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decoding POST /v1/kbs response: %v\n%s", err, raw)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestUploadKBEndToEnd(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir(), 1)
+	defer srv.Close()
+	defer ts.Close()
+
+	doc1, doc2, d := corpusDocs(t, 40)
+
+	// KB 1 pushed gzipped, KB 2 plain: both pipeline entry points.
+	var j1 Job
+	if code := postKB(t, ts.URL, "name=left&format=.nt.gz", gzipBytes(t, doc1), &j1); code != http.StatusAccepted {
+		t.Fatalf("upload left: %d", code)
+	}
+	if j1.Kind != KindIngest || j1.Upload == nil || j1.Upload.Name != "left" {
+		t.Fatalf("ingest job record: %+v", j1)
+	}
+	var j2 Job
+	if code := postKB(t, ts.URL, "name=right&format=nt", doc2, &j2); code != http.StatusAccepted {
+		t.Fatalf("upload right: %d", code)
+	}
+
+	fin1, fin2 := waitDone(t, ts.URL, j1.ID), waitDone(t, ts.URL, j2.ID)
+	if fin1.State != JobDone || fin2.State != JobDone {
+		t.Fatalf("ingest jobs: %s=%s (%s), %s=%s (%s)",
+			fin1.ID, fin1.State, fin1.Error, fin2.ID, fin2.State, fin2.Error)
+	}
+	if fin1.KB == "" || fin2.KB == "" {
+		t.Fatalf("committed KB paths missing: %q, %q", fin1.KB, fin2.KB)
+	}
+	if fin1.Ingest == nil || fin1.Ingest.Triples == 0 {
+		t.Fatalf("ingest job carries no per-block progress: %+v", fin1.Ingest)
+	}
+
+	// The listing shows both as ready.
+	var list struct {
+		KBs []KBInfo `json:"kbs"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/kbs", &list); code != http.StatusOK {
+		t.Fatalf("GET /v1/kbs: %d", code)
+	}
+	if len(list.KBs) != 2 {
+		t.Fatalf("KB listing: %+v", list.KBs)
+	}
+	for _, kb := range list.KBs {
+		if kb.State != "ready" || kb.File == "" {
+			t.Fatalf("KB not ready: %+v", kb)
+		}
+	}
+
+	// Align the pushed KBs by kb: reference on one side and committed path
+	// on the other, then check a gold pair resolves.
+	var aj Job
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
+		JobRequest{KB1: "kb:left", KB2: fin2.KB}, &aj); code != http.StatusAccepted {
+		t.Fatalf("submit align: %d", code)
+	}
+	if !strings.Contains(aj.Request.KB1, "left.nt.gz") {
+		t.Fatalf("kb: reference not resolved at submit: %q", aj.Request.KB1)
+	}
+	final := waitDone(t, ts.URL, aj.ID)
+	if final.State != JobDone {
+		t.Fatalf("align job failed: %s", final.Error)
+	}
+	if final.Ingest == nil {
+		t.Fatal("align job carries no ingest progress from its KB loads")
+	}
+	pairs := d.Gold.Pairs()
+	if got, code := lookupKey(t, ts.URL, "1", pairs[0][0]); code != http.StatusOK || got != pairs[0][1] {
+		t.Fatalf("sameas on pushed KBs: %d, %q (want %q)", code, got, pairs[0][1])
+	}
+}
+
+// TestUploadKBResumable walks the documented recovery path: a gzip dump cut
+// mid-stream uploads "successfully" as bytes (the connection did not fail)
+// but fails validation with a typed offset error; the spool survives, the
+// listing reports the resume offset, and re-POSTing just the remainder
+// completes the KB without resending the prefix.
+func TestUploadKBResumable(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir(), 1)
+	defer srv.Close()
+	defer ts.Close()
+
+	doc1, _, _ := corpusDocs(t, 30)
+	zdoc := gzipBytes(t, doc1)
+	half := len(zdoc) / 2
+
+	var j1 Job
+	if code := postKB(t, ts.URL, "name=big&format=.nt.gz", zdoc[:half], &j1); code != http.StatusAccepted {
+		t.Fatalf("upload first half: %d", code)
+	}
+	fail := waitDone(t, ts.URL, j1.ID)
+	if fail.State != JobFailed {
+		t.Fatalf("truncated gzip validated: %+v", fail)
+	}
+	if !strings.Contains(fail.Error, "byte offset") {
+		t.Fatalf("validation error does not name a byte offset: %q", fail.Error)
+	}
+
+	// The spool survives the failed validation and reports its offset.
+	var list struct {
+		KBs []KBInfo `json:"kbs"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/kbs", &list); code != http.StatusOK {
+		t.Fatalf("GET /v1/kbs: %d", code)
+	}
+	if len(list.KBs) != 1 || list.KBs[0].State != "partial" || list.KBs[0].Offset != int64(half) {
+		t.Fatalf("partial listing: %+v", list.KBs)
+	}
+
+	// A wrong offset is refused with the right one.
+	var conflict struct {
+		Error  string `json:"error"`
+		Offset int64  `json:"offset"`
+	}
+	if code := postKB(t, ts.URL, fmt.Sprintf("name=big&format=.nt.gz&offset=%d", half+7), zdoc[half:], &conflict); code != http.StatusConflict {
+		t.Fatalf("mismatched offset: %d", code)
+	}
+	if conflict.Offset != int64(half) {
+		t.Fatalf("conflict offset = %d, want %d", conflict.Offset, half)
+	}
+
+	// Resume with the remainder only.
+	var j2 Job
+	if code := postKB(t, ts.URL, fmt.Sprintf("name=big&format=.nt.gz&offset=%d", half), zdoc[half:], &j2); code != http.StatusAccepted {
+		t.Fatalf("resume upload: %d", code)
+	}
+	done := waitDone(t, ts.URL, j2.ID)
+	if done.State != JobDone {
+		t.Fatalf("resumed ingest failed: %s", done.Error)
+	}
+	if done.Upload.Bytes != int64(len(zdoc)) {
+		t.Fatalf("resumed upload bytes = %d, want %d", done.Upload.Bytes, len(zdoc))
+	}
+}
+
+func TestUploadKBValidation(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir(), 1)
+	defer srv.Close()
+	defer ts.Close()
+
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{"name=../evil&format=.nt", http.StatusBadRequest},
+		{"name=.hidden&format=.nt", http.StatusBadRequest},
+		{"name=", http.StatusBadRequest},
+		{"name=ok&format=.ttl", http.StatusBadRequest}, // Turtle cannot block-split
+		{"name=ok&format=.nt&offset=-3", http.StatusBadRequest},
+		{"name=ok&format=.nt&offset=999", http.StatusConflict}, // nothing spooled
+	}
+	for _, c := range cases {
+		if code := postKB(t, ts.URL, c.query, []byte("x"), nil); code != c.want {
+			t.Errorf("POST /v1/kbs?%s: %d, want %d", c.query, code, c.want)
+		}
+	}
+
+	// Garbage that parses to zero triples must not commit.
+	var j Job
+	if code := postKB(t, ts.URL, "name=junk&format=.nt", []byte("not a triple\nat all\n"), &j); code != http.StatusAccepted {
+		t.Fatalf("junk upload: %d", code)
+	}
+	if fin := waitDone(t, ts.URL, j.ID); fin.State != JobFailed || !strings.Contains(fin.Error, "no triples") {
+		t.Fatalf("junk KB: %+v", fin)
+	}
+
+	// Invalid UTF-8 in an IRI fails with a typed byte offset.
+	bad := []byte("<http://x/a> <http://x/p> <http://x/b> .\n<http://x/\xff> <http://x/p> <http://x/c> .\n")
+	if code := postKB(t, ts.URL, "name=badiri&format=.nt", bad, &j); code != http.StatusAccepted {
+		t.Fatalf("bad-IRI upload: %d", code)
+	}
+	fin := waitDone(t, ts.URL, j.ID)
+	if fin.State != JobFailed || !strings.Contains(fin.Error, "byte offset 41") {
+		t.Fatalf("invalid-UTF-8 KB: state %s, error %q", fin.State, fin.Error)
+	}
+}
+
+func TestUploadKBRejectedOnShard(t *testing.T) {
+	srv, err := New(Options{StateDir: t.TempDir(), ShardCount: 3, ShardIndex: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if code := postKB(t, ts.URL, "name=x&format=.nt", []byte("<a> <b> <c> .\n"), nil); code != http.StatusForbidden {
+		t.Fatalf("shard accepted an upload: %d", code)
+	}
+}
+
+// readSSE collects one job's SSE frames until the done event (or EOF).
+func readSSE(t *testing.T, base, id string) []JobEvent {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("SSE GET: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var events []JobEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var typ string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			typ = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var j Job
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &j); err != nil {
+				t.Fatalf("decoding %q frame: %v", typ, err)
+			}
+			events = append(events, JobEvent{Type: typ, Job: j})
+			if typ == EventDone {
+				return events
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func TestJobEventsSSE(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newTestServer(t, dir, 1)
+	defer srv.Close()
+	defer ts.Close()
+	writePersonsKB(t, dir, 60)
+
+	// Hold the job at the running threshold so the watch subscribes before
+	// the first iteration lands, then observe the full stream.
+	release := make(chan struct{})
+	srv.testBeforeAlign = func(string) { <-release }
+	var j Job
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{
+		KB1: filepath.Join(dir, "person1.nt"), KB2: filepath.Join(dir, "person2.nt"),
+	}, &j); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	evCh := make(chan []JobEvent, 1)
+	go func() { evCh <- readSSE(t, ts.URL, j.ID) }()
+	close(release)
+
+	events := <-evCh
+	if len(events) < 3 {
+		t.Fatalf("too few SSE events: %+v", events)
+	}
+	if events[0].Type != EventState {
+		t.Fatalf("first event %q, want state", events[0].Type)
+	}
+	counts := map[string]int{}
+	for _, ev := range events {
+		counts[ev.Type]++
+	}
+	if counts[EventIteration] == 0 {
+		t.Errorf("no iteration events: %v", counts)
+	}
+	if counts[EventIngest] == 0 {
+		t.Errorf("no ingest events from the KB loads: %v", counts)
+	}
+	if counts[EventDone] != 1 {
+		t.Errorf("done events = %d, want 1", counts[EventDone])
+	}
+	last := events[len(events)-1]
+	if last.Type != EventDone || last.Job.State != JobDone || last.Job.Snapshot == "" {
+		t.Fatalf("terminal event: %+v", last)
+	}
+
+	// A watch on an already-terminal job yields state + done immediately.
+	events = readSSE(t, ts.URL, j.ID)
+	if len(events) != 2 || events[0].Type != EventState || events[1].Type != EventDone {
+		t.Fatalf("terminal-job SSE: %+v", events)
+	}
+
+	// Unknown jobs 404 on the SSE path too.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/job-99999999", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("SSE for unknown job: %d", resp.StatusCode)
+	}
+}
+
+func TestIngestJobSSEStreamsBlocks(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir(), 1)
+	defer srv.Close()
+	defer ts.Close()
+
+	doc1, _, _ := corpusDocs(t, 50)
+	var j Job
+	if code := postKB(t, ts.URL, "name=streamy&format=.nt", doc1, &j); code != http.StatusAccepted {
+		t.Fatalf("upload: %d", code)
+	}
+	events := readSSE(t, ts.URL, j.ID)
+	last := events[len(events)-1]
+	if last.Type != EventDone || last.Job.State != JobDone {
+		t.Fatalf("terminal event: %+v", last)
+	}
+	if last.Job.Ingest == nil || last.Job.Ingest.Triples == 0 {
+		t.Fatalf("done event carries no ingest totals: %+v", last.Job.Ingest)
+	}
+}

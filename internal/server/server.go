@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/diskstore"
+	"repro/internal/ingest"
 	"repro/internal/literal"
 	"repro/internal/store"
 )
@@ -63,6 +64,21 @@ type Options struct {
 	// exceed the default; streaming slice transfer (no whole-snapshot
 	// buffering) is a roadmap item.
 	MaxSnapshotBytes int64
+
+	// IngestWorkers is the parse parallelism of streaming KB loads — both
+	// POST /v1/kbs upload validation and the KB loads at the start of
+	// alignment jobs (default min(GOMAXPROCS, 8)).
+	IngestWorkers int
+
+	// IngestBudget bounds the memory the streaming loader buffers before
+	// spilling sorted triple runs to temp segments under StateDir
+	// (default 256 MiB).
+	IngestBudget int64
+
+	// MaxUploadBytes bounds one uploaded KB's total spooled size across
+	// POST /v1/kbs requests (default 16 GiB) — the disk-side sibling of
+	// MaxSnapshotBytes.
+	MaxUploadBytes int64
 
 	// ShardCount, when positive, runs the server as one shard of an
 	// N-way sharded deployment (parisd -shard i/N behind a parisrouter):
@@ -110,6 +126,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxSnapshotBytes <= 0 {
 		o.MaxSnapshotBytes = 1 << 30
 	}
+	if o.MaxUploadBytes <= 0 {
+		o.MaxUploadBytes = 16 << 30
+	}
+	// IngestWorkers and IngestBudget zero-default inside the ingest
+	// pipeline itself, so the daemon, the store layer, and the session all
+	// share one definition of "default".
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
@@ -148,6 +170,10 @@ type Server struct {
 	// ?snapshot= (repeatable reads), bounded by maxPinnedIndexes. Guarded
 	// by mu.
 	pinned map[string]*index
+
+	// uploads marks KB upload names with a request currently streaming
+	// into their spool. Guarded by mu.
+	uploads map[string]bool
 
 	mux     *http.ServeMux
 	started time.Time
@@ -360,10 +386,14 @@ func (s *Server) runJob(ctx context.Context, id string) {
 	}
 	var snapID string
 	var err error
-	if j.Kind == KindDelta {
+	switch j.Kind {
+	case KindDelta:
 		s.opts.Logf("server: %s re-aligning delta against %s", id, j.Delta.Base)
 		snapID, err = s.realign(ctx, id, *j.Delta)
-	} else {
+	case KindIngest:
+		s.opts.Logf("server: %s validating uploaded KB %q", id, j.Upload.Name)
+		_, err = s.ingestKB(ctx, id, *j.Upload)
+	default:
 		s.opts.Logf("server: %s aligning %s vs %s", id, j.Request.KB1, j.Request.KB2)
 		snapID, err = s.align(ctx, id, j.Request)
 	}
@@ -375,9 +405,12 @@ func (s *Server) runJob(ctx context.Context, id string) {
 		err = context.Cause(ctx)
 	}
 	final := s.jobs.finish(id, snapID, err)
-	if err != nil {
+	switch {
+	case err != nil:
 		s.opts.Logf("server: %s failed: %v", id, err)
-	} else {
+	case j.Kind == KindIngest:
+		s.opts.Logf("server: %s done, KB committed at %s", id, final.KB)
+	default:
 		s.opts.Logf("server: %s done in %d iterations, snapshot %s",
 			id, len(final.Iterations), snapID)
 	}
@@ -409,11 +442,11 @@ func (s *Server) align(ctx context.Context, id string, req JobRequest) (string, 
 		return "", err
 	}
 	lits := store.NewLiterals()
-	o1, err := loadKB(ctx, req.KB1, lits, norm)
+	o1, err := s.loadKB(ctx, id, "kb1", req.KB1, lits, norm)
 	if err != nil {
 		return "", err
 	}
-	o2, err := loadKB(ctx, req.KB2, lits, norm)
+	o2, err := s.loadKB(ctx, id, "kb2", req.KB2, lits, norm)
 	if err != nil {
 		return "", err
 	}
@@ -454,15 +487,28 @@ func (s *Server) cacheOntologies(snapID string, o1, o2 *store.Ontology) {
 	s.deltaMu.Unlock()
 }
 
-// loadKB is store.LoadFile with cancellation: the read stream checks the
-// context, so a canceled job stops parsing a multi-GB dump promptly.
-func loadKB(ctx context.Context, path string, lits *store.Literals, norm store.Normalizer) (*store.Ontology, error) {
+// loadKB is store.LoadFile through the streaming parallel ingest pipeline:
+// block-parallel parsing under the configured memory budget (spilling to
+// temp segments under StateDir when a dump outgrows it), cancellation
+// checked per block, and — when jobID is non-empty — per-block progress
+// onto the job record and its SSE stream.
+func (s *Server) loadKB(ctx context.Context, jobID, phase, path string, lits *store.Literals, norm store.Normalizer) (*store.Ontology, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return store.LoadReader(store.ContextReader(ctx, f), path, kbName(path), lits, norm)
+	opts := []store.LoadOption{
+		store.WithParallelism(s.opts.IngestWorkers),
+		store.WithMemoryBudget(s.opts.IngestBudget),
+		store.WithSpillDir(s.opts.StateDir),
+	}
+	if jobID != "" {
+		opts = append(opts, store.WithLoadProgress(func(p ingest.Progress) {
+			s.jobs.ingestProgress(jobID, IngestProgress{Progress: p, Phase: phase})
+		}))
+	}
+	return store.LoadReaderContext(ctx, f, path, kbName(path), lits, norm, opts...)
 }
 
 // PublishResult persists a result computed outside the jobs API (for
@@ -654,6 +700,8 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("POST /v1/deltas", s.handleSubmitDelta)
+	mux.HandleFunc("POST /v1/kbs", s.handleUploadKB)
+	mux.HandleFunc("GET /v1/kbs", s.handleKBs)
 	mux.HandleFunc("GET /v1/sameas", s.handleSameAs)
 	mux.HandleFunc("POST /v1/sameas", s.handleSameAsBatch)
 	mux.HandleFunc("GET /v1/relations", s.handleRelations)
@@ -859,6 +907,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "theta must be in [0, 1)")
 		return
 	}
+	// "kb:<name>" references resolve to committed uploads here, at submit
+	// time, so the persisted job record carries the real path — restart
+	// replay of delta chains reloads from it without re-resolving.
+	for _, kb := range []*string{&req.KB1, &req.KB2} {
+		p, err := s.resolveKBRef(*kb)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		*kb = p
+	}
 	for _, p := range []string{req.KB1, req.KB2} {
 		if _, err := os.Stat(p); err != nil {
 			httpError(w, http.StatusBadRequest, "knowledge base %q: %v", p, err)
@@ -878,6 +937,10 @@ func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if wantsEventStream(r) {
+		s.handleJobEvents(w, r)
+		return
+	}
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such job")

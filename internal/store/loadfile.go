@@ -9,8 +9,61 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/ingest"
 	"repro/internal/rdf"
 )
+
+// loadConfig collects the LoadOption knobs. The zero value selects the
+// legacy single-pass in-memory builder feed; any ingest-related option
+// routes N-Triples input through the internal/ingest parallel pipeline.
+type loadConfig struct {
+	workers  int
+	budget   int64
+	tempDir  string
+	progress func(ingest.Progress)
+	pipeline bool
+}
+
+// LoadOption configures LoadFile/LoadReader. The ingest-backed streaming
+// path engages when any of WithParallelism, WithMemoryBudget, or
+// WithLoadProgress is given and the input is N-Triples; Turtle input (a
+// stateful grammar that cannot be block-split) always takes the sequential
+// parser.
+type LoadOption func(*loadConfig)
+
+// WithParallelism fans block parsing out to n workers (0 picks the ingest
+// default, min(GOMAXPROCS, 8)) and enables the streaming pipeline.
+func WithParallelism(n int) LoadOption {
+	return func(c *loadConfig) {
+		c.workers = n
+		c.pipeline = true
+	}
+}
+
+// WithMemoryBudget bounds the bytes of parsed triples the loader buffers in
+// memory (0 picks the ingest default, 256 MiB); beyond it, sorted runs
+// spill to temp segments and are k-way-merged back in input order. Enables
+// the streaming pipeline.
+func WithMemoryBudget(bytes int64) LoadOption {
+	return func(c *loadConfig) {
+		c.budget = bytes
+		c.pipeline = true
+	}
+}
+
+// WithSpillDir hosts the pipeline's temp segments (default os.TempDir()).
+func WithSpillDir(dir string) LoadOption {
+	return func(c *loadConfig) { c.tempDir = dir }
+}
+
+// WithLoadProgress streams the cumulative per-block ingest counters during
+// the load. Enables the streaming pipeline.
+func WithLoadProgress(fn func(ingest.Progress)) LoadOption {
+	return func(c *loadConfig) {
+		c.progress = fn
+		c.pipeline = true
+	}
+}
 
 // ContextReader wraps r so every Read fails with the context's error once
 // ctx is done — the hook that makes a streaming LoadReader cancellable
@@ -61,13 +114,13 @@ func BaseName(path string) string {
 // transparently — the real dumps of Section 6 of the paper (DBpedia, YAGO)
 // ship gzipped. name is the ontology's display name; lits must be shared
 // across the alignment; a nil norm means Identity.
-func LoadFile(path, name string, lits *Literals, norm Normalizer) (*Ontology, error) {
+func LoadFile(path, name string, lits *Literals, norm Normalizer, opts ...LoadOption) (*Ontology, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return LoadReader(f, path, name, lits, norm)
+	return LoadReader(f, path, name, lits, norm, opts...)
 }
 
 // LoadReader parses an RDF stream into a frozen ontology. format carries
@@ -78,7 +131,18 @@ func LoadFile(path, name string, lits *Literals, norm Normalizer) (*Ontology, er
 // caller owns the reader, so sources that are not files (network bodies,
 // pipes, context-cancellable wrappers) load through the same one-pass
 // builder.
-func LoadReader(r io.Reader, format, name string, lits *Literals, norm Normalizer) (*Ontology, error) {
+func LoadReader(r io.Reader, format, name string, lits *Literals, norm Normalizer, opts ...LoadOption) (*Ontology, error) {
+	return LoadReaderContext(context.Background(), r, format, name, lits, norm, opts...)
+}
+
+// LoadReaderContext is LoadReader with cancellation: the context aborts the
+// load between reads on the sequential path and per block on the streaming
+// pipeline (which also removes its temp spill segments before returning).
+func LoadReaderContext(ctx context.Context, r io.Reader, format, name string, lits *Literals, norm Normalizer, opts ...LoadOption) (*Ontology, error) {
+	var cfg loadConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	// Error label: a path-like format already identifies the stream; a
 	// bare (or missing) extension says nothing, so prefix the ontology
 	// name ("left.nt" instead of ".nt") to tell two reader sources apart.
@@ -88,18 +152,36 @@ func LoadReader(r io.Reader, format, name string, lits *Literals, norm Normalize
 	}
 	base := format
 	if strings.EqualFold(filepath.Ext(format), ".gz") {
-		zr, err := gzip.NewReader(r)
+		zr, err := gzip.NewReader(ContextReader(ctx, r))
 		if err != nil {
 			return nil, fmt.Errorf("store: loading %s: %w", label, err)
 		}
 		defer zr.Close()
 		r = zr
 		base = strings.TrimSuffix(format, filepath.Ext(format))
+	} else {
+		r = ContextReader(ctx, r)
 	}
 
 	b := NewBuilder(name, lits, norm)
 	switch ext := strings.ToLower(filepath.Ext(base)); ext {
 	case ".nt", ".ntriples":
+		if cfg.pipeline {
+			// Streaming parallel path: block-parallel parse with a memory
+			// budget; triples arrive in exact input order, so the builder's
+			// interning (and everything downstream) is bit-compatible with
+			// the sequential load.
+			_, err := ingest.Run(ctx, r, ingest.Options{
+				Workers:      cfg.workers,
+				MemoryBudget: cfg.budget,
+				TempDir:      cfg.tempDir,
+				Progress:     cfg.progress,
+			}, b.Add)
+			if err != nil {
+				return nil, fmt.Errorf("store: loading %s: %w", label, err)
+			}
+			break
+		}
 		if err := b.Load(rdf.NewNTriplesReader(r)); err != nil {
 			return nil, fmt.Errorf("store: loading %s: %w", label, err)
 		}

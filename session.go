@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/incremental"
+	"repro/internal/ingest"
 	"repro/internal/store"
 )
 
@@ -74,12 +75,16 @@ func (s Source) Named(name string) Source {
 // A Session is not safe for concurrent use; run concurrent alignments in
 // separate sessions.
 type Session struct {
-	cfg      Config
-	norm     Normalizer
-	progress func(IterationStats)
-	lits     *Literals
-	litsSet  bool // lits pinned by WithLiterals (or adopted by the first Use)
-	ontos    []*Ontology
+	cfg          Config
+	norm         Normalizer
+	progress     func(IterationStats)
+	loadProgress func(LoadProgress)
+	ingestWork   int
+	ingestBudget int64
+	singleShot   bool
+	lits         *Literals
+	litsSet      bool // lits pinned by WithLiterals (or adopted by the first Use)
+	ontos        []*Ontology
 
 	// last is the most recent completed Align or Realign result; Realign
 	// snapshots it lazily to warm-start, so Align pays nothing for
@@ -110,6 +115,39 @@ func WithProgress(fn func(IterationStats)) SessionOption {
 	return func(s *Session) { s.progress = fn }
 }
 
+// LoadProgress is the cumulative per-block state of a streaming load:
+// consumed blocks and bytes, parsed and skipped triples, and spill counters
+// (see internal/ingest).
+type LoadProgress = ingest.Progress
+
+// WithLoadProgress streams the cumulative ingest counters after every
+// parsed block during Session.Load — the load-phase sibling of
+// WithProgress, which streams per-iteration fixpoint statistics during
+// Align. Calls are serialized, on a pipeline goroutine.
+func WithLoadProgress(fn func(LoadProgress)) SessionOption {
+	return func(s *Session) { s.loadProgress = fn }
+}
+
+// WithIngestWorkers sets the parse parallelism of streaming loads (default
+// min(GOMAXPROCS, 8)).
+func WithIngestWorkers(n int) SessionOption {
+	return func(s *Session) { s.ingestWork = n }
+}
+
+// WithIngestBudget bounds the memory the streaming loader buffers before
+// spilling sorted triple runs to temp segments (default 256 MiB).
+func WithIngestBudget(bytes int64) SessionOption {
+	return func(s *Session) { s.ingestBudget = bytes }
+}
+
+// WithSingleShotLoad restores the sequential in-memory load path for
+// N-Triples sources (Turtle always uses it). The streaming pipeline
+// produces bit-identical ontologies, so this exists for debugging and
+// comparison, not correctness.
+func WithSingleShotLoad() SessionOption {
+	return func(s *Session) { s.singleShot = true }
+}
+
 // WithLiterals makes the session intern into an existing literal table
 // instead of a fresh one, for interop with ontologies built directly
 // through NewBuilder.
@@ -128,9 +166,13 @@ func NewSession(opts ...SessionOption) *Session {
 }
 
 // Load parses one knowledge base into the session (the first call loads
-// ontology 1, the second ontology 2) and returns the frozen ontology. The
-// context cancels a long load between reads, so multi-GB dumps do not have
-// to parse to completion after the caller has given up.
+// ontology 1, the second ontology 2) and returns the frozen ontology.
+// N-Triples sources load through the streaming parallel pipeline
+// (internal/ingest): block-parallel parsing under a memory budget, spilling
+// sorted runs to temp segments when a dump outgrows it, with per-block
+// progress through WithLoadProgress. The context cancels a long load per
+// block, so multi-GB dumps do not have to parse to completion after the
+// caller has given up, and any temp segments are removed.
 func (s *Session) Load(ctx context.Context, src Source) (*Ontology, error) {
 	if len(s.ontos) >= 2 {
 		return nil, ErrTooManySources
@@ -152,7 +194,14 @@ func (s *Session) Load(ctx context.Context, src Source) (*Ontology, error) {
 	} else {
 		return nil, errors.New("paris: empty source (use FromFile or FromReader)")
 	}
-	o, err := store.LoadReader(store.ContextReader(ctx, r), format, src.name, s.lits, s.norm)
+	var opts []store.LoadOption
+	if !s.singleShot {
+		opts = append(opts, store.WithParallelism(s.ingestWork), store.WithMemoryBudget(s.ingestBudget))
+		if s.loadProgress != nil {
+			opts = append(opts, store.WithLoadProgress(s.loadProgress))
+		}
+	}
+	o, err := store.LoadReaderContext(ctx, r, format, src.name, s.lits, s.norm, opts...)
 	if err != nil {
 		return nil, err
 	}

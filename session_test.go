@@ -314,3 +314,49 @@ func TestSessionRealignWithoutAlign(t *testing.T) {
 		t.Fatalf("Realign on empty session = %v, want ErrNotReady", err)
 	}
 }
+
+// TestSessionLoadProgressAndIngestOptions: session loads run through the
+// streaming pipeline by default — WithLoadProgress observes per-block
+// counters, the ingest knobs are accepted, and the result matches a
+// single-shot load.
+func TestSessionLoadProgressAndIngestOptions(t *testing.T) {
+	ctx := context.Background()
+	var events []LoadProgress
+	s := NewSession(
+		WithLoadProgress(func(p LoadProgress) { events = append(events, p) }),
+		WithIngestWorkers(2),
+		WithIngestBudget(1<<20),
+	)
+	if _, err := s.Load(ctx, FromReader("left", "nt", strings.NewReader(kb1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(ctx, FromReader("right", "nt", strings.NewReader(kb2))); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("WithLoadProgress saw no blocks")
+	}
+	last := events[len(events)-1]
+	if last.Triples == 0 || last.Blocks == 0 {
+		t.Fatalf("final load progress = %+v", last)
+	}
+	res, err := s.Align(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	single := NewSession(WithSingleShotLoad())
+	if _, err := single.Load(ctx, FromReader("left", "nt", strings.NewReader(kb1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.Load(ctx, FromReader("right", "nt", strings.NewReader(kb2))); err != nil {
+		t.Fatal(err)
+	}
+	resSingle, err := single.Align(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != len(resSingle.Instances) {
+		t.Fatalf("pipeline vs single-shot: %d vs %d assignments", len(res.Instances), len(resSingle.Instances))
+	}
+}
