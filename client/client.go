@@ -30,8 +30,28 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
+
+// TraceHeader is the request-tracing header every client call emits when
+// its context carries a trace (see NewTrace). The service and the shard
+// router log one span per hop under the same trace ID, so one request is
+// greppable across the fleet's logs.
+const TraceHeader = obs.TraceHeader
+
+// NewTrace attaches a fresh trace to ctx and returns it along with the
+// trace ID. Every client call made with the returned context sends the
+// trace in the X-Paris-Trace header; servers adopt it, log their spans
+// under it, and forward it on their own outbound hops (router → shard).
+//
+//	ctx, traceID := client.NewTrace(ctx)
+//	res, err := c.SameAs(ctx, q)
+//	// grep the fleet's logs for traceID
+func NewTrace(ctx context.Context) (context.Context, string) {
+	tr := obs.NewTrace()
+	return obs.WithTrace(ctx, tr), tr.TraceID
+}
 
 // Wire types shared with the service, re-exported so callers need only
 // this package. They are aliased from the implementation packages rather
@@ -291,6 +311,7 @@ func (c *Client) UploadKB(ctx context.Context, req UploadKBRequest, r io.Reader)
 		return j, err
 	}
 	httpReq.Header.Set("Content-Type", "application/octet-stream")
+	obs.Inject(ctx, httpReq.Header)
 	resp, err := c.http.Do(httpReq)
 	if err != nil {
 		return j, err
@@ -339,6 +360,7 @@ func (c *Client) WatchJob(ctx context.Context, id string, onEvent func(JobEvent)
 		return Job{}, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	obs.Inject(ctx, req.Header)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return Job{}, err
@@ -552,6 +574,7 @@ func (c *Client) GetSnapshot(ctx context.Context, id string) (*core.ResultSnapsh
 	if err != nil {
 		return nil, err
 	}
+	obs.Inject(ctx, req.Header)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
@@ -633,6 +656,7 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 
 // roundTrip sends a prepared request and decodes the response like do.
 func (c *Client) roundTrip(req *http.Request, out any) error {
+	obs.Inject(req.Context(), req.Header)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err

@@ -6,12 +6,23 @@
 //
 //	parisbench [-exp all|table1|table2|table3|table4|table5|fig1|fig2|theta|allpairs|negative|fun]
 //	           [-seed N] [-scale F]
+//
+// With -load it instead runs the serving-path load generator: three read
+// mixes (single-key GETs, 64-key batch POSTs, normalized misses) against
+// -target, or an in-process parisd when -target is empty, writing latency
+// quantiles, throughput, and scraped /metrics deltas to -out:
+//
+//	parisbench -load [-target http://host:7171] [-duration 2s]
+//	           [-concurrency 8] [-keys 300] [-out BENCH_6.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -20,7 +31,25 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, table3, table4, table5, fig1, fig2, theta, allpairs, negative, fun)")
 	seed := flag.Int64("seed", 42, "dataset generator seed")
 	scale := flag.Float64("scale", 1, "size multiplier for the large corpora")
+	load := flag.Bool("load", false, "run the serving-path load generator instead of the paper experiments")
+	target := flag.String("target", "", "base URL of a running parisd or parisrouter (empty starts an in-process parisd)")
+	duration := flag.Duration("duration", 2*time.Second, "measured window per load mix")
+	concurrency := flag.Int("concurrency", 8, "closed-loop workers per load mix")
+	keys := flag.Int("keys", 300, "corpus size in matched persons for the load run")
+	out := flag.String("out", "BENCH_6.json", "load report output path")
 	flag.Parse()
+
+	if *load {
+		runLoad(bench.LoadOptions{
+			Target:      *target,
+			Duration:    *duration,
+			Concurrency: *concurrency,
+			Seed:        *seed,
+			Keys:        *keys,
+			Logf:        log.Printf,
+		}, *out)
+		return
+	}
 
 	opt := bench.Options{Seed: *seed, Scale: *scale}
 	runners := map[string]func(bench.Options){
@@ -48,6 +77,28 @@ func main() {
 		os.Exit(2)
 	}
 	run(opt)
+}
+
+func runLoad(opts bench.LoadOptions, out string) {
+	rep, err := bench.RunLoad(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	header("Load report — " + rep.Target)
+	fmt.Printf("%-16s %9s %7s %12s %9s %9s %9s\n",
+		"mix", "requests", "errors", "rps", "p50 ms", "p90 ms", "p99 ms")
+	for _, m := range rep.Mixes {
+		fmt.Printf("%-16s %9d %7d %12.1f %9.3f %9.3f %9.3f\n",
+			m.Mix, m.Requests, m.Errors, m.Throughput, m.P50Ms, m.P90Ms, m.P99Ms)
+	}
+	fmt.Printf("report written to %s (%d server metric deltas)\n", out, len(rep.MetricDeltas))
 }
 
 func header(title string) {

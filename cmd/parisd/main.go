@@ -16,6 +16,7 @@
 //	POST   /v1/deltas     {"kb": "1", "ntriples": "..."}  incremental re-align
 //	POST   /v1/kbs?name=N&format=.nt.gz[&offset=M]  push a KB dump (chunked body)
 //	GET    /v1/kbs        uploaded KBs (ready + partial with resume offsets)
+//	DELETE /v1/kbs/{name} remove an uploaded KB (409 while a job references it)
 //	GET    /v1/sameas?kb=1&key=<iri>   entity lookup (kb=2 for the reverse)
 //	POST   /v1/sameas     {"kb": "1", "keys": [...]}  batch lookup
 //	GET    /v1/relations?dir=12&min=0.1
@@ -25,6 +26,13 @@
 //	PUT    /v1/snapshots/{id}  publish a pre-computed snapshot under that ID
 //	GET    /v1/stats      serving statistics
 //	GET    /v1/healthz    liveness probe
+//	GET    /metrics       Prometheus text exposition (HTTP/jobs/ingest/fixpoint)
+//
+// Every request is traced: an X-Paris-Trace header ("<trace>-<span>") is
+// honored and re-parented, and each request logs one span line with its
+// duration and route. -debug-addr adds a separate listener with /metrics
+// and /debug/pprof. Abandoned upload spools (*.partial older than
+// server.Options.SpoolTTL, default 24h) are garbage-collected at startup.
 //
 // POST /v1/deltas ingests added triples against a published snapshot and
 // re-runs the fixpoint warm-started from it, publishing a new snapshot whose
@@ -78,12 +86,14 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/shard"
 )
 
 func main() {
 	addr := flag.String("addr", ":7171", "HTTP listen address")
+	debugAddr := flag.String("debug-addr", "", "optional listen address for /metrics and /debug/pprof (e.g. 127.0.0.1:7172); the main listener serves /metrics regardless")
 	state := flag.String("state", "", "state directory for persistent snapshots (required)")
 	workers := flag.Int("workers", 2, "concurrent alignment jobs")
 	queue := flag.Int("queue", 16, "pending-job queue depth")
@@ -132,6 +142,7 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	debugSrv := serveDebug(*debugAddr, srv.MetricsRegistry(), "parisd")
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -158,7 +169,30 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("parisd: HTTP shutdown: %v", err)
 	}
+	if debugSrv != nil {
+		debugSrv.Shutdown(ctx)
+	}
 	if err := srv.CloseContext(ctx); err != nil {
 		log.Printf("parisd: closing state: %v", err)
 	}
+}
+
+// serveDebug starts the opt-in debug listener: /metrics plus /debug/pprof on
+// an address that can stay firewalled off from the serving one.
+func serveDebug(addr string, reg *obs.Registry, name string) *http.Server {
+	if addr == "" {
+		return nil
+	}
+	s := &http.Server{
+		Addr:              addr,
+		Handler:           obs.DebugMux(reg),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		log.Printf("%s: debug listener (metrics + pprof) on %s", name, addr)
+		if err := s.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("%s: debug listener: %v", name, err)
+		}
+	}()
+	return s
 }

@@ -18,6 +18,12 @@
 //	POST /v1/refresh    advance the routing epoch (publisher hook)
 //	GET  /v1/stats      router statistics
 //	GET  /v1/healthz    liveness probe
+//	GET  /metrics       Prometheus text exposition (HTTP, per-shard fan-out, epoch)
+//
+// Incoming X-Paris-Trace headers are re-parented onto every shard
+// sub-request, so one trace ID ties a routed read to its shard-side span
+// logs. -debug-addr adds a separate listener with /metrics and
+// /debug/pprof.
 //
 // Publication is two-phase: a publisher splits one snapshot into per-shard
 // slices and pushes them under a common ID (PUT /v1/snapshots/{id} on each
@@ -43,11 +49,13 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
 func main() {
 	addr := flag.String("addr", ":7170", "HTTP listen address")
+	debugAddr := flag.String("debug-addr", "", "optional listen address for /metrics and /debug/pprof (e.g. 127.0.0.1:7169); the main listener serves /metrics regardless")
 	shards := flag.String("shards", "", "comma-separated shard base URLs in shard-index order (required)")
 	poll := flag.Duration("poll", 2*time.Second, "epoch refresh interval")
 	flag.Parse()
@@ -95,6 +103,20 @@ func main() {
 		Handler:           rt.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.DebugMux(rt.MetricsRegistry()),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("parisrouter: debug listener (metrics + pprof) on %s", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("parisrouter: debug listener: %v", err)
+			}
+		}()
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("parisrouter: listening on %s, routing %d shard(s), epoch %q",
@@ -117,5 +139,8 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("parisrouter: HTTP shutdown: %v", err)
+	}
+	if debugSrv != nil {
+		debugSrv.Shutdown(ctx)
 	}
 }

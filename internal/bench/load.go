@@ -1,0 +1,358 @@
+package bench
+
+// Load generator for the serving path: drives a parisd (or parisrouter)
+// endpoint with concurrent read traffic in three mixes — single-key GETs,
+// 64-key batch POSTs, and normalized-lookup misses — and records exact
+// latency quantiles, throughput, and the server-side metric deltas scraped
+// from /metrics. cmd/parisbench -load writes the report as BENCH_<n>.json
+// so the perf trajectory of the serving stack is committed alongside the
+// paper-reproduction numbers.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/server"
+)
+
+// LoadReportSchema identifies the BENCH_*.json layout; bump on breaking
+// changes so the CI schema check and downstream tooling can pin versions.
+const LoadReportSchema = "paris-load-report/v1"
+
+// batchSize is the key count of one batch_post request.
+const batchSize = 64
+
+// LoadOptions configures one load-generator run.
+type LoadOptions struct {
+	// Target is the base URL of a running parisd or parisrouter. Empty
+	// starts an in-process parisd over a freshly aligned synthetic corpus,
+	// so the run needs no deployment and measures the serving stack alone.
+	Target string
+	// Duration is the measured window per mix (default 2s).
+	Duration time.Duration
+	// Concurrency is the number of closed-loop workers per mix (default 8).
+	Concurrency int
+	// Seed drives the corpus generator and the key-picking RNG (default 42).
+	Seed int64
+	// Keys sizes the corpus in matched persons (default 300). Lookup keys
+	// are the generator's gold keys, so a remote Target must have aligned
+	// the corpus of the same Seed and Keys for the GET mixes to hit.
+	Keys int
+	// Logf receives progress lines; nil discards them.
+	Logf func(string, ...any)
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Keys <= 0 {
+		o.Keys = 300
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// MixResult is the measured outcome of one traffic mix.
+type MixResult struct {
+	Mix         string  `json:"mix"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	Seconds     float64 `json:"seconds"`
+	Throughput  float64 `json:"throughput_rps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P90Ms       float64 `json:"p90_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+	KeysPerReq  int     `json:"keys_per_request"`
+	Description string  `json:"description"`
+}
+
+// LoadReport is the JSON document written to BENCH_<n>.json.
+type LoadReport struct {
+	Schema       string             `json:"schema"`
+	Target       string             `json:"target"` // "in-process" or the URL
+	Concurrency  int                `json:"concurrency"`
+	Seed         int64              `json:"seed"`
+	CorpusKeys   int                `json:"corpus_keys"`
+	Mixes        []MixResult        `json:"mixes"`
+	MetricDeltas map[string]float64 `json:"server_metric_deltas,omitempty"`
+}
+
+// RunLoad executes the three mixes against the target and returns the report.
+func RunLoad(opts LoadOptions) (*LoadReport, error) {
+	opts = opts.withDefaults()
+
+	base := opts.Target
+	targetName := base
+	if base == "" {
+		ts, cleanup, err := startInProcess(opts)
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+		base = ts
+		targetName = "in-process"
+	}
+
+	// Lookup keys: the kb1 side of the generator's gold pairs. Against a
+	// remote target the operator must have loaded the same corpus (seed and
+	// size are recorded in the report for that reason).
+	d := gen.Persons(gen.PersonsConfig{N: opts.Keys, Seed: opts.Seed})
+	pairs := d.Gold.Pairs()
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("bench: corpus has no gold pairs")
+	}
+	keys := make([]string, len(pairs))
+	for i, p := range pairs {
+		keys[i] = p[0]
+	}
+
+	before := scrape(base)
+	report := &LoadReport{
+		Schema:      LoadReportSchema,
+		Target:      targetName,
+		Concurrency: opts.Concurrency,
+		Seed:        opts.Seed,
+		CorpusKeys:  len(keys),
+	}
+	for _, mix := range []struct {
+		name, desc string
+		perReq     int
+		issue      func(c *http.Client, r *rand.Rand) (int, error)
+	}{
+		{
+			"get_sameas", "single-key GET /v1/sameas on gold keys", 1,
+			func(c *http.Client, r *rand.Rand) (int, error) {
+				return get(c, base+"/v1/sameas?kb=1&key="+url.QueryEscape(keys[r.Intn(len(keys))]))
+			},
+		},
+		{
+			"batch_post", "64-key batch POST /v1/sameas", batchSize,
+			func(c *http.Client, r *rand.Rand) (int, error) {
+				picked := make([]string, batchSize)
+				for i := range picked {
+					picked[i] = keys[r.Intn(len(keys))]
+				}
+				body, _ := json.Marshal(map[string]any{"kb": "1", "keys": picked})
+				resp, err := c.Post(base+"/v1/sameas", "application/json", strings.NewReader(string(body)))
+				if err != nil {
+					return 0, err
+				}
+				drain(resp)
+				return resp.StatusCode, nil
+			},
+		},
+		{
+			"normalized_miss", "GET /v1/sameas keys that miss through the normalized fallback", 1,
+			func(c *http.Client, r *rand.Rand) (int, error) {
+				// Upper-casing forces the exact index to miss and the
+				// folded-key path to run; the suffix makes that miss too,
+				// so every request crosses the normalization + LRU layer.
+				k := strings.ToUpper(keys[r.Intn(len(keys))]) + "/nope" + strconv.Itoa(r.Intn(len(keys)))
+				return get(c, base+"/v1/sameas?kb=1&key="+url.QueryEscape(k))
+			},
+		},
+	} {
+		opts.Logf("bench: load mix %s (%d workers, %s)", mix.name, opts.Concurrency, opts.Duration)
+		res := runMix(opts, mix.issue)
+		res.Mix, res.Description, res.KeysPerReq = mix.name, mix.desc, mix.perReq
+		report.Mixes = append(report.Mixes, res)
+	}
+	report.MetricDeltas = metricDeltas(before, scrape(base))
+	return report, nil
+}
+
+// startInProcess aligns a synthetic corpus and serves it from a local parisd.
+func startInProcess(opts LoadOptions) (baseURL string, cleanup func(), err error) {
+	d := gen.Persons(gen.PersonsConfig{N: opts.Keys, Seed: opts.Seed})
+	o1, o2, err := d.Build(nil)
+	if err != nil {
+		return "", nil, err
+	}
+	res := core.New(o1, o2, core.Config{}).Run()
+
+	dir, err := os.MkdirTemp("", "parisbench-load-")
+	if err != nil {
+		return "", nil, err
+	}
+	srv, err := server.New(server.Options{StateDir: dir, Logf: func(string, ...any) {}})
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	if _, err := srv.PublishResult(res); err != nil {
+		srv.Close()
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	return ts.URL, func() {
+		ts.Close()
+		srv.Close()
+		os.RemoveAll(dir)
+	}, nil
+}
+
+// runMix drives one request shape with closed-loop workers for the window.
+func runMix(opts LoadOptions, issue func(*http.Client, *rand.Rand) (int, error)) MixResult {
+	var (
+		mu        sync.Mutex
+		latencies []float64 // milliseconds
+		errs      int
+	)
+	start := time.Now()
+	deadline := start.Add(opts.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := &http.Client{Timeout: 30 * time.Second}
+			r := rand.New(rand.NewSource(opts.Seed + int64(w)))
+			var mine []float64
+			var myErrs int
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				code, err := issue(c, r)
+				mine = append(mine, float64(time.Since(t0))/float64(time.Millisecond))
+				// 404 is an expected outcome of the miss mix; only
+				// transport failures and 5xx count as errors.
+				if err != nil || code >= 500 {
+					myErrs++
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, mine...)
+			errs += myErrs
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	sort.Float64s(latencies)
+	res := MixResult{
+		Requests: len(latencies),
+		Errors:   errs,
+		Seconds:  round3(elapsed),
+	}
+	if n := len(latencies); n > 0 {
+		res.Throughput = round3(float64(n) / elapsed)
+		res.P50Ms = round3(quantile(latencies, 0.50))
+		res.P90Ms = round3(quantile(latencies, 0.90))
+		res.P99Ms = round3(quantile(latencies, 0.99))
+		res.MaxMs = round3(latencies[n-1])
+	}
+	return res
+}
+
+// quantile returns the exact q-th quantile of a sorted sample (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}
+
+func get(c *http.Client, u string) (int, error) {
+	resp, err := c.Get(u)
+	if err != nil {
+		return 0, err
+	}
+	drain(resp)
+	return resp.StatusCode, nil
+}
+
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// scrape fetches and parses the target's /metrics exposition into a flat
+// series→value map. A nil map means the target exposes no metrics (or the
+// scrape failed); the report then simply omits the deltas.
+func scrape(base string) map[string]float64 {
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+// metricDeltas reports how much each server-side counter moved across the
+// run: every _total and _count series (cumulative by construction), so the
+// report shows which code paths the load actually exercised.
+func metricDeltas(before, after map[string]float64) map[string]float64 {
+	if after == nil {
+		return nil
+	}
+	deltas := map[string]float64{}
+	for series, v := range after {
+		name := series
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if !strings.HasSuffix(name, "_total") && !strings.HasSuffix(name, "_count") {
+			continue
+		}
+		if d := v - before[series]; d != 0 {
+			deltas[series] = round3(d)
+		}
+	}
+	return deltas
+}

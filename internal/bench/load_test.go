@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestLoadGeneratorSmoke runs a short in-process load and checks the report
+// carries all three mixes with sane numbers and the scraped metric deltas.
+func TestLoadGeneratorSmoke(t *testing.T) {
+	rep, err := RunLoad(LoadOptions{
+		Duration:    200 * time.Millisecond,
+		Concurrency: 2,
+		Keys:        20,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != LoadReportSchema {
+		t.Fatalf("schema %q, want %q", rep.Schema, LoadReportSchema)
+	}
+	if rep.Target != "in-process" {
+		t.Fatalf("target %q", rep.Target)
+	}
+	if len(rep.Mixes) != 3 {
+		t.Fatalf("%d mixes, want 3", len(rep.Mixes))
+	}
+	for i, want := range []string{"get_sameas", "batch_post", "normalized_miss"} {
+		m := rep.Mixes[i]
+		if m.Mix != want {
+			t.Errorf("mix %d = %q, want %q", i, m.Mix, want)
+		}
+		if m.Requests == 0 {
+			t.Errorf("mix %s made no requests", m.Mix)
+		}
+		if m.Errors != 0 {
+			t.Errorf("mix %s: %d errors", m.Mix, m.Errors)
+		}
+		if m.Throughput <= 0 {
+			t.Errorf("mix %s throughput %v", m.Mix, m.Throughput)
+		}
+		if m.P50Ms > m.P99Ms || m.P99Ms > m.MaxMs {
+			t.Errorf("mix %s quantiles out of order: p50=%v p99=%v max=%v",
+				m.Mix, m.P50Ms, m.P99Ms, m.MaxMs)
+		}
+	}
+	// The deltas must prove the load crossed the serving metrics: every
+	// lookup (batch keys included) lands in paris_lookups_total.
+	wantLookups := float64(rep.Mixes[0].Requests + batchSize*rep.Mixes[1].Requests + rep.Mixes[2].Requests)
+	if got := rep.MetricDeltas["paris_lookups_total"]; got != wantLookups {
+		t.Errorf("paris_lookups_total delta %v, want %v", got, wantLookups)
+	}
+}
+
+// TestBenchReportSchema validates every committed BENCH_*.json at the repo
+// root against the current schema, so the CI bench-smoke step catches a
+// report that drifts from what the tooling expects.
+func TestBenchReportSchema(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Skip("no committed BENCH_*.json reports")
+	}
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep LoadReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if rep.Schema != LoadReportSchema {
+			t.Errorf("%s: schema %q, want %q", f, rep.Schema, LoadReportSchema)
+		}
+		if len(rep.Mixes) < 3 {
+			t.Errorf("%s: %d mixes, want >= 3", f, len(rep.Mixes))
+		}
+		for _, m := range rep.Mixes {
+			if m.Mix == "" || m.Requests <= 0 || m.Throughput <= 0 {
+				t.Errorf("%s: malformed mix %+v", f, m)
+			}
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unicode/utf8"
 
 	"repro/internal/rdf"
@@ -94,6 +95,10 @@ type Progress struct {
 	// routed through them.
 	Spills         int   `json:"spills,omitempty"`
 	SpilledTriples int64 `json:"spilled_triples,omitempty"`
+	// Elapsed is the wall-clock time since the pipeline run started, so
+	// consumers (job watchers, the server's ingest metrics) can derive
+	// throughput (Bytes/Elapsed) without tracking the start themselves.
+	Elapsed time.Duration `json:"elapsed,omitempty"`
 }
 
 func (o Options) withDefaults() Options {
@@ -114,9 +119,10 @@ func (o Options) withDefaults() Options {
 
 // tracker accumulates the shared counters and serializes Progress callbacks.
 type tracker struct {
-	mu sync.Mutex
-	fn func(Progress)
-	p  Progress
+	mu    sync.Mutex
+	fn    func(Progress)
+	p     Progress
+	start time.Time
 }
 
 func (t *tracker) block(bytes int, triples int, skipped int64) {
@@ -125,6 +131,7 @@ func (t *tracker) block(bytes int, triples int, skipped int64) {
 	t.p.Bytes += int64(bytes)
 	t.p.Triples += int64(triples)
 	t.p.Skipped += skipped
+	t.p.Elapsed = time.Since(t.start)
 	if t.fn != nil {
 		t.fn(t.p)
 	}
@@ -135,6 +142,7 @@ func (t *tracker) spill(triples int) {
 	t.mu.Lock()
 	t.p.Spills++
 	t.p.SpilledTriples += int64(triples)
+	t.p.Elapsed = time.Since(t.start)
 	if t.fn != nil {
 		t.fn(t.p)
 	}
@@ -144,6 +152,7 @@ func (t *tracker) spill(triples int) {
 func (t *tracker) snapshot() Progress {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.p.Elapsed = time.Since(t.start)
 	return t.p
 }
 
@@ -195,7 +204,7 @@ func Run(ctx context.Context, r io.Reader, opts Options, emit func(rdf.Triple) e
 		return true
 	}
 
-	trk := &tracker{fn: opts.Progress}
+	trk := &tracker{fn: opts.Progress, start: time.Now()}
 	tab := NewSymTab()
 	blocks := make(chan Block, opts.Workers)
 

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// nowFunc is swapped by tests that pin latencies.
+var nowFunc = time.Now
+
+// HTTPMetrics bundles the standard per-route HTTP instruments: request
+// counts by route/method/status code, a latency histogram per route, and an
+// in-flight gauge. One instance per process surface (server, router), each
+// under its own metric name prefix.
+type HTTPMetrics struct {
+	requests *CounterVec   // route, method, code
+	latency  *HistogramVec // route
+	inflight *Gauge
+}
+
+// NewHTTPMetrics registers the HTTP instrument family under prefix (for
+// example "paris_http" → paris_http_requests_total,
+// paris_http_request_seconds, paris_http_in_flight).
+func NewHTTPMetrics(reg *Registry, prefix string) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: reg.CounterVec(prefix+"_requests_total",
+			"HTTP requests served, by route pattern, method, and status code.",
+			"route", "method", "code"),
+		latency: reg.HistogramVec(prefix+"_request_seconds",
+			"HTTP request latency in seconds, by route pattern.",
+			nil, "route"),
+		inflight: reg.Gauge(prefix+"_in_flight",
+			"HTTP requests currently being served."),
+	}
+}
+
+// statusWriter captures the response status code. It forwards Flush so SSE
+// streaming through the middleware keeps working.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		if w.code == 0 {
+			w.code = http.StatusOK
+		}
+		fl.Flush()
+	}
+}
+
+// Middleware wraps next with request metrics and tracing: it resolves the
+// route pattern (route receives the request; return "" for unmatched
+// paths), extracts or mints the request trace, runs the handler under a
+// span, and records count/latency/in-flight. The span logs through logf
+// (nil for none) with the method, route, and status attached — on a shard,
+// this line is where a client-injected trace ID surfaces.
+func (m *HTTPMetrics) Middleware(route func(*http.Request) string, logf func(format string, args ...any), next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		pattern := route(r)
+		if pattern == "" {
+			pattern = "unmatched"
+		}
+		ctx := r.Context()
+		if t, ok := Extract(r.Header); ok {
+			ctx = WithTrace(ctx, t)
+		}
+		ctx, sp := StartSpan(ctx, logf, "http")
+		sp.Set("method", r.Method)
+		sp.Set("route", pattern)
+
+		sw := &statusWriter{ResponseWriter: w}
+		m.inflight.Inc()
+		hist := m.latency.With(pattern)
+		start := nowFunc()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		elapsed := nowFunc().Sub(start)
+		m.inflight.Dec()
+
+		if sw.code == 0 {
+			// Handler wrote nothing; net/http will send 200 on return.
+			sw.code = http.StatusOK
+		}
+		hist.Observe(elapsed.Seconds())
+		m.requests.With(pattern, r.Method, strconv.Itoa(sw.code)).Inc()
+		sp.Set("status", sw.code)
+		sp.End()
+	})
+}
+
+// MetricsHandler serves the registry in Prometheus text format — mount it
+// on GET /metrics.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteText(w)
+	})
+}
+
+// DebugMux is the opt-in debug surface served on a separate -debug-addr
+// listener: the process metrics plus net/http/pprof profiling endpoints.
+// Keeping it off the public API listener means profiling is never exposed
+// to lookup traffic.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the Prometheus text rendering byte for byte:
+// family ordering, label rendering, histogram bucket/sum/count lines. The
+// server's /metrics golden test builds on these names being stable.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.CounterVec("test_requests_total", "Requests.", "route", "code")
+	c.With("/v1/sameas", "200").Add(3)
+	c.With("/v1/sameas", "404").Inc()
+	c.With("/v1/jobs", "200").Inc()
+	g := reg.Gauge("test_in_flight", "In-flight requests.")
+	g.Set(2)
+	h := reg.Histogram("test_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	reg.WriteText(&b)
+	want := `# HELP test_in_flight In-flight requests.
+# TYPE test_in_flight gauge
+test_in_flight 2
+# HELP test_requests_total Requests.
+# TYPE test_requests_total counter
+test_requests_total{route="/v1/jobs",code="200"} 1
+test_requests_total{route="/v1/sameas",code="200"} 3
+test_requests_total{route="/v1/sameas",code="404"} 1
+# HELP test_seconds Latency.
+# TYPE test_seconds histogram
+test_seconds_bucket{le="0.01"} 2
+test_seconds_bucket{le="0.1"} 3
+test_seconds_bucket{le="1"} 3
+test_seconds_bucket{le="+Inf"} 4
+test_seconds_sum 5.06
+test_seconds_count 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestHistogramLabeledExposition checks the le label merges into an
+// existing label set.
+func TestHistogramLabeledExposition(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.HistogramVec("test_shard_seconds", "Per-shard latency.", []float64{0.5}, "shard")
+	v.With("1").Observe(0.1)
+	var b strings.Builder
+	reg.WriteText(&b)
+	for _, want := range []string{
+		`test_shard_seconds_bucket{shard="1",le="0.5"} 1`,
+		`test_shard_seconds_bucket{shard="1",le="+Inf"} 1`,
+		`test_shard_seconds_sum{shard="1"} 0.1`,
+		`test_shard_seconds_count{shard="1"} 1`,
+	} {
+		if !strings.Contains(b.String(), want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram([]float64{0.001, 0.01, 0.1, 1})
+	// 100 observations in (0.001, 0.01]: every quantile interpolates
+	// inside that bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 <= 0.001 || p50 > 0.01 {
+		t.Errorf("p50 = %v, want in (0.001, 0.01]", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 <= 0.001 || p99 > 0.01 {
+		t.Errorf("p99 = %v, want in (0.001, 0.01]", p99)
+	}
+	if s.Quantile(0.5) > s.Quantile(0.99) {
+		t.Errorf("p50 %v > p99 %v", s.Quantile(0.5), s.Quantile(0.99))
+	}
+	// Outliers land in +Inf and clamp to the top finite bound.
+	h2 := newHistogram([]float64{0.001})
+	h2.Observe(100)
+	if got := h2.Snapshot().Quantile(0.99); got != 0.001 {
+		t.Errorf("+Inf quantile = %v, want clamp to 0.001", got)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+// TestHistogramConcurrency hammers one histogram (and the registry around
+// it) from many goroutines; under -race this is the data-race proof, and
+// the final count checks no observation was lost.
+func TestHistogramConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.HistogramVec("test_conc_seconds", "x", nil, "route")
+	g := reg.Gauge("test_conc_gauge", "x")
+	c := reg.Counter("test_conc_total", "x")
+	const goroutines, per = 8, 2000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := v.With("r" + string(rune('0'+i%4)))
+			for j := 0; j < per; j++ {
+				h.Observe(float64(j%100) / 1000)
+				g.Add(1)
+				c.Inc()
+				if j%500 == 0 {
+					var b strings.Builder
+					reg.WriteText(&b)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	var total uint64
+	for i := 0; i < 4; i++ {
+		total += v.With("r" + string(rune('0'+i))).Snapshot().Count
+	}
+	if total != goroutines*per {
+		t.Errorf("observations lost: %d, want %d", total, goroutines*per)
+	}
+	if c.Value() != goroutines*per {
+		t.Errorf("counter = %d, want %d", c.Value(), goroutines*per)
+	}
+	if g.Value() != goroutines*per {
+		t.Errorf("gauge = %v, want %d", g.Value(), goroutines*per)
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Set(1.5)
+	g.Add(-0.5)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("gauge = %v, want 1", got)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("test_esc_total", "x", "v").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	reg.WriteText(&b)
+	want := `test_esc_total{v="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("exposition missing %q:\n%s", want, b.String())
+	}
+}

@@ -1,0 +1,190 @@
+package obs
+
+// Cross-process request tracing. A trace is born at the edge (the client
+// library, or the first server that sees a request without the header) and
+// rides the X-Paris-Trace header across hops: client → router → shard, or
+// client → aligner. Each hop opens a span — a new span ID under the same
+// trace ID, parented on the inbound span — and emits one structured log
+// line when it ends, so grepping a trace ID across the fleet's logs
+// reconstructs the request's path and per-hop latency without any
+// collector infrastructure.
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// TraceHeader carries "<trace-id>-<span-id>" between processes.
+const TraceHeader = "X-Paris-Trace"
+
+// Trace identifies one request (TraceID, shared by every hop) and one hop
+// within it (SpanID).
+type Trace struct {
+	TraceID string
+	SpanID  string
+}
+
+// NewTrace mints a fresh trace: a 16-hex-digit trace ID and an 8-hex-digit
+// span ID.
+func NewTrace() Trace {
+	return Trace{TraceID: randHex(16), SpanID: randHex(8)}
+}
+
+// Child returns a new span under the same trace.
+func (t Trace) Child() Trace {
+	return Trace{TraceID: t.TraceID, SpanID: randHex(8)}
+}
+
+// Valid reports whether both IDs are present.
+func (t Trace) Valid() bool { return t.TraceID != "" && t.SpanID != "" }
+
+// String renders the header value, "<trace-id>-<span-id>".
+func (t Trace) String() string { return t.TraceID + "-" + t.SpanID }
+
+// ParseTrace parses a header value produced by String. Malformed values
+// report ok=false; the caller then starts a fresh trace, so a garbled
+// header degrades to a new edge rather than an error.
+func ParseTrace(s string) (Trace, bool) {
+	i := strings.LastIndexByte(s, '-')
+	if i <= 0 || i == len(s)-1 {
+		return Trace{}, false
+	}
+	t := Trace{TraceID: s[:i], SpanID: s[i+1:]}
+	if !isHex(t.TraceID) || !isHex(t.SpanID) || len(t.TraceID) > 64 || len(t.SpanID) > 64 {
+		return Trace{}, false
+	}
+	return t, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+const hexDigits = "0123456789abcdef"
+
+// randHex returns n random lowercase hex digits. IDs need uniqueness, not
+// secrecy; the process-seeded math/rand/v2 generator is cheap and
+// goroutine-safe.
+func randHex(n int) string {
+	b := make([]byte, n)
+	for i := 0; i+15 < n; i += 16 {
+		v := rand.Uint64()
+		for j := 0; j < 16; j++ {
+			b[i+j] = hexDigits[v&0xf]
+			v >>= 4
+		}
+	}
+	if rem := n % 16; rem != 0 {
+		v := rand.Uint64()
+		for j := n - rem; j < n; j++ {
+			b[j] = hexDigits[v&0xf]
+			v >>= 4
+		}
+	}
+	return string(b)
+}
+
+type traceCtxKey struct{}
+
+// WithTrace attaches a trace to the context; Inject forwards it on outbound
+// requests and StartSpan parents new spans on it.
+func WithTrace(ctx context.Context, t Trace) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// TraceFrom returns the context's trace, ok=false when none is attached.
+func TraceFrom(ctx context.Context) (Trace, bool) {
+	t, ok := ctx.Value(traceCtxKey{}).(Trace)
+	return t, ok && t.Valid()
+}
+
+// Inject writes the context's trace (when present) onto outbound request
+// headers — the client side of propagation.
+func Inject(ctx context.Context, h http.Header) {
+	if t, ok := TraceFrom(ctx); ok {
+		h.Set(TraceHeader, t.String())
+	}
+}
+
+// Extract reads the inbound trace header, ok=false when absent or
+// malformed — the server side of propagation.
+func Extract(h http.Header) (Trace, bool) {
+	raw := h.Get(TraceHeader)
+	if raw == "" {
+		return Trace{}, false
+	}
+	return ParseTrace(raw)
+}
+
+// Span is one timed unit of work inside a trace. End emits a single
+// structured log line ("span name=... trace=... dur_ms=...") through the
+// logf it was started with; a nil *Span is a valid no-op receiver, so
+// callers never nil-check.
+type Span struct {
+	trace  Trace
+	parent string // inbound span ID, empty at the edge
+	name   string
+	start  time.Time
+	logf   func(format string, args ...any)
+	attrs  []string
+}
+
+// StartSpan opens a span named name: a child of the context's trace when
+// one is attached (the context trace becomes the parent), a fresh edge
+// trace otherwise. The returned context carries the span's own trace, so
+// outbound requests made with it propagate this span as the parent. logf
+// may be nil (the span still propagates, just never logs).
+func StartSpan(ctx context.Context, logf func(format string, args ...any), name string) (context.Context, *Span) {
+	sp := &Span{name: name, start: time.Now(), logf: logf}
+	if parent, ok := TraceFrom(ctx); ok {
+		sp.trace = parent.Child()
+		sp.parent = parent.SpanID
+	} else {
+		sp.trace = NewTrace()
+	}
+	return WithTrace(ctx, sp.trace), sp
+}
+
+// Trace returns the span's trace identity.
+func (sp *Span) Trace() Trace {
+	if sp == nil {
+		return Trace{}
+	}
+	return sp.trace
+}
+
+// Set attaches one key=value pair to the span's log line, in call order.
+func (sp *Span) Set(key string, value any) {
+	if sp == nil {
+		return
+	}
+	sp.attrs = append(sp.attrs, fmt.Sprintf("%s=%v", key, value))
+}
+
+// End emits the span's structured log line with its duration.
+func (sp *Span) End() {
+	if sp == nil || sp.logf == nil {
+		return
+	}
+	extra := ""
+	if len(sp.attrs) > 0 {
+		extra = " " + strings.Join(sp.attrs, " ")
+	}
+	parent := sp.parent
+	if parent == "" {
+		parent = "-"
+	}
+	sp.logf("span name=%s trace=%s span=%s parent=%s dur_ms=%.3f%s",
+		sp.name, sp.trace.TraceID, sp.trace.SpanID, parent,
+		float64(time.Since(sp.start))/float64(time.Millisecond), extra)
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	if !tr.Valid() {
+		t.Fatalf("NewTrace invalid: %+v", tr)
+	}
+	if len(tr.TraceID) != 16 || len(tr.SpanID) != 8 {
+		t.Fatalf("ID lengths: trace %d span %d", len(tr.TraceID), len(tr.SpanID))
+	}
+	got, ok := ParseTrace(tr.String())
+	if !ok || got != tr {
+		t.Fatalf("ParseTrace(%q) = %+v, %v; want %+v", tr.String(), got, ok, tr)
+	}
+	child := tr.Child()
+	if child.TraceID != tr.TraceID || child.SpanID == tr.SpanID {
+		t.Fatalf("Child() = %+v, want same trace, new span", child)
+	}
+}
+
+func TestParseTraceRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "-", "abc-", "-abc", "nothex!-12ab", "12ab-nothex!", "justoneid"} {
+		if tr, ok := ParseTrace(bad); ok {
+			t.Errorf("ParseTrace(%q) accepted: %+v", bad, tr)
+		}
+	}
+}
+
+func TestInjectExtract(t *testing.T) {
+	h := http.Header{}
+	Inject(context.Background(), h) // no trace: no header
+	if h.Get(TraceHeader) != "" {
+		t.Fatalf("Inject without trace set %q", h.Get(TraceHeader))
+	}
+	tr := NewTrace()
+	Inject(WithTrace(context.Background(), tr), h)
+	got, ok := Extract(h)
+	if !ok || got != tr {
+		t.Fatalf("Extract = %+v, %v; want %+v", got, ok, tr)
+	}
+}
+
+func TestSpanParenting(t *testing.T) {
+	var lines []string
+	logf := func(format string, args ...any) { lines = append(lines, fmt.Sprintf(format, args...)) }
+
+	edge := NewTrace()
+	ctx := WithTrace(context.Background(), edge)
+	ctx, sp := StartSpan(ctx, logf, "hop")
+	sp.Set("route", "/v1/sameas")
+	if got := sp.Trace(); got.TraceID != edge.TraceID || got.SpanID == edge.SpanID {
+		t.Fatalf("span trace %+v, want child of %+v", got, edge)
+	}
+	// The context now carries the span's own identity for the next hop.
+	if next, _ := TraceFrom(ctx); next != sp.Trace() {
+		t.Fatalf("ctx trace %+v, want %+v", next, sp.Trace())
+	}
+	sp.End()
+	if len(lines) != 1 {
+		t.Fatalf("logged %d lines, want 1", len(lines))
+	}
+	for _, want := range []string{
+		"span name=hop", "trace=" + edge.TraceID, "parent=" + edge.SpanID, "route=/v1/sameas", "dur_ms=",
+	} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("span log %q missing %q", lines[0], want)
+		}
+	}
+
+	// Edge span: no inbound trace, parent is "-".
+	lines = nil
+	_, sp = StartSpan(context.Background(), logf, "edge")
+	sp.End()
+	if !strings.Contains(lines[0], "parent=-") {
+		t.Errorf("edge span log %q missing parent=-", lines[0])
+	}
+
+	// nil span is a no-op receiver.
+	var nilSpan *Span
+	nilSpan.Set("k", "v")
+	nilSpan.End()
+}
+
+// TestMiddleware checks metrics and trace propagation through the HTTP
+// middleware: an injected header surfaces in the span log, counters and
+// histograms record the request, and Flush passes through for SSE.
+func TestMiddleware(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "test_http")
+	var lines []string
+	logf := func(format string, args ...any) { lines = append(lines, fmt.Sprintf(format, args...)) }
+
+	var sawTrace Trace
+	var sawFlusher bool
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawTrace, _ = TraceFrom(r.Context())
+		_, sawFlusher = w.(http.Flusher)
+		w.WriteHeader(http.StatusTeapot)
+	})
+	h := m.Middleware(func(*http.Request) string { return "GET /test" }, logf, inner)
+
+	tr := NewTrace()
+	req := httptest.NewRequest(http.MethodGet, "/test", nil)
+	req.Header.Set(TraceHeader, tr.String())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if !sawFlusher {
+		t.Error("middleware hides http.Flusher from handlers")
+	}
+	if sawTrace.TraceID != tr.TraceID {
+		t.Errorf("handler ctx trace %q, want %q", sawTrace.TraceID, tr.TraceID)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "trace="+tr.TraceID) ||
+		!strings.Contains(lines[0], "parent="+tr.SpanID) || !strings.Contains(lines[0], "status=418") {
+		t.Errorf("span log %v, want trace/parent/status attrs", lines)
+	}
+	if got := m.requests.With("GET /test", "GET", "418").Value(); got != 1 {
+		t.Errorf("requests counter = %d, want 1", got)
+	}
+	if got := m.latency.With("GET /test").Snapshot().Count; got != 1 {
+		t.Errorf("latency count = %d, want 1", got)
+	}
+	if got := m.inflight.Value(); got != 0 {
+		t.Errorf("in-flight = %v, want 0", got)
+	}
+
+	var b strings.Builder
+	reg.WriteText(&b)
+	if !strings.Contains(b.String(), `test_http_requests_total{route="GET /test",method="GET",code="418"} 1`) {
+		t.Errorf("exposition missing request sample:\n%s", b.String())
+	}
+}
+
+func TestDebugMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_total", "x").Inc()
+	mux := DebugMux(reg)
+	for _, path := range []string{"/metrics", "/debug/pprof/", "/debug/pprof/cmdline"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, rec.Code)
+		}
+	}
+}

@@ -137,6 +137,7 @@ func (s *Server) realign(ctx context.Context, id string, req DeltaRequest) (stri
 		OnIteration: func(_ int, a *core.Aligner) {
 			if its := a.Iterations(); len(its) > 0 {
 				s.jobs.progress(id, its[len(its)-1])
+				s.met.fixpoint(its[len(its)-1])
 			}
 		},
 	}

@@ -171,6 +171,10 @@ type jobManager struct {
 	pending []string // queued job IDs, oldest first; at most depth
 	depth   int
 
+	// met feeds the queue/running gauges and completion counters; nil in
+	// tests that build a bare manager.
+	met *jobMetrics
+
 	wg  sync.WaitGroup
 	run func(ctx context.Context, id string)
 
@@ -185,12 +189,13 @@ type jobManager struct {
 // ID plus the context that cancels it, and must drive the job to a terminal
 // state via finish; onDrop (may be nil) is invoked for jobs dropped from
 // the queue at close.
-func newJobManager(workers, depth int, run func(ctx context.Context, id string), onDrop func(Job)) *jobManager {
+func newJobManager(workers, depth int, run func(ctx context.Context, id string), onDrop func(Job), met *jobMetrics) *jobManager {
 	m := &jobManager{
 		jobs:     make(map[string]*Job),
 		cancels:  make(map[string]context.CancelCauseFunc),
 		watchers: make(map[string][]chan JobEvent),
 		depth:    depth,
+		met:      met,
 		run:      run,
 		onDrop:   onDrop,
 	}
@@ -212,6 +217,7 @@ func newJobManager(workers, depth int, run func(ctx context.Context, id string),
 				}
 				id := m.pending[0]
 				m.pending = m.pending[1:]
+				m.met.queue(len(m.pending))
 				m.mu.Unlock()
 				// start refuses jobs that left the queued state between
 				// the pop and here (canceled: terminal state already
@@ -255,6 +261,7 @@ func (m *jobManager) submit(template Job) (Job, error) {
 	}
 	m.jobs[j.ID] = j
 	m.pending = append(m.pending, j.ID)
+	m.met.queue(len(m.pending))
 	m.cond.Signal()
 	return cloneJob(j), nil
 }
@@ -273,6 +280,31 @@ func (m *jobManager) activeDeltaBases() []string {
 		}
 	}
 	return out
+}
+
+// kbInUse reports whether any queued or running job references the named
+// uploaded KB: an ingest job streaming or validating under that name, an
+// align job whose resolved inputs are one of the KB's candidate paths, or a
+// delta job reading its delta from one of them. DELETE /v1/kbs refuses with
+// 409 while this holds, so a 202-acknowledged job never loses its input.
+func (m *jobManager) kbInUse(name string, paths []string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		if j.State != JobQueued && j.State != JobRunning {
+			continue
+		}
+		if j.Upload != nil && j.Upload.Name == name {
+			return true
+		}
+		for _, p := range paths {
+			if j.Request.KB1 == p || j.Request.KB2 == p ||
+				(j.Delta != nil && j.Delta.File == p) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // findBySnapshot returns the job that published the given snapshot, the root
@@ -336,6 +368,7 @@ func (m *jobManager) start(id string) (context.Context, bool) {
 	now := time.Now().UTC()
 	j.State = JobRunning
 	j.Started = &now
+	m.met.runningAdd(1)
 	ctx, cancel := context.WithCancelCause(context.Background())
 	m.cancels[id] = cancel
 	return ctx, true
@@ -380,6 +413,8 @@ func (m *jobManager) cancel(id string) (j Job, prev JobState, ok bool) {
 				break
 			}
 		}
+		m.met.queue(len(m.pending))
+		m.met.jobFinished(jp.Kind, "canceled", nil, now)
 		m.closeWatchersLocked(id)
 	} else if prev == JobRunning {
 		cancelFn = m.cancels[id]
@@ -508,13 +543,18 @@ func (m *jobManager) finish(id, snapshotID string, err error) Job {
 	}
 	now := time.Now().UTC()
 	j.Finished = &now
+	outcome := "done"
 	if err != nil {
 		j.State = JobFailed
 		j.Error = err.Error()
+		outcome = "failed"
 	} else {
 		j.State = JobDone
 		j.Snapshot = snapshotID
 	}
+	// finish is only reached from a worker that started the job.
+	m.met.runningAdd(-1)
+	m.met.jobFinished(j.Kind, outcome, j.Started, now)
 	m.closeWatchersLocked(id)
 	return cloneJob(j)
 }
@@ -559,6 +599,7 @@ func (m *jobManager) close() {
 	m.closed = true
 	dropped := m.pending
 	m.pending = nil
+	m.met.queue(0)
 	m.cond.Broadcast()
 	m.mu.Unlock()
 	for _, id := range dropped {
@@ -576,6 +617,7 @@ func (m *jobManager) drop(id string) {
 		j.State = JobFailed
 		j.Finished = &now
 		j.Error = "dropped: server shutting down"
+		m.met.jobFinished(j.Kind, "dropped", nil, now)
 		dropped = cloneJob(j)
 		m.closeWatchersLocked(id)
 	}

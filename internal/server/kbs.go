@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/ingest"
 	"repro/internal/rdf"
@@ -235,6 +236,88 @@ func (s *Server) handleKBs(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"kbs": kbs})
 }
 
+// kbCandidatePaths are the committed paths a named upload may live under,
+// one per accepted format, in the resolution order of resolveKBRef.
+func (s *Server) kbCandidatePaths(name string) []string {
+	paths := make([]string, 0, 4)
+	for _, ext := range []string{".nt", ".nt.gz", ".ntriples", ".ntriples.gz"} {
+		paths = append(paths, filepath.Join(s.kbsDir(), name+ext))
+	}
+	return paths
+}
+
+// handleDeleteKB implements DELETE /v1/kbs/{name}: remove a committed KB
+// and/or its upload spool. It refuses with 409 while a request is streaming
+// into the spool or a queued/running job references the KB (deleting the
+// input of 202-acknowledged work would doom it), and answers 404 when
+// neither a committed file nor a spool exists.
+func (s *Server) handleDeleteKB(w http.ResponseWriter, r *http.Request) {
+	if s.rejectOnShard(w) {
+		return
+	}
+	name := r.PathValue("name")
+	if !kbNameRE.MatchString(name) {
+		httpError(w, http.StatusBadRequest, "name must match %s", kbNameRE)
+		return
+	}
+	// The upload lock covers the spool and the commit rename, so a delete
+	// can never race a writer on the same name.
+	if !s.lockUpload(name) {
+		httpError(w, http.StatusConflict, "an upload or ingest of %q is in progress", name)
+		return
+	}
+	defer s.unlockUpload(name)
+	candidates := s.kbCandidatePaths(name)
+	if s.jobs.kbInUse(name, candidates) {
+		httpError(w, http.StatusConflict, "KB %q is referenced by a queued or running job", name)
+		return
+	}
+	var removed []string
+	for _, p := range append(candidates, s.kbPartialPath(name)) {
+		switch err := os.Remove(p); {
+		case err == nil:
+			removed = append(removed, filepath.Base(p))
+		case !errors.Is(err, os.ErrNotExist):
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	}
+	if len(removed) == 0 {
+		httpError(w, http.StatusNotFound, "no uploaded KB named %q", name)
+		return
+	}
+	s.opts.Logf("server: deleted KB %q (%s)", name, strings.Join(removed, ", "))
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": name, "files": removed})
+}
+
+// gcSpool removes upload spools whose last write is older than SpoolTTL.
+// It runs once at startup, before the HTTP surface exists (so no spool can
+// be in flight): an interrupted upload stays resumable for the TTL, after
+// which its partial bytes are garbage no client will claim.
+func (s *Server) gcSpool() {
+	if s.opts.SpoolTTL <= 0 {
+		return
+	}
+	ents, err := os.ReadDir(s.kbsDir())
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-s.opts.SpoolTTL)
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), partialSuffix) {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil || fi.ModTime().After(cutoff) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.kbsDir(), e.Name())); err == nil {
+			s.opts.Logf("server: spool gc: removed abandoned upload %s (%d bytes, idle since %s)",
+				e.Name(), fi.Size(), fi.ModTime().UTC().Format(time.RFC3339))
+		}
+	}
+}
+
 // kbBaseName strips the upload format extensions off a committed file name.
 func kbBaseName(file string) string {
 	lower := strings.ToLower(file)
@@ -311,11 +394,13 @@ func (s *Server) ingestKB(ctx context.Context, id string, rec UploadRecord) (str
 		defer zr.Close()
 		r = zr
 	}
+	feed := s.met.ingestFeeder()
 	stats, err := ingest.Run(ctx, r, ingest.Options{
 		Workers:      s.opts.IngestWorkers,
 		MemoryBudget: s.opts.IngestBudget,
 		TempDir:      s.opts.StateDir,
 		Progress: func(p ingest.Progress) {
+			feed(p)
 			s.jobs.ingestProgress(id, IngestProgress{Progress: p, Phase: rec.Name})
 		},
 	}, func(rdf.Triple) error { return nil })

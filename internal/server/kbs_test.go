@@ -256,7 +256,9 @@ func TestUploadKBRejectedOnShard(t *testing.T) {
 }
 
 // readSSE collects one job's SSE frames until the done event (or EOF).
-func readSSE(t *testing.T, base, id string) []JobEvent {
+// An optional onFirst callback fires once after the first frame arrives,
+// so callers can hold a job until the subscription is live.
+func readSSE(t *testing.T, base, id string, onFirst ...func()) []JobEvent {
 	t.Helper()
 	req, err := http.NewRequest(http.MethodGet, base+"/v1/jobs/"+id, nil)
 	if err != nil {
@@ -289,6 +291,11 @@ func readSSE(t *testing.T, base, id string) []JobEvent {
 				t.Fatalf("decoding %q frame: %v", typ, err)
 			}
 			events = append(events, JobEvent{Type: typ, Job: j})
+			if len(events) == 1 {
+				for _, f := range onFirst {
+					f()
+				}
+			}
 			if typ == EventDone {
 				return events
 			}
@@ -317,8 +324,12 @@ func TestJobEventsSSE(t *testing.T) {
 	}, &j); code != http.StatusAccepted {
 		t.Fatalf("submit: %d", code)
 	}
+	// Release the held job only once the watch delivered its first frame,
+	// so the stream is guaranteed to observe the iterations.
+	subscribed := make(chan struct{})
 	evCh := make(chan []JobEvent, 1)
-	go func() { evCh <- readSSE(t, ts.URL, j.ID) }()
+	go func() { evCh <- readSSE(t, ts.URL, j.ID, func() { close(subscribed) }) }()
+	<-subscribed
 	close(release)
 
 	events := <-evCh

@@ -28,6 +28,7 @@ import (
 	"repro/internal/diskstore"
 	"repro/internal/ingest"
 	"repro/internal/literal"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -80,6 +81,12 @@ type Options struct {
 	// MaxSnapshotBytes.
 	MaxUploadBytes int64
 
+	// SpoolTTL bounds how long an interrupted KB upload spool stays
+	// resumable: at startup, *.partial spools idle longer than this are
+	// removed (default 24h; negative disables the GC). In-flight spools
+	// are never touched — the GC runs before the HTTP surface exists.
+	SpoolTTL time.Duration
+
 	// ShardCount, when positive, runs the server as one shard of an
 	// N-way sharded deployment (parisd -shard i/N behind a parisrouter):
 	// it serves lookups for its slice of the key space only, refuses
@@ -129,6 +136,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxUploadBytes <= 0 {
 		o.MaxUploadBytes = 16 << 30
 	}
+	if o.SpoolTTL == 0 {
+		o.SpoolTTL = 24 * time.Hour
+	}
 	// IngestWorkers and IngestBudget zero-default inside the ingest
 	// pipeline itself, so the daemon, the store layer, and the session all
 	// share one definition of "default".
@@ -176,6 +186,9 @@ type Server struct {
 	uploads map[string]bool
 
 	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the telemetry middleware
+	reg     *obs.Registry
+	met     *serverMetrics
 	started time.Time
 	lookups atomic.Uint64
 
@@ -211,6 +224,7 @@ func New(opts Options) (*Server, error) {
 		unlock()
 		return nil, err
 	}
+	reg := obs.NewRegistry()
 	s := &Server{
 		opts:     opts,
 		store:    st,
@@ -219,13 +233,17 @@ func New(opts Options) (*Server, error) {
 		pinned:   make(map[string]*index),
 		deltaDir: filepath.Join(opts.StateDir, "deltas"),
 		started:  time.Now().UTC(),
+		reg:      reg,
+		met:      newServerMetrics(reg),
 	}
 	if err := s.recoverState(); err != nil {
 		st.Close()
 		unlock()
 		return nil, err
 	}
-	s.jobs = newJobManager(opts.Workers, opts.QueueDepth, s.runJob, s.persistJob)
+	s.met.snapshots.Set(float64(len(s.snaps)))
+	s.gcSpool()
+	s.jobs = newJobManager(opts.Workers, opts.QueueDepth, s.runJob, s.persistJob, s.met.jobs)
 	if err := s.recoverJobs(); err != nil {
 		s.jobs.close()
 		st.Close()
@@ -330,8 +348,16 @@ func (s *Server) recoverJobs() error {
 	return nil
 }
 
-// Handler returns the HTTP API handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP API handler: the /v1 mux wrapped in the
+// telemetry middleware (per-route metrics plus request tracing — an
+// X-Paris-Trace header injected by a client or the router is picked up here
+// and surfaces in this process's span logs).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// MetricsRegistry exposes the server's metrics registry so the daemon can
+// serve it on a separate -debug-addr listener (obs.DebugMux) and harnesses
+// can scrape deltas in-process.
+func (s *Server) MetricsRegistry() *obs.Registry { return s.reg }
 
 // errShutdown is the cancellation cause for jobs aborted because the
 // shutdown grace period ran out.
@@ -459,6 +485,7 @@ func (s *Server) align(ctx context.Context, id string, req JobRequest) (string, 
 		OnIteration: func(_ int, a *core.Aligner) {
 			if its := a.Iterations(); len(its) > 0 {
 				s.jobs.progress(id, its[len(its)-1])
+				s.met.fixpoint(its[len(its)-1])
 			}
 		},
 	}
@@ -503,10 +530,14 @@ func (s *Server) loadKB(ctx context.Context, jobID, phase, path string, lits *st
 		store.WithMemoryBudget(s.opts.IngestBudget),
 		store.WithSpillDir(s.opts.StateDir),
 	}
+	feed := s.met.ingestFeeder()
 	if jobID != "" {
 		opts = append(opts, store.WithLoadProgress(func(p ingest.Progress) {
+			feed(p)
 			s.jobs.ingestProgress(jobID, IngestProgress{Progress: p, Phase: phase})
 		}))
+	} else {
+		opts = append(opts, store.WithLoadProgress(feed))
 	}
 	return store.LoadReaderContext(ctx, f, path, kbName(path), lits, norm, opts...)
 }
@@ -589,6 +620,8 @@ func (s *Server) publishAs(id string, snap *core.ResultSnapshot) error {
 		return err
 	}
 	s.snaps = slices.Insert(s.snaps, pos, info)
+	s.met.published.Inc()
+	s.met.snapshots.Set(float64(len(s.snaps)))
 	if cur := s.idx.Load(); cur == nil || cur.id < id {
 		s.idx.Store(buildIndex(id, snap))
 	}
@@ -653,6 +686,7 @@ func (s *Server) gc() {
 		}
 	}
 	s.snaps = kept
+	s.met.snapshots.Set(float64(len(s.snaps)))
 	for _, id := range victims {
 		if err := diskstore.DeleteSnapshot(s.store, id); err != nil {
 			s.opts.Logf("server: gc: deleting %s: %v", id, err)
@@ -702,6 +736,7 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("POST /v1/deltas", s.handleSubmitDelta)
 	mux.HandleFunc("POST /v1/kbs", s.handleUploadKB)
 	mux.HandleFunc("GET /v1/kbs", s.handleKBs)
+	mux.HandleFunc("DELETE /v1/kbs/{name}", s.handleDeleteKB)
 	mux.HandleFunc("GET /v1/sameas", s.handleSameAs)
 	mux.HandleFunc("POST /v1/sameas", s.handleSameAsBatch)
 	mux.HandleFunc("GET /v1/relations", s.handleRelations)
@@ -713,7 +748,16 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
 	s.mux = mux
+	// Route patterns for the per-route metrics come from the mux itself, so
+	// labels stay bounded: every /v1/jobs/{id} collapses to one pattern
+	// instead of one label per job ID.
+	route := func(r *http.Request) string {
+		_, pattern := mux.Handler(r)
+		return pattern
+	}
+	s.handler = s.met.http.Middleware(route, s.opts.Logf, mux)
 }
 
 // errNoSnapshot is the read-path failure before any alignment completed.
@@ -1053,6 +1097,7 @@ func (s *Server) handleSameAs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.lookups.Add(1)
+	s.met.lookups.Inc()
 	key := q.Get("key")
 	if key == "" {
 		httpError(w, http.StatusBadRequest, "key parameter is required")
@@ -1101,6 +1146,7 @@ func (s *Server) handleSameAsBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.lookups.Add(uint64(len(req.Keys)))
+	s.met.lookups.Add(uint64(len(req.Keys)))
 	resp := batchSameAsResponse{
 		Snapshot: ix.id, KB: req.KB,
 		Results: make([]batchSameAsResult, len(req.Keys)),

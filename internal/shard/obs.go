@@ -1,0 +1,64 @@
+package shard
+
+// Router telemetry: the same obs.Registry surface the shard servers expose,
+// under router-specific names — per-route HTTP metrics, per-shard fan-out
+// latency and error counters (so a slow shard is distinguishable from a
+// failed one on the dashboard, not just in error messages), and epoch
+// observability for the two-phase publish.
+
+import (
+	"strconv"
+
+	"repro/internal/diskstore"
+	"repro/internal/obs"
+)
+
+type routerMetrics struct {
+	http *obs.HTTPMetrics
+
+	// shardSeconds and shardErrors are labeled by shard index: the scatter
+	// path records every sub-request's latency, and every transport failure
+	// names the shard it hit.
+	shardSeconds *obs.HistogramVec
+	shardErrors  *obs.CounterVec
+
+	epochSeq   *obs.Gauge
+	epochFlips *obs.Counter
+	lookups    *obs.Counter
+}
+
+func newRouterMetrics(reg *obs.Registry) *routerMetrics {
+	return &routerMetrics{
+		http: obs.NewHTTPMetrics(reg, "paris_router_http"),
+		shardSeconds: reg.HistogramVec("paris_router_shard_request_seconds",
+			"Latency of one shard sub-request during routing or scatter-gather, by shard index.",
+			nil, "shard"),
+		shardErrors: reg.CounterVec("paris_router_shard_errors_total",
+			"Shard sub-requests that failed at the transport layer, by shard index.",
+			"shard"),
+		epochSeq: reg.Gauge("paris_router_epoch_seq",
+			"Sequence number of the routing epoch (0 before the first acknowledged version)."),
+		epochFlips: reg.Counter("paris_router_epoch_flips_total",
+			"Routing epoch advances since the router started."),
+		lookups: reg.Counter("paris_router_lookups_total",
+			"sameAs keys routed (batch requests count every key)."),
+	}
+}
+
+// shardDone records one shard sub-request's outcome.
+func (m *routerMetrics) shardDone(shard int, seconds float64, failed bool) {
+	label := strconv.Itoa(shard)
+	m.shardSeconds.With(label).Observe(seconds)
+	if failed {
+		m.shardErrors.With(label).Inc()
+	}
+}
+
+// epochFlip records an epoch advance as its snapshot sequence number, so the
+// dashboard shows a monotonic step function across the fleet.
+func (m *routerMetrics) epochFlip(id string) {
+	m.epochFlips.Inc()
+	if seq, err := diskstore.ParseSnapshotID(id); err == nil {
+		m.epochSeq.Set(float64(seq))
+	}
+}

@@ -11,8 +11,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/client"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -70,6 +72,9 @@ type Router struct {
 
 	lookups atomic.Uint64
 	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the telemetry middleware
+	reg     *obs.Registry
+	met     *routerMetrics
 }
 
 // NewRouter builds a router over the shard base URLs, in shard-index order:
@@ -80,10 +85,13 @@ func NewRouter(shardURLs []string, opts ...RouterOption) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := obs.NewRegistry()
 	rt := &Router{
 		part:  part,
 		httpc: defaultShardClient(),
 		logf:  func(string, ...any) {},
+		reg:   reg,
+		met:   newRouterMetrics(reg),
 	}
 	rt.epoch.Store("")
 	for _, opt := range opts {
@@ -194,14 +202,21 @@ func (rt *Router) Refresh(ctx context.Context) (string, error) {
 	defer rt.epochMu.Unlock()
 	if cur := rt.Epoch(); best > cur {
 		rt.epoch.Store(best)
+		rt.met.epochFlip(best)
 		rt.logf("router: epoch %s -> %s", cur, best)
 	}
 	return rt.Epoch(), nil
 }
 
 // Handler returns the router's HTTP API: the /v1 read surface of a parisd,
-// served scatter-gather, plus POST /v1/refresh to advance the epoch.
-func (rt *Router) Handler() http.Handler { return rt.mux }
+// served scatter-gather, plus POST /v1/refresh to advance the epoch — all
+// wrapped in the telemetry middleware, so every request is counted, timed,
+// and traced (an inbound X-Paris-Trace continues through the fan-out).
+func (rt *Router) Handler() http.Handler { return rt.handler }
+
+// MetricsRegistry exposes the router's metrics registry for the daemon's
+// -debug-addr listener and in-process scrapes.
+func (rt *Router) MetricsRegistry() *obs.Registry { return rt.reg }
 
 func (rt *Router) buildMux() {
 	mux := http.NewServeMux()
@@ -215,7 +230,13 @@ func (rt *Router) buildMux() {
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.Handle("GET /metrics", obs.MetricsHandler(rt.reg))
 	rt.mux = mux
+	route := func(r *http.Request) string {
+		_, pattern := mux.Handler(r)
+		return pattern
+	}
+	rt.handler = rt.met.http.Middleware(route, rt.logf, mux)
 }
 
 // pinned resolves the snapshot a read should be served from: the explicit
@@ -245,6 +266,7 @@ func (rt *Router) handleSameAs(w http.ResponseWriter, r *http.Request) {
 	}
 	q.Set("snapshot", pin)
 	rt.lookups.Add(1)
+	rt.met.lookups.Inc()
 	rt.proxy(w, r, rt.part.Owner(q.Get("key")), q)
 }
 
@@ -262,7 +284,10 @@ func (rt *Router) handleScores(w http.ResponseWriter, r *http.Request) {
 }
 
 // proxy relays the request to one shard with the rewritten query and copies
-// the response through untouched.
+// the response through untouched. The request trace continues onto the
+// shard (X-Paris-Trace), and the attempt is timed — into the per-shard
+// histogram, and into the error message on failure, so a shard that timed
+// out reads differently from one that refused instantly.
 func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, shard int, q url.Values) {
 	u := rt.urls[shard] + r.URL.Path
 	if len(q) > 0 {
@@ -273,9 +298,14 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, shard int, q url
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	obs.Inject(r.Context(), req.Header)
+	start := time.Now()
 	resp, err := rt.httpc.Do(req)
+	elapsed := time.Since(start)
+	rt.met.shardDone(shard, elapsed.Seconds(), err != nil)
 	if err != nil {
-		httpError(w, http.StatusBadGateway, "shard %d unreachable: %v", shard, err)
+		httpError(w, http.StatusBadGateway, "shard %d unreachable after %s: %v",
+			shard, elapsed.Round(100*time.Microsecond), err)
 		return
 	}
 	defer resp.Body.Close()
@@ -339,6 +369,7 @@ func (rt *Router) handleSameAsBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rt.lookups.Add(uint64(len(req.Keys)))
+	rt.met.lookups.Add(uint64(len(req.Keys)))
 
 	// Group keys by owning shard, remembering every key's request position
 	// so answers reassemble in order.
@@ -355,6 +386,7 @@ func (rt *Router) handleSameAsBatch(w http.ResponseWriter, r *http.Request) {
 	type reply struct {
 		resp client.BatchSameAsResponse
 		err  error
+		dur  time.Duration
 	}
 	replies := make([]reply, len(rt.peers))
 	var wg sync.WaitGroup
@@ -365,15 +397,18 @@ func (rt *Router) handleSameAsBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			start := time.Now()
 			resp, err := rt.peers[i].SameAsBatch(ctx, client.BatchSameAsQuery{
 				KB: req.KB, Keys: groupKeys[i], Snapshot: pin,
 			})
+			dur := time.Since(start)
+			rt.met.shardDone(i, dur.Seconds(), err != nil)
 			if err != nil {
 				// Cancel the sibling sub-batches: the batch is already
 				// doomed, no point finishing the fan-out.
 				cancel()
 			}
-			replies[i] = reply{resp, err}
+			replies[i] = reply{resp, err, dur}
 		}(i)
 	}
 	wg.Wait()
@@ -402,7 +437,12 @@ func (rt *Router) handleSameAsBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if transportErr != nil {
-		httpError(w, http.StatusBadGateway, "shard %d: %v", transportShard, transportErr)
+		// The attempt duration makes slow-vs-failed readable from the
+		// message alone: "after 10s: context deadline exceeded" is a timeout,
+		// "after 2ms: connection refused" a dead shard. Server-reported
+		// errors above stay verbatim — they mirror a single process.
+		httpError(w, http.StatusBadGateway, "shard %d after %s: %v",
+			transportShard, replies[transportShard].dur.Round(100*time.Microsecond), transportErr)
 		return
 	}
 
