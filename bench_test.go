@@ -31,6 +31,7 @@ import (
 	"repro/internal/incremental"
 	"repro/internal/ingest"
 	"repro/internal/literal"
+	"repro/internal/query"
 	"repro/internal/rdf"
 	"repro/internal/server"
 	"repro/internal/shard"
@@ -357,6 +358,47 @@ func BenchmarkSameAsLookupBatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkQueryEngine times conjunctive queries over the aligned movies
+// union KB (ISSUE 7) with a warm plan cache, as the serving path answers
+// after the first request of a shape: a single-pattern scan and a cross-KB
+// join through sameAs clusters that neither source KB answers alone.
+func BenchmarkQueryEngine(b *testing.B) {
+	const (
+		ykb = "http://ykbfilm.example.org/"
+		ikb = "http://ikb.example.org/"
+	)
+	d := gen.Movies(gen.MoviesConfig{Seed: benchOpt.Seed, People: 1200, Movies: 400})
+	o1, o2, err := d.Build(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := core.New(o1, o2, core.Config{}).Run()
+	kb, err := query.Build(o1, o2, res.Snapshot(), query.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := query.NewEngine(kb, 0)
+	ctx := context.Background()
+	for _, bm := range []struct{ name, src string }{
+		{"single", `?d <` + ykb + `directed> ?m`},
+		{"join", `?d <` + ykb + `directed> ?m . ?m <` + ikb + `hasGenre> ?g`},
+	} {
+		b.Run(bm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := eng.Query(ctx, bm.src, query.ExecOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(r.Rows) == 0 {
+					b.Fatal("query returned no rows")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkShardedLookupBatch compares a 64-key POST /v1/sameas batch on a

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/query"
 	"repro/internal/server"
 )
 
@@ -85,6 +86,17 @@ type (
 	SnapshotRelation = core.SnapshotRelation
 	// SnapshotClass is one directed subclass score by class key.
 	SnapshotClass = core.SnapshotClass
+	// QueryRequest is the body of POST /v1/query: a conjunctive query over
+	// the aligned union KB of a snapshot.
+	QueryRequest = server.QueryRequest
+	// QueryResponse is the body of POST /v1/query. Each row binds the
+	// response's Vars in order.
+	QueryResponse = server.QueryResponse
+	// QueryValue is one variable binding inside a query result row: the
+	// keys of its sameAs cluster in both KBs, or a literal.
+	QueryValue = query.Value
+	// QueryStats carries one query's plan-cache, timing, and scan counters.
+	QueryStats = query.Stats
 )
 
 // Job lifecycle states, re-exported from the service.
@@ -276,6 +288,11 @@ type UploadKBRequest struct {
 	// at this byte offset, which must equal the spooled size (an
 	// *UploadError reports the right one on mismatch). Zero starts over.
 	Offset int64
+	// AlignWith, when non-empty, chains an alignment job against this
+	// committed KB (a name or "kb:<name>" reference) once the upload's
+	// ingest job commits. The returned ingest Job carries the align job's
+	// ID in Job.Next; if the ingest fails, the align job fails with it.
+	AlignWith string
 }
 
 // UploadError is a failed upload whose spool survives on the server: retry
@@ -305,6 +322,9 @@ func (c *Client) UploadKB(ctx context.Context, req UploadKBRequest, r io.Reader)
 	}
 	if req.Offset > 0 {
 		v.Set("offset", strconv.FormatInt(req.Offset, 10))
+	}
+	if req.AlignWith != "" {
+		v.Set("align-with", req.AlignWith)
 	}
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/kbs?"+v.Encode(), r)
 	if err != nil {
@@ -619,6 +639,23 @@ func (c *Client) PutSnapshot(ctx context.Context, id string, snap *core.ResultSn
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	return info, c.roundTrip(req, &info)
+}
+
+// Query evaluates a conjunctive query over the aligned union KB
+// (POST /v1/query): whitespace-separated triple patterns joined by ".",
+// whose variables range over the snapshot's sameAs equivalence classes —
+// so one query joins facts across both source KBs. Pin
+// QueryRequest.Snapshot for repeatable pagination while new alignments
+// publish; a parse error is an *Error with status 400 carrying the
+// position.
+//
+//	res, err := c.Query(ctx, client.QueryRequest{
+//		Query: `?d <http://y/directed> ?m . ?m <http://i/hasGenre> ?g`,
+//	})
+func (c *Client) Query(ctx context.Context, req QueryRequest) (QueryResponse, error) {
+	var out QueryResponse
+	err := c.do(ctx, http.MethodPost, "/v1/query", nil, req, &out)
+	return out, err
 }
 
 // Stats fetches the service statistics (GET /v1/stats) as loose JSON.

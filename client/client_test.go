@@ -593,3 +593,88 @@ func TestClientUploadAndWatch(t *testing.T) {
 		t.Fatalf("resumed upload job = %+v, %v", done, err)
 	}
 }
+
+// TestClientQueryAndChainedUpload: push both KBs, chaining the alignment
+// onto the second upload via AlignWith, then query the aligned union KB —
+// including a cross-KB join neither source KB answers alone.
+func TestClientQueryAndChainedUpload(t *testing.T) {
+	c, d, dir := newService(t, 40)
+	ctx := context.Background()
+
+	// Queries before any snapshot are a typed 503.
+	if _, err := c.Query(ctx, QueryRequest{Query: `?a <http://x/p> ?b`}); err == nil {
+		t.Fatal("Query before any snapshot succeeded")
+	} else {
+		var se *Error
+		if !errors.As(err, &se) || se.StatusCode != 503 {
+			t.Fatalf("Query before snapshot: %v", err)
+		}
+	}
+
+	upload := func(name, file, alignWith string) Job {
+		t.Helper()
+		f, err := os.Open(filepath.Join(dir, file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		job, err := c.UploadKB(ctx, UploadKBRequest{Name: name, Format: ".nt", AlignWith: alignWith}, f)
+		if err != nil {
+			t.Fatalf("UploadKB(%s): %v", name, err)
+		}
+		return job
+	}
+	j2 := upload("two", d.Name2+".nt", "")
+	if fin, err := c.WaitJob(ctx, j2.ID, time.Millisecond); err != nil || fin.State != JobDone {
+		t.Fatalf("ingest two: %+v, %v", fin, err)
+	}
+	// KB1 of the alignment is the chained upload, matching the gold pairs.
+	j1 := upload("one", d.Name1+".nt", "two")
+	if j1.Next == "" {
+		t.Fatalf("chained upload carries no align job ID: %+v", j1)
+	}
+	align, err := c.WaitJob(ctx, j1.Next, time.Millisecond)
+	if err != nil || align.State != JobDone || align.Snapshot == "" {
+		t.Fatalf("chained align: %+v, %v", align, err)
+	}
+
+	// Cross-KB join: has_address exists only in ontology 1, zipCode only in
+	// ontology 2 — rows exist only through the alignment.
+	crossQ := `?p <http://person1.example.org/has_address> ?a . ?a <http://person2.example.org/zipCode> ?z`
+	res, err := c.Query(ctx, QueryRequest{Query: crossQ})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Snapshot != align.Snapshot || len(res.Rows) == 0 {
+		t.Fatalf("cross-KB query: %d rows from %s", len(res.Rows), res.Snapshot)
+	}
+	if res.Stats.CacheHit {
+		t.Fatal("first query reported a plan-cache hit")
+	}
+	spanning := 0
+	for _, row := range res.Rows {
+		if len(row[1].KB1) > 0 && len(row[1].KB2) > 0 {
+			spanning++
+		}
+	}
+	if spanning == 0 {
+		t.Fatalf("none of the %d rows joins through a sameAs cluster", len(res.Rows))
+	}
+
+	// The repeated shape hits the plan cache; a pinned snapshot answers
+	// identically.
+	again, err := c.Query(ctx, QueryRequest{Query: crossQ, Snapshot: align.Snapshot})
+	if err != nil || !again.Stats.CacheHit || len(again.Rows) != len(res.Rows) {
+		t.Fatalf("repeat query: hit=%v rows=%d, %v", again.Stats.CacheHit, len(again.Rows), err)
+	}
+
+	// A parse error is a typed 400 carrying the position.
+	if _, err := c.Query(ctx, QueryRequest{Query: `?x <unterminated`}); err == nil {
+		t.Fatal("parse error succeeded")
+	} else {
+		var se *Error
+		if !errors.As(err, &se) || se.StatusCode != 400 {
+			t.Fatalf("parse error: %v", err)
+		}
+	}
+}

@@ -7,13 +7,14 @@
 //	parisbench [-exp all|table1|table2|table3|table4|table5|fig1|fig2|theta|allpairs|negative|fun]
 //	           [-seed N] [-scale F]
 //
-// With -load it instead runs the serving-path load generator: three read
-// mixes (single-key GETs, 64-key batch POSTs, normalized misses) against
-// -target, or an in-process parisd when -target is empty, writing latency
-// quantiles, throughput, and scraped /metrics deltas to -out:
+// With -load it instead runs the serving-path load generator: six read
+// mixes (single-key GETs, 64-key batch POSTs, normalized misses, and three
+// conjunctive-query shapes over the aligned union KB) against -target, or
+// an in-process parisd when -target is empty, writing latency quantiles,
+// throughput, and scraped /metrics deltas to -out:
 //
 //	parisbench -load [-target http://host:7171] [-duration 2s]
-//	           [-concurrency 8] [-keys 300] [-out BENCH_6.json]
+//	           [-concurrency 8] [-keys 300] [-out BENCH_7.json]
 package main
 
 import (
@@ -36,7 +37,7 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Second, "measured window per load mix")
 	concurrency := flag.Int("concurrency", 8, "closed-loop workers per load mix")
 	keys := flag.Int("keys", 300, "corpus size in matched persons for the load run")
-	out := flag.String("out", "BENCH_6.json", "load report output path")
+	out := flag.String("out", "BENCH_7.json", "load report output path")
 	flag.Parse()
 
 	if *load {

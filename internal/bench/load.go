@@ -1,12 +1,13 @@
 package bench
 
 // Load generator for the serving path: drives a parisd (or parisrouter)
-// endpoint with concurrent read traffic in three mixes — single-key GETs,
-// 64-key batch POSTs, and normalized-lookup misses — and records exact
-// latency quantiles, throughput, and the server-side metric deltas scraped
-// from /metrics. cmd/parisbench -load writes the report as BENCH_<n>.json
-// so the perf trajectory of the serving stack is committed alongside the
-// paper-reproduction numbers.
+// endpoint with concurrent read traffic in six mixes — single-key GETs,
+// 64-key batch POSTs, normalized-lookup misses, and three conjunctive-query
+// shapes over the aligned union KB (single pattern, cross-KB join, type
+// scan) — and records exact latency quantiles, throughput, and the
+// server-side metric deltas scraped from /metrics. cmd/parisbench -load
+// writes the report as BENCH_<n>.json so the perf trajectory of the serving
+// stack is committed alongside the paper-reproduction numbers.
 
 import (
 	"encoding/json"
@@ -34,6 +35,17 @@ const LoadReportSchema = "paris-load-report/v1"
 
 // batchSize is the key count of one batch_post request.
 const batchSize = 64
+
+// queryRowLimit bounds query-mix responses so one request's payload stays
+// comparable across corpus sizes.
+const queryRowLimit = 100
+
+// Persons-corpus namespaces the query mixes address; a remote Target must
+// have aligned the same corpus (see LoadOptions.Keys).
+const (
+	personsNS1 = "http://person1.example.org/"
+	personsNS2 = "http://person2.example.org/"
+)
 
 // LoadOptions configures one load-generator run.
 type LoadOptions struct {
@@ -100,7 +112,7 @@ type LoadReport struct {
 	MetricDeltas map[string]float64 `json:"server_metric_deltas,omitempty"`
 }
 
-// RunLoad executes the three mixes against the target and returns the report.
+// RunLoad executes the six mixes against the target and returns the report.
 func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	opts = opts.withDefaults()
 
@@ -172,6 +184,25 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 				// so every request crosses the normalization + LRU layer.
 				k := strings.ToUpper(keys[r.Intn(len(keys))]) + "/nope" + strconv.Itoa(r.Intn(len(keys)))
 				return get(c, base+"/v1/sameas?kb=1&key="+url.QueryEscape(k))
+			},
+		},
+		{
+			"query_single", "POST /v1/query, one triple pattern", 1,
+			func(c *http.Client, r *rand.Rand) (int, error) {
+				return postQuery(c, base, `?p <`+personsNS1+`has_address> ?a`)
+			},
+		},
+		{
+			"query_join", "POST /v1/query, cross-KB join through sameAs clusters", 1,
+			func(c *http.Client, r *rand.Rand) (int, error) {
+				return postQuery(c, base,
+					`?p <`+personsNS1+`has_address> ?a . ?a <`+personsNS2+`zipCode> ?z`)
+			},
+		},
+		{
+			"query_type", "POST /v1/query, type scan with subclass expansion", 1,
+			func(c *http.Client, r *rand.Rand) (int, error) {
+				return postQuery(c, base, `?x a <`+personsNS2+`Human>`)
 			},
 		},
 	} {
@@ -282,6 +313,17 @@ func quantile(sorted []float64, q float64) float64 {
 
 func round3(v float64) float64 {
 	return float64(int64(v*1000+0.5)) / 1000
+}
+
+// postQuery issues one conjunctive query with the mix's shared row limit.
+func postQuery(c *http.Client, base, q string) (int, error) {
+	body, _ := json.Marshal(map[string]any{"query": q, "limit": queryRowLimit})
+	resp, err := c.Post(base+"/v1/query", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return 0, err
+	}
+	drain(resp)
+	return resp.StatusCode, nil
 }
 
 func get(c *http.Client, u string) (int, error) {

@@ -9,7 +9,7 @@ import (
 )
 
 // TestLoadGeneratorSmoke runs a short in-process load and checks the report
-// carries all three mixes with sane numbers and the scraped metric deltas.
+// carries all six mixes with sane numbers and the scraped metric deltas.
 func TestLoadGeneratorSmoke(t *testing.T) {
 	rep, err := RunLoad(LoadOptions{
 		Duration:    200 * time.Millisecond,
@@ -26,10 +26,11 @@ func TestLoadGeneratorSmoke(t *testing.T) {
 	if rep.Target != "in-process" {
 		t.Fatalf("target %q", rep.Target)
 	}
-	if len(rep.Mixes) != 3 {
-		t.Fatalf("%d mixes, want 3", len(rep.Mixes))
+	if len(rep.Mixes) != 6 {
+		t.Fatalf("%d mixes, want 6", len(rep.Mixes))
 	}
-	for i, want := range []string{"get_sameas", "batch_post", "normalized_miss"} {
+	for i, want := range []string{"get_sameas", "batch_post", "normalized_miss",
+		"query_single", "query_join", "query_type"} {
 		m := rep.Mixes[i]
 		if m.Mix != want {
 			t.Errorf("mix %d = %q, want %q", i, m.Mix, want)
@@ -49,10 +50,19 @@ func TestLoadGeneratorSmoke(t *testing.T) {
 		}
 	}
 	// The deltas must prove the load crossed the serving metrics: every
-	// lookup (batch keys included) lands in paris_lookups_total.
+	// lookup (batch keys included) lands in paris_lookups_total, and the
+	// three query mixes in paris_query_total{outcome="ok"} — all but one
+	// request per shape hit the plan cache.
 	wantLookups := float64(rep.Mixes[0].Requests + batchSize*rep.Mixes[1].Requests + rep.Mixes[2].Requests)
 	if got := rep.MetricDeltas["paris_lookups_total"]; got != wantLookups {
 		t.Errorf("paris_lookups_total delta %v, want %v", got, wantLookups)
+	}
+	wantQueries := float64(rep.Mixes[3].Requests + rep.Mixes[4].Requests + rep.Mixes[5].Requests)
+	if got := rep.MetricDeltas[`paris_query_total{outcome="ok"}`]; got != wantQueries {
+		t.Errorf("paris_query_total delta %v, want %v", got, wantQueries)
+	}
+	if hits := rep.MetricDeltas["paris_query_plan_cache_hits_total"]; hits < wantQueries-3 {
+		t.Errorf("plan-cache hits %v across %v queries", hits, wantQueries)
 	}
 }
 

@@ -1,0 +1,279 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// ExecOptions bounds one execution.
+type ExecOptions struct {
+	// Limit caps the number of distinct result rows; 0 or negative means
+	// unlimited. When more rows exist the result is marked Truncated with
+	// Reason "row limit".
+	Limit int
+}
+
+// Stats reports how a query was answered.
+type Stats struct {
+	// CacheHit reports whether the plan came from the Engine's cache.
+	CacheHit bool `json:"plan_cache_hit"`
+	// PlanTime is the time spent parsing and planning (zero on a hit).
+	PlanTime time.Duration `json:"plan_ns"`
+	// ExecTime is the time spent executing the plan.
+	ExecTime time.Duration `json:"exec_ns"`
+	// RowsScanned counts candidate statements examined across all steps.
+	RowsScanned int `json:"rows_scanned"`
+}
+
+// Result is the answer to one query.
+type Result struct {
+	// Vars names the columns, in the query's first-occurrence order.
+	Vars []string
+	// Rows holds one Value per variable per distinct binding.
+	Rows [][]Value
+	// Truncated reports that Rows is incomplete; Reason says why
+	// ("row limit" or "time limit").
+	Truncated bool
+	Reason    string
+	Stats     Stats
+}
+
+// errStop aborts the DFS once the row limit is reached.
+var errStop = errors.New("query: row limit reached")
+
+// ctxCheckInterval is how many scanned statements pass between context
+// checks, keeping cancellation latency bounded without a per-statement
+// syscall-ish cost.
+const ctxCheckInterval = 1024
+
+type executor struct {
+	kb         *KB
+	steps      []step
+	ctx        context.Context
+	limit      int
+	scanned    int
+	sinceCheck int
+	seen       map[string]struct{}
+	rows       [][]node
+	truncated  bool
+	packBuf    []byte
+}
+
+// execute runs the plan to completion, a row limit, or a context stop.
+// A deadline expiry returns the partial result marked Truncated ("time
+// limit"); an explicit cancellation returns the context error.
+func (kb *KB) execute(ctx context.Context, p *plan, vars []string, opts ExecOptions) (*Result, error) {
+	res := &Result{Vars: vars, Rows: [][]Value{}}
+	if p.empty {
+		return res, nil
+	}
+	ex := &executor{
+		kb:    kb,
+		steps: p.steps,
+		ctx:   ctx,
+		limit: opts.Limit,
+		seen:  make(map[string]struct{}),
+	}
+	row := make([]node, p.nvars)
+	for i := range row {
+		row[i] = noNode
+	}
+	err := ex.run(0, row)
+	switch {
+	case err == nil || errors.Is(err, errStop):
+	case errors.Is(err, context.DeadlineExceeded):
+		ex.truncated = true
+		res.Reason = "time limit"
+	default:
+		return nil, err
+	}
+	if ex.truncated && res.Reason == "" {
+		res.Reason = "row limit"
+	}
+	res.Truncated = ex.truncated
+	res.Rows = make([][]Value, len(ex.rows))
+	for i, r := range ex.rows {
+		vals := make([]Value, len(r))
+		for j, n := range r {
+			vals[j] = kb.value(n)
+		}
+		res.Rows[i] = vals
+	}
+	res.Stats.RowsScanned = ex.scanned
+	return res, nil
+}
+
+func (ex *executor) run(depth int, row []node) error {
+	if depth == len(ex.steps) {
+		return ex.emit(row)
+	}
+	st := &ex.steps[depth]
+
+	sKnown := st.sConst != nil || row[st.sSlot] != noNode
+	oKnown := st.oConst != nil || row[st.oSlot] != noNode
+	switch {
+	case sKnown:
+		// Index scan / bind join on the subject side; the object side is
+		// filtered (bound or constant) or bound here.
+		for _, sv := range st.sValues(row) {
+			for _, ref := range st.refs {
+				seg := ref.subjectSeg(sv)
+				for _, m := range seg {
+					if err := ex.tick(); err != nil {
+						return err
+					}
+					ov := m.o
+					if ref.inv {
+						ov = m.s
+					}
+					if err := ex.acceptO(st, depth, row, ov); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	case oKnown:
+		for _, ov := range st.oValues(row) {
+			for _, ref := range st.refs {
+				seg := ref.objectSeg(ov)
+				for _, m := range seg {
+					if err := ex.tick(); err != nil {
+						return err
+					}
+					sv := m.s
+					if ref.inv {
+						sv = m.o
+					}
+					// The subject var is unbound (sKnown was false).
+					row[st.sSlot] = sv
+					err := ex.run(depth+1, row)
+					row[st.sSlot] = noNode
+					if err != nil {
+						return err
+					}
+				}
+			}
+		}
+	default:
+		// Nothing bound: full scan, binding both sides.
+		for _, ref := range st.refs {
+			for _, m := range ref.tab.byS {
+				if err := ex.tick(); err != nil {
+					return err
+				}
+				sv, ov := m.s, m.o
+				if ref.inv {
+					sv, ov = ov, sv
+				}
+				row[st.sSlot] = sv
+				err := ex.acceptO(st, depth, row, ov)
+				row[st.sSlot] = noNode
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// acceptO filters the object side against its constant set or bound slot,
+// binds it when it is a free variable, and recurses. It handles the
+// repeated-variable case (?x <r> ?x) naturally: once the subject side set
+// the shared slot, the object side sees it bound and compares.
+func (ex *executor) acceptO(st *step, depth int, row []node, ov node) error {
+	if st.oConst != nil {
+		if !st.oConst.has(ov) {
+			return nil
+		}
+		return ex.run(depth+1, row)
+	}
+	if cur := row[st.oSlot]; cur != noNode {
+		if cur != ov {
+			return nil
+		}
+		return ex.run(depth+1, row)
+	}
+	row[st.oSlot] = ov
+	err := ex.run(depth+1, row)
+	row[st.oSlot] = noNode
+	return err
+}
+
+// sValues enumerates the known subject values of a step.
+func (st *step) sValues(row []node) []node {
+	if st.sConst != nil {
+		return st.sConst.list
+	}
+	return row[st.sSlot : st.sSlot+1]
+}
+
+// oValues enumerates the known object values of a step.
+func (st *step) oValues(row []node) []node {
+	if st.oConst != nil {
+		return st.oConst.list
+	}
+	return row[st.oSlot : st.oSlot+1]
+}
+
+// subjectSeg returns the statements whose effective subject is v.
+func (r relRef) subjectSeg(v node) []stmt {
+	if r.inv {
+		if r.tab.canHash() {
+			return r.tab.oIndex()[v]
+		}
+		return r.tab.scanO(v)
+	}
+	if r.tab.canHash() {
+		return r.tab.sIndex()[v]
+	}
+	return r.tab.scanS(v)
+}
+
+// objectSeg returns the statements whose effective object is v.
+func (r relRef) objectSeg(v node) []stmt {
+	if r.inv {
+		if r.tab.canHash() {
+			return r.tab.sIndex()[v]
+		}
+		return r.tab.scanS(v)
+	}
+	if r.tab.canHash() {
+		return r.tab.oIndex()[v]
+	}
+	return r.tab.scanO(v)
+}
+
+func (ex *executor) tick() error {
+	ex.scanned++
+	ex.sinceCheck++
+	if ex.sinceCheck >= ctxCheckInterval {
+		ex.sinceCheck = 0
+		if err := ex.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emit records a complete row if it is distinct, enforcing the row limit
+// on distinct rows only — Truncated is set only when a further distinct
+// row actually exists beyond the limit.
+func (ex *executor) emit(row []node) error {
+	ex.packBuf = ex.packBuf[:0]
+	for _, n := range row {
+		ex.packBuf = append(ex.packBuf, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	}
+	key := string(ex.packBuf)
+	if _, dup := ex.seen[key]; dup {
+		return nil
+	}
+	if ex.limit > 0 && len(ex.rows) >= ex.limit {
+		ex.truncated = true
+		return errStop
+	}
+	ex.seen[key] = struct{}{}
+	ex.rows = append(ex.rows, append([]node(nil), row...))
+	return nil
+}

@@ -1,0 +1,55 @@
+package query_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// FuzzQueryParse asserts the parser never panics, enforces its bounds, and
+// round-trips every accepted query: rendering a parsed query and parsing
+// it again must yield the identical canonical form and shape.
+func FuzzQueryParse(f *testing.F) {
+	seeds := []string{
+		`?x <http://e/p> ?y`,
+		`?x a <http://e/Film> . ?x <http://e/directedBy> ?d .`,
+		`?x <http://e/name> "say \"hi\"\n" . ?x <http://e/p⁻¹> ?y`,
+		`"lit" <http://e/p> "lit2"`,
+		`<http://e/s> <http://e/p> <http://e/o>`,
+		`?x <http://e/p> ?x`,
+		``,
+		`?x ?p ?y`,
+		`?x <http://e/p "unterminated`,
+		`?x <> ""`,
+		"?x <http://e/p> \"a\nb\"",
+		`? <http://e/p> ?y`,
+		strings.Repeat(`?x <http://e/p> ?y . `, 20),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := query.Parse(src)
+		if err != nil {
+			return
+		}
+		if len(q.Patterns) == 0 || len(q.Patterns) > query.MaxPatterns {
+			t.Fatalf("accepted %d patterns", len(q.Patterns))
+		}
+		if len(q.Vars) > query.MaxVars {
+			t.Fatalf("accepted %d vars", len(q.Vars))
+		}
+		rendered := q.String()
+		q2, err := query.Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", rendered, src, err)
+		}
+		if q2.String() != rendered {
+			t.Fatalf("render not stable: %q -> %q", rendered, q2.String())
+		}
+		if q2.Shape() != q.Shape() {
+			t.Fatalf("shape not stable under round-trip: %q vs %q", q.Shape(), q2.Shape())
+		}
+	})
+}

@@ -1,0 +1,361 @@
+// Package query is the conjunctive-query subsystem over the aligned union
+// KB: it answers triple-pattern queries that span both ontologies of a
+// PARIS alignment *through* the alignment itself. Variables range over
+// sameAs equivalence classes (so one pattern matches facts from either KB),
+// relation constants expand through the snapshot's sub-relation tables, and
+// class constants in type patterns expand through the subclass tables —
+// sameAs as a join, not an endpoint.
+//
+// The pipeline follows the janus-datalog recipe: a small IR + parser
+// (Parse), a greedy join planner without statistics (most-bound, then
+// smallest-fanout clause first), relational operators over sorted statement
+// indexes (index scan, bind join, pre-sized hash join), and a bounded LRU
+// plan cache keyed on the normalized query shape (Engine).
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Limits on one parsed query, enforced by Parse so a hostile query cannot
+// balloon planning or execution state.
+const (
+	// MaxQueryLen bounds the query text in bytes.
+	MaxQueryLen = 8192
+	// MaxPatterns bounds the triple patterns of one query.
+	MaxPatterns = 16
+	// MaxVars bounds the distinct variables of one query.
+	MaxVars = 16
+)
+
+// TermKind discriminates the kinds of terms a pattern position can hold.
+type TermKind uint8
+
+const (
+	// TermVar is a variable (?name).
+	TermVar TermKind = iota
+	// TermIRI is an IRI constant (<http://...>). In predicate position a
+	// trailing ⁻¹ marker queries the inverse direction.
+	TermIRI
+	// TermLit is a literal constant ("...").
+	TermLit
+)
+
+// Term is one position of a triple pattern.
+type Term struct {
+	Kind TermKind
+	// Value is the variable name without '?', the IRI without angle
+	// brackets, or the unescaped literal value.
+	Value string
+}
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Kind == TermVar }
+
+// String renders the term in query syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case TermVar:
+		return "?" + t.Value
+	case TermIRI:
+		return "<" + t.Value + ">"
+	default:
+		return quoteLiteral(t.Value)
+	}
+}
+
+// Pattern is one triple pattern S P O. P is always an IRI constant
+// (variable predicates are rejected: relation constants are what expands
+// through the alignment's sub-relation tables).
+type Pattern struct {
+	S, P, O Term
+}
+
+// String renders the pattern in query syntax.
+func (p Pattern) String() string {
+	return p.S.String() + " " + p.P.String() + " " + p.O.String()
+}
+
+// Query is the parsed IR: a conjunction of triple patterns.
+type Query struct {
+	Patterns []Pattern
+	// Vars lists the distinct variable names in first-occurrence order —
+	// the projection of every result row.
+	Vars []string
+}
+
+// String renders the query in canonical syntax.
+func (q *Query) String() string {
+	parts := make([]string, len(q.Patterns))
+	for i, p := range q.Patterns {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " . ")
+}
+
+// Shape returns the normalized form of the query used as the plan-cache
+// key: variables are renamed to their first-occurrence index, so queries
+// that differ only in variable naming share one cached plan. Constants are
+// kept verbatim — they determine the relation and class expansions compiled
+// into the plan.
+func (q *Query) Shape() string {
+	slot := make(map[string]int, len(q.Vars))
+	for i, v := range q.Vars {
+		slot[v] = i
+	}
+	var b strings.Builder
+	for i, p := range q.Patterns {
+		if i > 0 {
+			b.WriteString(" . ")
+		}
+		for j, t := range [3]Term{p.S, p.P, p.O} {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			if t.IsVar() {
+				fmt.Fprintf(&b, "?%d", slot[t.Value])
+			} else {
+				b.WriteString(t.String())
+			}
+		}
+	}
+	return b.String()
+}
+
+// ParseError reports a syntactically invalid query with a byte offset.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("query: parse error at byte %d: %s", e.Pos, e.Msg)
+}
+
+// Parse parses the conjunctive-query syntax:
+//
+//	?x <http://.../type> <http://.../Film> . ?x <http://.../directedBy> ?d
+//
+// Patterns are S P O triples separated by '.'; a trailing '.' is allowed.
+// Terms are variables (?name), IRIs (<...>), or literals ("..." with \"
+// \\ \n \t \r escapes). The keyword 'a' in predicate position abbreviates
+// rdf:type. Predicates must be IRI constants; subjects and objects may be
+// any term kind.
+func Parse(src string) (*Query, error) {
+	if len(src) > MaxQueryLen {
+		return nil, &ParseError{Pos: MaxQueryLen, Msg: fmt.Sprintf("query exceeds %d bytes", MaxQueryLen)}
+	}
+	p := &parser{src: src}
+	q := &Query{}
+	seen := make(map[string]bool)
+	for {
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		pat, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		if len(q.Patterns) >= MaxPatterns {
+			return nil, &ParseError{Pos: p.pos, Msg: fmt.Sprintf("more than %d patterns", MaxPatterns)}
+		}
+		q.Patterns = append(q.Patterns, pat)
+		for _, t := range [3]Term{pat.S, pat.P, pat.O} {
+			if t.IsVar() && !seen[t.Value] {
+				if len(q.Vars) >= MaxVars {
+					return nil, &ParseError{Pos: p.pos, Msg: fmt.Sprintf("more than %d variables", MaxVars)}
+				}
+				seen[t.Value] = true
+				q.Vars = append(q.Vars, t.Value)
+			}
+		}
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		if p.src[p.pos] != '.' {
+			return nil, &ParseError{Pos: p.pos, Msg: "expected '.' between patterns"}
+		}
+		p.pos++
+	}
+	if len(q.Patterns) == 0 {
+		return nil, &ParseError{Pos: 0, Msg: "empty query"}
+	}
+	return q, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) skipSpace() {
+	for !p.eof() {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) pattern() (Pattern, error) {
+	s, err := p.term("subject")
+	if err != nil {
+		return Pattern{}, err
+	}
+	p.skipSpace()
+	pr, err := p.predicate()
+	if err != nil {
+		return Pattern{}, err
+	}
+	p.skipSpace()
+	o, err := p.term("object")
+	if err != nil {
+		return Pattern{}, err
+	}
+	return Pattern{S: s, P: pr, O: o}, nil
+}
+
+// predicate parses the P position: an IRI constant or the keyword 'a'
+// (rdf:type). Variables are rejected here — a variable predicate has no
+// relation constant to expand through the sub-relation tables, and the
+// planner's operator tree is built per resolved relation set.
+func (p *parser) predicate() (Term, error) {
+	if p.eof() {
+		return Term{}, &ParseError{Pos: p.pos, Msg: "expected predicate"}
+	}
+	if p.src[p.pos] == 'a' && (p.pos+1 == len(p.src) || isSpace(p.src[p.pos+1])) {
+		p.pos++
+		return Term{Kind: TermIRI, Value: rdfTypeIRI}, nil
+	}
+	t, err := p.term("predicate")
+	if err != nil {
+		return Term{}, err
+	}
+	if t.Kind != TermIRI {
+		return Term{}, &ParseError{Pos: p.pos, Msg: "predicate must be an IRI constant (or 'a')"}
+	}
+	return t, nil
+}
+
+func (p *parser) term(role string) (Term, error) {
+	if p.eof() {
+		return Term{}, &ParseError{Pos: p.pos, Msg: "expected " + role}
+	}
+	switch p.src[p.pos] {
+	case '?':
+		return p.variable()
+	case '<':
+		return p.iri()
+	case '"':
+		return p.literal()
+	default:
+		return Term{}, &ParseError{Pos: p.pos,
+			Msg: fmt.Sprintf("expected %s (?var, <iri>, or \"literal\"), found %q", role, p.src[p.pos])}
+	}
+}
+
+func (p *parser) variable() (Term, error) {
+	start := p.pos
+	p.pos++ // '?'
+	for !p.eof() && isNameByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start+1 {
+		return Term{}, &ParseError{Pos: start, Msg: "empty variable name"}
+	}
+	return Term{Kind: TermVar, Value: p.src[start+1 : p.pos]}, nil
+}
+
+func (p *parser) iri() (Term, error) {
+	start := p.pos
+	p.pos++ // '<'
+	for !p.eof() && p.src[p.pos] != '>' {
+		c := p.src[p.pos]
+		if c == '<' || c == '"' || c == ' ' || c == '\n' || c == '\t' || c == '\r' {
+			return Term{}, &ParseError{Pos: p.pos, Msg: fmt.Sprintf("invalid character %q in IRI", c)}
+		}
+		p.pos++
+	}
+	if p.eof() {
+		return Term{}, &ParseError{Pos: start, Msg: "unterminated IRI"}
+	}
+	v := p.src[start+1 : p.pos]
+	p.pos++ // '>'
+	if v == "" {
+		return Term{}, &ParseError{Pos: start, Msg: "empty IRI"}
+	}
+	return Term{Kind: TermIRI, Value: v}, nil
+}
+
+func (p *parser) literal() (Term, error) {
+	start := p.pos
+	p.pos++ // '"'
+	var b strings.Builder
+	for !p.eof() {
+		c := p.src[p.pos]
+		switch c {
+		case '"':
+			p.pos++
+			return Term{Kind: TermLit, Value: b.String()}, nil
+		case '\\':
+			p.pos++
+			if p.eof() {
+				return Term{}, &ParseError{Pos: start, Msg: "unterminated escape"}
+			}
+			switch e := p.src[p.pos]; e {
+			case '"', '\\':
+				b.WriteByte(e)
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			default:
+				return Term{}, &ParseError{Pos: p.pos, Msg: fmt.Sprintf("unknown escape \\%c", e)}
+			}
+			p.pos++
+		case '\n', '\r':
+			return Term{}, &ParseError{Pos: p.pos, Msg: "newline in literal"}
+		default:
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+	return Term{}, &ParseError{Pos: start, Msg: "unterminated literal"}
+}
+
+func quoteLiteral(v string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '"', '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}

@@ -1,0 +1,138 @@
+package query
+
+// ReferenceEval is the oracle for the differential harness: it answers a
+// query by brute force — patterns in written order, every pattern a full
+// linear scan over all its expanded tables, consistency checked term by
+// term — sharing only the union KB's tables and constant resolution with
+// the planned executor. No join ordering, no indexes, no hash maps: if the
+// engine and this function disagree on any corpus, the engine is wrong.
+// It is exported for tests and tools; production traffic goes through
+// Engine.
+func ReferenceEval(kb *KB, q *Query) [][]Value {
+	slotOf := make(map[string]int, len(q.Vars))
+	for i, v := range q.Vars {
+		slotOf[v] = i
+	}
+
+	type refPat struct {
+		refs           []relRef
+		sSlot, oSlot   int
+		sConst, oConst []node
+		empty          bool
+	}
+	pats := make([]refPat, len(q.Patterns))
+	for i, pat := range q.Patterns {
+		base, predInv := splitInv(pat.P.Value)
+		rp := refPat{refs: kb.relRefs(pat.P.Value), sSlot: -1, oSlot: -1}
+		if len(rp.refs) == 0 {
+			rp.empty = true
+		}
+		isType := base == rdfTypeIRI
+		if pat.S.IsVar() {
+			rp.sSlot = slotOf[pat.S.Value]
+		} else {
+			rp.sConst = kb.constNodes(pat.S, isType && predInv)
+			if len(rp.sConst) == 0 {
+				rp.empty = true
+			}
+		}
+		if pat.O.IsVar() {
+			rp.oSlot = slotOf[pat.O.Value]
+		} else {
+			rp.oConst = kb.constNodes(pat.O, isType && !predInv)
+			if len(rp.oConst) == 0 {
+				rp.empty = true
+			}
+		}
+		if rp.empty {
+			return [][]Value{}
+		}
+		pats[i] = rp
+	}
+
+	contains := func(ns []node, n node) bool {
+		for _, have := range ns {
+			if have == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	seen := make(map[string]struct{})
+	var rows [][]node
+	row := make([]node, len(q.Vars))
+	for i := range row {
+		row[i] = noNode
+	}
+	var walk func(depth int)
+	walk = func(depth int) {
+		if depth == len(pats) {
+			var buf []byte
+			for _, n := range row {
+				buf = append(buf, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+			}
+			key := string(buf)
+			if _, dup := seen[key]; dup {
+				return
+			}
+			seen[key] = struct{}{}
+			rows = append(rows, append([]node(nil), row...))
+			return
+		}
+		rp := &pats[depth]
+		for _, ref := range rp.refs {
+			for _, m := range ref.tab.byS {
+				sv, ov := m.s, m.o
+				if ref.inv {
+					sv, ov = ov, sv
+				}
+				// Subject consistency.
+				var sBound bool
+				if rp.sConst != nil {
+					if !contains(rp.sConst, sv) {
+						continue
+					}
+				} else if cur := row[rp.sSlot]; cur != noNode {
+					if cur != sv {
+						continue
+					}
+				} else {
+					row[rp.sSlot] = sv
+					sBound = true
+				}
+				// Object consistency (sees a same-slot subject binding).
+				var oBound bool
+				ok := true
+				if rp.oConst != nil {
+					ok = contains(rp.oConst, ov)
+				} else if cur := row[rp.oSlot]; cur != noNode {
+					ok = cur == ov
+				} else {
+					row[rp.oSlot] = ov
+					oBound = true
+				}
+				if ok {
+					walk(depth + 1)
+				}
+				if oBound {
+					row[rp.oSlot] = noNode
+				}
+				if sBound {
+					row[rp.sSlot] = noNode
+				}
+			}
+		}
+	}
+	walk(0)
+
+	out := make([][]Value, len(rows))
+	for i, r := range rows {
+		vals := make([]Value, len(r))
+		for j, n := range r {
+			vals[j] = kb.value(n)
+		}
+		out[i] = vals
+	}
+	return out
+}

@@ -144,6 +144,14 @@ type Job struct {
 	// base when State is done — the path to reference in a later
 	// POST /v1/jobs.
 	KB string `json:"kb,omitempty"`
+
+	// After names a job this one waits for: it stays queued until that job
+	// is done, and fails without running if that job fails. Set on the
+	// align job of a chained POST /v1/kbs?align-with= upload.
+	After string `json:"after,omitempty"`
+	// Next names the job chained behind this one — the align job an ingest
+	// job triggers — so the upload response carries both IDs.
+	Next string `json:"next,omitempty"`
 }
 
 // jobManager runs jobs on a bounded worker pool. Submitted jobs wait in a
@@ -206,19 +214,27 @@ func newJobManager(workers, depth int, run func(ctx context.Context, id string),
 			defer m.wg.Done()
 			for {
 				m.mu.Lock()
-				for len(m.pending) == 0 && !m.closed {
+				id, failedDep := m.takeRunnableLocked()
+				for id == "" && !m.closed {
+					// Nothing runnable: the queue is empty, or every
+					// pending job waits on a dependency still in flight.
+					// finish and cancel broadcast, so a settling
+					// dependency re-triggers the scan.
 					m.cond.Wait()
+					id, failedDep = m.takeRunnableLocked()
 				}
 				// Close drains pending itself, so a closed manager means
 				// no more work regardless of the slice.
-				if m.closed {
+				if id == "" {
 					m.mu.Unlock()
 					return
 				}
-				id := m.pending[0]
-				m.pending = m.pending[1:]
 				m.met.queue(len(m.pending))
 				m.mu.Unlock()
+				if failedDep != "" {
+					m.failDependent(id, failedDep)
+					continue
+				}
 				// start refuses jobs that left the queued state between
 				// the pop and here (canceled: terminal state already
 				// recorded) and everything once close begins; drop is a
@@ -237,6 +253,53 @@ func newJobManager(workers, depth int, run func(ctx context.Context, id string),
 	return m
 }
 
+// takeRunnableLocked removes and returns the oldest pending job that is
+// ready to act on: one with no dependency, one whose dependency is done, or
+// one whose dependency failed or vanished — the latter comes back with
+// failedDep set, and the worker fails it without running. Jobs whose
+// dependency is still queued or running are skipped in place. Callers hold
+// m.mu.
+func (m *jobManager) takeRunnableLocked() (id, failedDep string) {
+	for i, pid := range m.pending {
+		j := m.jobs[pid]
+		dep := ""
+		if j != nil && j.After != "" {
+			d, ok := m.jobs[j.After]
+			if ok && (d.State == JobQueued || d.State == JobRunning) {
+				continue
+			}
+			if !ok || d.State == JobFailed {
+				dep = j.After
+			}
+		}
+		m.pending = append(m.pending[:i], m.pending[i+1:]...)
+		return pid, dep
+	}
+	return "", ""
+}
+
+// failDependent drives a queued job whose dependency failed to the failed
+// state without running it, persisting the record through onDrop.
+func (m *jobManager) failDependent(id, depID string) {
+	var final Job
+	m.mu.Lock()
+	if j, ok := m.jobs[id]; ok && j.State == JobQueued {
+		now := time.Now().UTC()
+		j.State = JobFailed
+		j.Finished = &now
+		j.Error = fmt.Sprintf("dependency job %s failed", depID)
+		m.met.jobFinished(j.Kind, "failed", nil, now)
+		m.closeWatchersLocked(id)
+		// Its own dependents, if any, can now fail in turn.
+		m.cond.Broadcast()
+		final = cloneJob(j)
+	}
+	m.mu.Unlock()
+	if final.ID != "" && m.onDrop != nil {
+		m.onDrop(final)
+	}
+}
+
 // submit enqueues a new job built from the template (Kind plus Request or
 // Delta) and returns its initial view. It fails when the queue is full or
 // the manager is closed.
@@ -249,6 +312,36 @@ func (m *jobManager) submit(template Job) (Job, error) {
 	if len(m.pending) >= m.depth {
 		return Job{}, fmt.Errorf("server: job queue full (%d pending)", m.depth)
 	}
+	j := m.submitLocked(template)
+	m.met.queue(len(m.pending))
+	m.cond.Signal()
+	return cloneJob(j), nil
+}
+
+// submitChain enqueues first and a second job that runs only after first
+// succeeds, atomically: both are accepted or neither, so a chained upload
+// can never land its ingest half with the alignment silently refused.
+func (m *jobManager) submitChain(first, second Job) (Job, Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Job{}, Job{}, fmt.Errorf("server: shutting down")
+	}
+	if len(m.pending)+1 >= m.depth {
+		return Job{}, Job{}, fmt.Errorf("server: job queue full (%d pending, need 2 slots)", len(m.pending))
+	}
+	f := m.submitLocked(first)
+	second.After = f.ID
+	sec := m.submitLocked(second)
+	f.Next = sec.ID
+	m.met.queue(len(m.pending))
+	m.cond.Signal()
+	return cloneJob(f), cloneJob(sec), nil
+}
+
+// submitLocked allocates, records, and enqueues one job. Callers hold m.mu
+// and have checked capacity.
+func (m *jobManager) submitLocked(template Job) *Job {
 	m.seq++
 	j := &Job{
 		ID:      fmt.Sprintf("job-%08d", m.seq),
@@ -257,13 +350,12 @@ func (m *jobManager) submit(template Job) (Job, error) {
 		Request: template.Request,
 		Delta:   template.Delta,
 		Upload:  template.Upload,
+		After:   template.After,
 		Created: time.Now().UTC(),
 	}
 	m.jobs[j.ID] = j
 	m.pending = append(m.pending, j.ID)
-	m.met.queue(len(m.pending))
-	m.cond.Signal()
-	return cloneJob(j), nil
+	return j
 }
 
 // activeDeltaBases returns the base snapshot IDs of queued and running
@@ -290,11 +382,16 @@ func (m *jobManager) activeDeltaBases() []string {
 func (m *jobManager) kbInUse(name string, paths []string) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	ref := "kb:" + name
 	for _, j := range m.jobs {
 		if j.State != JobQueued && j.State != JobRunning {
 			continue
 		}
 		if j.Upload != nil && j.Upload.Name == name {
+			return true
+		}
+		// Chained align jobs keep "kb:<name>" references until they run.
+		if j.Request.KB1 == ref || j.Request.KB2 == ref {
 			return true
 		}
 		for _, p := range paths {
@@ -416,6 +513,8 @@ func (m *jobManager) cancel(id string) (j Job, prev JobState, ok bool) {
 		m.met.queue(len(m.pending))
 		m.met.jobFinished(jp.Kind, "canceled", nil, now)
 		m.closeWatchersLocked(id)
+		// A dependent waiting on this job must observe the failure.
+		m.cond.Broadcast()
 	} else if prev == JobRunning {
 		cancelFn = m.cancels[id]
 	}
@@ -532,6 +631,16 @@ func (m *jobManager) setKB(id, path string) {
 	}
 }
 
+// setRequestKBs writes the run-time-resolved KB paths back onto an align
+// job's record, so the persisted record references real files.
+func (m *jobManager) setRequestKBs(id, kb1, kb2 string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[id]; ok {
+		j.Request.KB1, j.Request.KB2 = kb1, kb2
+	}
+}
+
 // finish drives a job to its terminal state and returns the final view for
 // persistence.
 func (m *jobManager) finish(id, snapshotID string, err error) Job {
@@ -556,6 +665,8 @@ func (m *jobManager) finish(id, snapshotID string, err error) Job {
 	m.met.runningAdd(-1)
 	m.met.jobFinished(j.Kind, outcome, j.Started, now)
 	m.closeWatchersLocked(id)
+	// Wake workers parked on pending jobs that wait for this one.
+	m.cond.Broadcast()
 	return cloneJob(j)
 }
 

@@ -74,9 +74,13 @@ func (s *Server) kbPartialPath(name string) string {
 	return filepath.Join(s.kbsDir(), name+partialSuffix)
 }
 
-// handleUploadKB implements POST /v1/kbs?name=N&format=.nt.gz[&offset=M]:
-// stream the request body into the named spool, then hand validation and
-// commit to an ingest job on the worker pool (202 + job record).
+// handleUploadKB implements POST /v1/kbs?name=N&format=.nt.gz[&offset=M]
+// [&align-with=R]: stream the request body into the named spool, then hand
+// validation and commit to an ingest job on the worker pool (202 + job
+// record). With align-with, an alignment job against R (another uploaded
+// KB as "kb:<name>" or a bare name, or a server-side path) is chained
+// behind the ingest job — it runs only once the upload commits — and the
+// returned ingest record names it in Next, so one request carries both IDs.
 func (s *Server) handleUploadKB(w http.ResponseWriter, r *http.Request) {
 	if s.rejectOnShard(w) {
 		return
@@ -86,6 +90,23 @@ func (s *Server) handleUploadKB(w http.ResponseWriter, r *http.Request) {
 	if !kbNameRE.MatchString(name) {
 		httpError(w, http.StatusBadRequest, "name must match %s", kbNameRE)
 		return
+	}
+	alignWith := q.Get("align-with")
+	if alignWith != "" {
+		// Normalize a bare uploaded-KB name to its "kb:" reference and fail
+		// fast — before the body streams — on a target that cannot resolve.
+		if !strings.HasPrefix(alignWith, "kb:") && kbNameRE.MatchString(alignWith) {
+			alignWith = "kb:" + alignWith
+		}
+		if strings.HasPrefix(alignWith, "kb:") {
+			if _, err := s.resolveKBRef(alignWith); err != nil {
+				httpError(w, http.StatusBadRequest, "align-with: %v", err)
+				return
+			}
+		} else if _, err := os.Stat(alignWith); err != nil {
+			httpError(w, http.StatusBadRequest, "align-with %q: %v", alignWith, err)
+			return
+		}
 	}
 	format := strings.ToLower(q.Get("format"))
 	if format == "" {
@@ -186,12 +207,29 @@ func (s *Server) handleUploadKB(w http.ResponseWriter, r *http.Request) {
 	rec := &UploadRecord{Name: name, Format: format, Bytes: offset + n}
 	s.unlockUpload(name)
 	locked = false
-	j, err := s.jobs.submit(Job{Kind: KindIngest, Upload: rec})
-	if err != nil {
+	ingestJob := Job{Kind: KindIngest, Upload: rec}
+	var j Job
+	var submitErr error
+	if alignWith != "" {
+		// The align job references the upload as "kb:<name>": it cannot
+		// resolve yet (the spool commits when the ingest job succeeds), so
+		// the worker resolves it at run time, after its dependency is done.
+		var aj Job
+		j, aj, submitErr = s.jobs.submitChain(ingestJob, Job{
+			Kind:    KindAlign,
+			Request: JobRequest{KB1: "kb:" + name, KB2: alignWith},
+		})
+		if submitErr == nil {
+			s.opts.Logf("server: %s chained to align kb:%s vs %s", aj.ID, name, alignWith)
+		}
+	} else {
+		j, submitErr = s.jobs.submit(ingestJob)
+	}
+	if submitErr != nil {
 		// Queue full: the spool is complete on disk; re-POST with
 		// ?offset=<size> and an empty body to resubmit without resending.
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"error":  err.Error(),
+			"error":  submitErr.Error(),
 			"offset": rec.Bytes,
 		})
 		return

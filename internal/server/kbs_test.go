@@ -395,3 +395,95 @@ func TestIngestJobSSEStreamsBlocks(t *testing.T) {
 		t.Fatalf("done event carries no ingest totals: %+v", last.Job.Ingest)
 	}
 }
+
+// TestUploadKBAlignWithChaining: POST /v1/kbs?align-with=<kb> commits the
+// upload and then runs an alignment against the named KB. The 202 response
+// carries both job IDs (ID + Next); the align job waits on the ingest and
+// publishes a snapshot that answers the gold pairs.
+func TestUploadKBAlignWithChaining(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir(), 1)
+	defer srv.Close()
+	defer ts.Close()
+
+	doc1, doc2, d := corpusDocs(t, 40)
+
+	// The second KB of the dataset commits first; the chained alignment
+	// then runs with the freshly uploaded KB as KB1, matching the gold
+	// pairs' orientation.
+	var j1 Job
+	if code := postKB(t, ts.URL, "name=right&format=.nt", doc2, &j1); code != http.StatusAccepted {
+		t.Fatalf("upload right: %d", code)
+	}
+	if fin := waitDone(t, ts.URL, j1.ID); fin.State != JobDone {
+		t.Fatalf("right ingest: %s (%s)", fin.State, fin.Error)
+	}
+
+	// Chaining against an unknown KB fails before anything is spooled.
+	var bad struct {
+		Error string `json:"error"`
+	}
+	if code := postKB(t, ts.URL, "name=left&format=.nt&align-with=nosuch", doc1, &bad); code != http.StatusBadRequest {
+		t.Fatalf("align-with unknown KB: %d (%s)", code, bad.Error)
+	}
+
+	var j2 Job
+	if code := postKB(t, ts.URL, "name=left&format=.nt&align-with=right", doc1, &j2); code != http.StatusAccepted {
+		t.Fatalf("upload left: %d", code)
+	}
+	if j2.Next == "" {
+		t.Fatalf("chained upload carries no align job ID: %+v", j2)
+	}
+	if fin := waitDone(t, ts.URL, j2.ID); fin.State != JobDone {
+		t.Fatalf("left ingest: %s (%s)", fin.State, fin.Error)
+	}
+	align := waitDone(t, ts.URL, j2.Next)
+	if align.State != JobDone || align.Snapshot == "" {
+		t.Fatalf("chained align: state=%s snapshot=%q error=%q", align.State, align.Snapshot, align.Error)
+	}
+	if align.After != j2.ID {
+		t.Fatalf("align job waits on %q, want %q", align.After, j2.ID)
+	}
+
+	// The published snapshot resolves the corpus gold pairs.
+	pairs := d.Gold.Pairs()
+	hits := 0
+	for _, p := range pairs[:min(10, len(pairs))] {
+		if got, code := lookupKey(t, ts.URL, "1", p[0]); code == http.StatusOK && got == p[1] {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("chained alignment resolved none of the gold pairs")
+	}
+}
+
+// TestUploadKBAlignWithFailedDependency: when the chained ingest fails, the
+// align job fails too instead of running against a missing KB.
+func TestUploadKBAlignWithFailedDependency(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir(), 1)
+	defer srv.Close()
+	defer ts.Close()
+
+	doc1, _, _ := corpusDocs(t, 20)
+	var j1 Job
+	if code := postKB(t, ts.URL, "name=base&format=.nt", doc1, &j1); code != http.StatusAccepted {
+		t.Fatalf("upload base: %d", code)
+	}
+	if fin := waitDone(t, ts.URL, j1.ID); fin.State != JobDone {
+		t.Fatalf("base ingest: %s (%s)", fin.State, fin.Error)
+	}
+
+	// Garbage bytes: the ingest job fails, and the chained align job must
+	// fail as a dependency casualty, not run against a phantom KB.
+	var j2 Job
+	if code := postKB(t, ts.URL, "name=junk&format=.nt&align-with=base", []byte("this is not ntriples\n"), &j2); code != http.StatusAccepted {
+		t.Fatalf("upload junk: %d", code)
+	}
+	if fin := waitDone(t, ts.URL, j2.ID); fin.State != JobFailed {
+		t.Fatalf("junk ingest: %s, want failed", fin.State)
+	}
+	align := waitDone(t, ts.URL, j2.Next)
+	if align.State != JobFailed || !strings.Contains(align.Error, "dependency job") {
+		t.Fatalf("chained align after failed ingest: state=%s error=%q", align.State, align.Error)
+	}
+}

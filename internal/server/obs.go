@@ -20,6 +20,11 @@ import (
 // seconds, a cold web-scale alignment in hours.
 var jobBuckets = []float64{0.1, 0.5, 1, 5, 15, 60, 300, 1800, 7200, 28800}
 
+// queryBuckets spans query stages: plan-cache hits cost microseconds, cold
+// plans and small executions land in the millisecond range, and the worst
+// admitted execution is bounded by maxQueryTimeout.
+var queryBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 2, 10, 30}
+
 // serverMetrics bundles the Server's instruments. All fields are registered
 // at New, so the /metrics exposition lists every family (HELP/TYPE) from
 // the first scrape, before any traffic.
@@ -41,6 +46,13 @@ type serverMetrics struct {
 	lookups   *obs.Counter
 	snapshots *obs.Gauge
 	published *obs.Counter
+
+	queries              *obs.CounterVec // outcome
+	queryPlanSeconds     *obs.Histogram
+	queryExecSeconds     *obs.Histogram
+	queryRows            *obs.Counter
+	queryPlanCacheHits   *obs.Counter
+	queryPlanCacheMisses *obs.Counter
 }
 
 // jobMetrics is the job manager's slice of the registry, handed to
@@ -90,6 +102,21 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Snapshot versions currently persisted."),
 		published: reg.Counter("paris_snapshots_published_total",
 			"Snapshot versions published (computed, ingested, or recovered-then-extended)."),
+		queries: reg.CounterVec("paris_query_total",
+			"POST /v1/query requests by outcome (ok, truncated, parse_error, error).",
+			"outcome"),
+		queryPlanSeconds: reg.Histogram("paris_query_plan_seconds",
+			"Query planning time: parse plus join ordering, near-zero on plan-cache hits.",
+			queryBuckets),
+		queryExecSeconds: reg.Histogram("paris_query_exec_seconds",
+			"Query execution time over the union KB.",
+			queryBuckets),
+		queryRows: reg.Counter("paris_query_rows_returned_total",
+			"Result rows returned by POST /v1/query."),
+		queryPlanCacheHits: reg.Counter("paris_query_plan_cache_hits_total",
+			"Queries answered with a cached plan (same normalized shape)."),
+		queryPlanCacheMisses: reg.Counter("paris_query_plan_cache_misses_total",
+			"Queries that had to be planned from scratch."),
 	}
 }
 

@@ -1,0 +1,173 @@
+package server
+
+// Tests for POST /v1/query: conjunctive queries over the aligned union KB,
+// including the cross-KB sameAs join that neither source KB answers alone,
+// plan-cache behaviour across repeated requests, snapshot pinning, the
+// validation surface, and the query metric families on /metrics.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+const (
+	qykb = "http://ykbfilm.example.org/"
+	qikb = "http://ikb.example.org/"
+)
+
+// publishMovies aligns a movies corpus offline and publishes the result,
+// so the server retains the ontology pair the union KB is built from.
+func publishMovies(t *testing.T, srv *Server) string {
+	t.Helper()
+	d := gen.Movies(gen.MoviesConfig{Seed: 7, People: 120, Movies: 40})
+	o1, o2, err := d.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.New(o1, o2, core.Config{}).Run()
+	if len(res.Instances) == 0 {
+		t.Fatal("alignment produced nothing")
+	}
+	id, err := srv.PublishResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir(), 1)
+	defer srv.Close()
+	defer ts.Close()
+	snapID := publishMovies(t, srv)
+
+	// The cross-KB proof query: directed lives only in the ykb ontology,
+	// hasGenre only in the ikb one, so every row needs the alignment.
+	crossQ := `?d <` + qykb + `directed> ?m . ?m <` + qikb + `hasGenre> ?g`
+
+	var resp QueryResponse
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/query", QueryRequest{Query: crossQ}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("POST /v1/query: %d", code)
+	}
+	if resp.Snapshot != snapID {
+		t.Fatalf("query served from %s, want %s", resp.Snapshot, snapID)
+	}
+	if len(resp.Vars) != 3 || resp.Vars[0] != "d" || resp.Vars[1] != "m" || resp.Vars[2] != "g" {
+		t.Fatalf("vars = %v", resp.Vars)
+	}
+	if len(resp.Rows) == 0 {
+		t.Fatal("cross-KB join returned no rows")
+	}
+	// At least one movie binding spans both ontologies — a row neither KB
+	// holds alone (some rows come from KB2 via the directorOf rewrite).
+	spanning := 0
+	for _, row := range resp.Rows {
+		if len(row[1].KB1) > 0 && len(row[1].KB2) > 0 {
+			spanning++
+		}
+	}
+	if spanning == 0 {
+		t.Fatalf("none of the %d rows joins through a sameAs cluster", len(resp.Rows))
+	}
+	if resp.Stats.CacheHit {
+		t.Fatal("first query reported a plan-cache hit")
+	}
+
+	// The same shape planned again hits the cached plan.
+	var again QueryResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/query", QueryRequest{Query: crossQ}, &again); code != http.StatusOK {
+		t.Fatalf("repeat query: %d", code)
+	}
+	if !again.Stats.CacheHit {
+		t.Fatal("repeated query missed the plan cache")
+	}
+	if len(again.Rows) != len(resp.Rows) {
+		t.Fatalf("repeat query: %d rows, first run %d", len(again.Rows), len(resp.Rows))
+	}
+
+	// Pinned to the same snapshot explicitly.
+	var pinned QueryResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/query",
+		QueryRequest{Query: crossQ, Snapshot: snapID}, &pinned); code != http.StatusOK {
+		t.Fatalf("pinned query: %d", code)
+	}
+	if pinned.Snapshot != snapID || len(pinned.Rows) != len(resp.Rows) {
+		t.Fatalf("pinned query: %d rows from %s", len(pinned.Rows), pinned.Snapshot)
+	}
+
+	// A limit of 1 truncates the same result set.
+	var lim QueryResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/query",
+		QueryRequest{Query: crossQ, Limit: 1}, &lim); code != http.StatusOK {
+		t.Fatalf("limited query: %d", code)
+	}
+	if len(lim.Rows) != 1 || !lim.Truncated {
+		t.Fatalf("limit=1: %d rows, truncated=%v", len(lim.Rows), lim.Truncated)
+	}
+
+	// Validation surface.
+	for _, bad := range []struct {
+		req  QueryRequest
+		want int
+	}{
+		{QueryRequest{Query: ""}, http.StatusBadRequest},
+		{QueryRequest{Query: `?x <oops`}, http.StatusBadRequest},
+		{QueryRequest{Query: crossQ, Limit: maxQueryLimit + 1}, http.StatusBadRequest},
+		{QueryRequest{Query: crossQ, TimeoutMS: 31_000}, http.StatusBadRequest},
+		{QueryRequest{Query: crossQ, Snapshot: "v999"}, http.StatusNotFound},
+	} {
+		if code := doJSON(t, http.MethodPost, ts.URL+"/v1/query", bad.req, nil); code != bad.want {
+			t.Fatalf("query %+v: %d, want %d", bad.req, code, bad.want)
+		}
+	}
+
+	// The metric families are live after traffic.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, family := range []string{
+		`paris_query_total{outcome="ok"}`,
+		"paris_query_plan_seconds",
+		"paris_query_exec_seconds",
+		"paris_query_rows_returned_total",
+		"paris_query_plan_cache_hits_total",
+		"paris_query_plan_cache_misses_total",
+	} {
+		if !strings.Contains(string(body), family) {
+			t.Fatalf("/metrics missing %s", family)
+		}
+	}
+}
+
+func TestQueryNoSnapshot(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir(), 1)
+	defer srv.Close()
+	defer ts.Close()
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/query", QueryRequest{Query: `?a <http://x/p> ?b`}, nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("query before any snapshot: %d, want 503", code)
+	}
+}
+
+func TestQueryRejectedOnShard(t *testing.T) {
+	srv, err := New(Options{StateDir: t.TempDir(), ShardCount: 3, ShardIndex: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/query", QueryRequest{Query: `?a <http://x/p> ?b`}, nil); code != http.StatusForbidden {
+		t.Fatalf("shard accepted a query: %d", code)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/literal"
 	"repro/internal/obs"
+	"repro/internal/query"
 	"repro/internal/store"
 )
 
@@ -181,6 +182,10 @@ type Server struct {
 	// by mu.
 	pinned map[string]*index
 
+	// engines caches query engines over per-snapshot union KBs for
+	// POST /v1/query, bounded by maxQueryEngines. Guarded by mu.
+	engines map[string]*query.Engine
+
 	// uploads marks KB upload names with a request currently streaming
 	// into their spool. Guarded by mu.
 	uploads map[string]bool
@@ -231,6 +236,7 @@ func New(opts Options) (*Server, error) {
 		unlock:   unlock,
 		cache:    newLRU(opts.CacheSize),
 		pinned:   make(map[string]*index),
+		engines:  make(map[string]*query.Engine),
 		deltaDir: filepath.Join(opts.StateDir, "deltas"),
 		started:  time.Now().UTC(),
 		reg:      reg,
@@ -463,6 +469,25 @@ func (s *Server) persistJob(j Job) {
 // context aborts both the streaming loads (between reads) and the fixpoint
 // (between passes); a canceled job never publishes.
 func (s *Server) align(ctx context.Context, id string, req JobRequest) (string, error) {
+	// Jobs chained behind an ingest (POST /v1/kbs?align-with=) still carry
+	// "kb:<name>" references: the upload had not committed at submit time,
+	// so they resolve here, after the dependency finished. The resolved
+	// paths are written back onto the record, keeping restart replay of
+	// delta lineages rooted in real files.
+	resolved := false
+	for _, kb := range []*string{&req.KB1, &req.KB2} {
+		p, err := s.resolveKBRef(*kb)
+		if err != nil {
+			return "", err
+		}
+		if p != *kb {
+			*kb = p
+			resolved = true
+		}
+	}
+	if resolved {
+		s.jobs.setRequestKBs(id, req.KB1, req.KB2)
+	}
 	norm, err := normalizer(req.Normalize)
 	if err != nil {
 		return "", err
@@ -739,6 +764,7 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("DELETE /v1/kbs/{name}", s.handleDeleteKB)
 	mux.HandleFunc("GET /v1/sameas", s.handleSameAs)
 	mux.HandleFunc("POST /v1/sameas", s.handleSameAsBatch)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/relations", s.handleRelations)
 	mux.HandleFunc("GET /v1/classes", s.handleClasses)
 	mux.HandleFunc("GET /v1/snapshots", s.handleSnapshots)

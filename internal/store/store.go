@@ -170,6 +170,16 @@ func (o *Ontology) Literals() *Literals { return o.lits }
 // NumResources returns the number of interned resources (instances+classes).
 func (o *Ontology) NumResources() int { return len(o.resourceKeys) }
 
+// Normalize maps a literal term to the canonical string under which this
+// ontology interns it, applying the normalizer the ontology was built with
+// (IdentityNorm when none was configured).
+func (o *Ontology) Normalize(t rdf.Term) string {
+	if o.norm == nil {
+		return IdentityNorm(t)
+	}
+	return o.norm(t)
+}
+
 // NumInstances returns the number of non-class resources.
 func (o *Ontology) NumInstances() int { return len(o.instances) }
 
