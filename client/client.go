@@ -97,6 +97,9 @@ type (
 	QueryValue = query.Value
 	// QueryStats carries one query's plan-cache, timing, and scan counters.
 	QueryStats = query.Stats
+	// ConvergenceReport is the body of GET /v1/jobs/{id}/convergence: the
+	// per-iteration movement of a job's fixpoint.
+	ConvergenceReport = server.ConvergenceReport
 )
 
 // Job lifecycle states, re-exported from the service.
@@ -201,6 +204,23 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 // Health checks GET /v1/healthz.
 func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil, nil)
+}
+
+// Ready probes readiness (GET /v1/readyz): nil once the service can answer
+// reads — a parisd with a serving snapshot, a parisrouter with a routing
+// epoch. Before that it returns an *Error with status 503, distinct from
+// Health, which only says the process is up.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/readyz", nil, nil, nil)
+}
+
+// Convergence fetches a job's per-iteration fixpoint movement
+// (GET /v1/jobs/{id}/convergence). Records is empty for jobs whose
+// fixpoint did not run in the current server process.
+func (c *Client) Convergence(ctx context.Context, id string) (ConvergenceReport, error) {
+	var rep ConvergenceReport
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/convergence", nil, nil, &rep)
+	return rep, err
 }
 
 // SubmitJob submits an alignment job (POST /v1/jobs) and returns its

@@ -678,3 +678,50 @@ func TestClientQueryAndChainedUpload(t *testing.T) {
 		}
 	}
 }
+
+// TestClientReadyAndConvergence drives the introspection surface: Ready
+// reports 503 until the first snapshot serves, then nil; Convergence
+// returns the job's per-iteration fixpoint records.
+func TestClientReadyAndConvergence(t *testing.T) {
+	c, d, dir := newService(t, 40)
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	var se *Error
+	if err := c.Ready(ctx); !errors.As(err, &se) || se.StatusCode != 503 {
+		t.Fatalf("Ready before snapshot = %v, want *Error 503", err)
+	}
+
+	job, err := c.SubmitJob(ctx, JobRequest{
+		KB1: filepath.Join(dir, d.Name1+".nt"),
+		KB2: filepath.Join(dir, d.Name2+".nt"),
+	})
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	if final, err := c.WaitJob(ctx, job.ID, 2*time.Millisecond); err != nil || final.State != paris.JobDone {
+		t.Fatalf("WaitJob = %+v, %v", final, err)
+	}
+
+	if err := c.Ready(ctx); err != nil {
+		t.Fatalf("Ready after snapshot: %v", err)
+	}
+
+	rep, err := c.Convergence(ctx, job.ID)
+	if err != nil {
+		t.Fatalf("Convergence: %v", err)
+	}
+	if rep.Job != job.ID || rep.State != paris.JobDone || len(rep.Records) == 0 {
+		t.Fatalf("Convergence report = %+v", rep)
+	}
+	for i, r := range rep.Records {
+		if r.Iteration != i+1 {
+			t.Fatalf("records[%d].Iteration = %d, want monotone 1-based", i, r.Iteration)
+		}
+	}
+	if _, err := c.Convergence(ctx, "job-404"); !IsNotFound(err) {
+		t.Fatalf("Convergence(unknown) = %v, want 404", err)
+	}
+}

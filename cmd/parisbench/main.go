@@ -11,10 +11,12 @@
 // mixes (single-key GETs, 64-key batch POSTs, normalized misses, and three
 // conjunctive-query shapes over the aligned union KB) against -target, or
 // an in-process parisd when -target is empty, writing latency quantiles,
-// throughput, and scraped /metrics deltas to -out:
+// throughput, scraped /metrics deltas, and a Go-runtime summary (GC cycles
+// and pause time induced by the load, goroutine/heap peaks sampled mid-run)
+// to -out:
 //
 //	parisbench -load [-target http://host:7171] [-duration 2s]
-//	           [-concurrency 8] [-keys 300] [-out BENCH_7.json]
+//	           [-concurrency 8] [-keys 300] [-out BENCH_8.json]
 package main
 
 import (
@@ -37,7 +39,7 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Second, "measured window per load mix")
 	concurrency := flag.Int("concurrency", 8, "closed-loop workers per load mix")
 	keys := flag.Int("keys", 300, "corpus size in matched persons for the load run")
-	out := flag.String("out", "BENCH_7.json", "load report output path")
+	out := flag.String("out", "BENCH_8.json", "load report output path")
 	flag.Parse()
 
 	if *load {
@@ -98,6 +100,10 @@ func runLoad(opts bench.LoadOptions, out string) {
 	for _, m := range rep.Mixes {
 		fmt.Printf("%-16s %9d %7d %12.1f %9.3f %9.3f %9.3f\n",
 			m.Mix, m.Requests, m.Errors, m.Throughput, m.P50Ms, m.P90Ms, m.P99Ms)
+	}
+	if rt := rep.Runtime; rt != nil {
+		fmt.Printf("runtime: %.0f GC cycles, %.1f ms pause, peak %.0f goroutines, peak heap %.1f MiB\n",
+			rt.GCCycles, rt.GCPauseSeconds*1000, rt.PeakGoroutines, rt.PeakHeapInUse/(1<<20))
 	}
 	fmt.Printf("report written to %s (%d server metric deltas)\n", out, len(rep.MetricDeltas))
 }

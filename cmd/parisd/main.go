@@ -24,15 +24,20 @@
 //	GET    /v1/snapshots  persisted snapshot versions with lineage
 //	GET    /v1/snapshots/{id}  export one snapshot (binary encoding)
 //	PUT    /v1/snapshots/{id}  publish a pre-computed snapshot under that ID
+//	GET    /v1/jobs/{id}/convergence  per-iteration fixpoint movement of a job
 //	GET    /v1/stats      serving statistics
-//	GET    /v1/healthz    liveness probe
-//	GET    /metrics       Prometheus text exposition (HTTP/jobs/ingest/fixpoint)
+//	GET    /v1/healthz    liveness probe (process up)
+//	GET    /v1/readyz     readiness probe (503 until a snapshot serves)
+//	GET    /metrics       Prometheus text exposition (HTTP/jobs/ingest/fixpoint/Go runtime)
 //
 // Every request is traced: an X-Paris-Trace header ("<trace>-<span>") is
-// honored and re-parented, and each request logs one span line with its
-// duration and route. -debug-addr adds a separate listener with /metrics
-// and /debug/pprof. Abandoned upload spools (*.partial older than
-// server.Options.SpoolTTL, default 24h) are garbage-collected at startup.
+// honored and re-parented, each request logs one span line with its
+// duration and route, and an in-process flight recorder retains the span
+// trees of slow (per-route p99-exceeding) and errored requests.
+// -debug-addr adds a separate listener with /metrics, /debug/pprof, and
+// GET /debug/traces (the retained trees; ?route=&min_ms=&errors=1&format=text).
+// Abandoned upload spools (*.partial older than server.Options.SpoolTTL,
+// default 24h) are garbage-collected at startup.
 //
 // POST /v1/deltas ingests added triples against a published snapshot and
 // re-runs the fixpoint warm-started from it, publishing a new snapshot whose
@@ -142,7 +147,7 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	debugSrv := serveDebug(*debugAddr, srv.MetricsRegistry(), "parisd")
+	debugSrv := serveDebug(*debugAddr, srv.MetricsRegistry(), srv.Recorder(), "parisd")
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -177,19 +182,20 @@ func main() {
 	}
 }
 
-// serveDebug starts the opt-in debug listener: /metrics plus /debug/pprof on
-// an address that can stay firewalled off from the serving one.
-func serveDebug(addr string, reg *obs.Registry, name string) *http.Server {
+// serveDebug starts the opt-in debug listener: /metrics, /debug/pprof, and
+// the flight recorder's /debug/traces on an address that can stay
+// firewalled off from the serving one.
+func serveDebug(addr string, reg *obs.Registry, col *obs.Collector, name string) *http.Server {
 	if addr == "" {
 		return nil
 	}
 	s := &http.Server{
 		Addr:              addr,
-		Handler:           obs.DebugMux(reg),
+		Handler:           obs.DebugMux(reg, col),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() {
-		log.Printf("%s: debug listener (metrics + pprof) on %s", name, addr)
+		log.Printf("%s: debug listener (metrics + pprof + traces) on %s", name, addr)
 		if err := s.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("%s: debug listener: %v", name, err)
 		}

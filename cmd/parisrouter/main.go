@@ -17,13 +17,15 @@
 //	GET  /v1/snapshots  deployment versions; "current" is the routing epoch
 //	POST /v1/refresh    advance the routing epoch (publisher hook)
 //	GET  /v1/stats      router statistics
-//	GET  /v1/healthz    liveness probe
-//	GET  /metrics       Prometheus text exposition (HTTP, per-shard fan-out, epoch)
+//	GET  /v1/healthz    liveness probe (process up)
+//	GET  /v1/readyz     readiness probe (503 until the first epoch flip)
+//	GET  /metrics       Prometheus text exposition (HTTP, per-shard fan-out, epoch, Go runtime)
 //
 // Incoming X-Paris-Trace headers are re-parented onto every shard
-// sub-request, so one trace ID ties a routed read to its shard-side span
-// logs. -debug-addr adds a separate listener with /metrics and
-// /debug/pprof.
+// sub-request (each fan-out leg gets its own "shard" span), so one trace ID
+// ties a routed read to its shard-side span logs, and the router's flight
+// recorder retains slow/errored scatter trees. -debug-addr adds a separate
+// listener with /metrics, /debug/pprof, and GET /debug/traces.
 //
 // Publication is two-phase: a publisher splits one snapshot into per-shard
 // slices and pushes them under a common ID (PUT /v1/snapshots/{id} on each
@@ -107,11 +109,11 @@ func main() {
 	if *debugAddr != "" {
 		debugSrv = &http.Server{
 			Addr:              *debugAddr,
-			Handler:           obs.DebugMux(rt.MetricsRegistry()),
+			Handler:           obs.DebugMux(rt.MetricsRegistry(), rt.Recorder()),
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		go func() {
-			log.Printf("parisrouter: debug listener (metrics + pprof) on %s", *debugAddr)
+			log.Printf("parisrouter: debug listener (metrics + pprof + traces) on %s", *debugAddr)
 			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("parisrouter: debug listener: %v", err)
 			}

@@ -4,10 +4,12 @@ package bench
 // endpoint with concurrent read traffic in six mixes — single-key GETs,
 // 64-key batch POSTs, normalized-lookup misses, and three conjunctive-query
 // shapes over the aligned union KB (single pattern, cross-KB join, type
-// scan) — and records exact latency quantiles, throughput, and the
-// server-side metric deltas scraped from /metrics. cmd/parisbench -load
-// writes the report as BENCH_<n>.json so the perf trajectory of the serving
-// stack is committed alongside the paper-reproduction numbers.
+// scan) — and records exact latency quantiles, throughput, the server-side
+// metric deltas scraped from /metrics, and a Go-runtime summary (GC work
+// induced by the load, plus goroutine/heap peaks sampled mid-run).
+// cmd/parisbench -load writes the report as BENCH_<n>.json so the perf
+// trajectory of the serving stack is committed alongside the
+// paper-reproduction numbers.
 
 import (
 	"encoding/json"
@@ -110,6 +112,22 @@ type LoadReport struct {
 	CorpusKeys   int                `json:"corpus_keys"`
 	Mixes        []MixResult        `json:"mixes"`
 	MetricDeltas map[string]float64 `json:"server_metric_deltas,omitempty"`
+	Runtime      *RuntimeDeltas     `json:"runtime,omitempty"`
+}
+
+// RuntimeDeltas summarizes the server's Go runtime behavior across the run,
+// from the <prefix>_go_* families every daemon exposes: how much garbage
+// collection the load induced, and the concurrency/memory high-water marks
+// sampled mid-run (gauges, so the before/after scrapes alone would miss the
+// peaks).
+type RuntimeDeltas struct {
+	GCCycles          float64 `json:"gc_cycles"`
+	GCPauseCount      float64 `json:"gc_pause_count"`
+	GCPauseSeconds    float64 `json:"gc_pause_seconds"`
+	PeakGoroutines    float64 `json:"peak_goroutines"`
+	PeakHeapInUse     float64 `json:"peak_heap_inuse_bytes"`
+	SamplesTaken      int     `json:"samples_taken"`
+	SampleIntervalSec float64 `json:"sample_interval_seconds"`
 }
 
 // RunLoad executes the six mixes against the target and returns the report.
@@ -142,6 +160,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	}
 
 	before := scrape(base)
+	sampler := startRuntimeSampler(base)
 	report := &LoadReport{
 		Schema:      LoadReportSchema,
 		Target:      targetName,
@@ -211,8 +230,104 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		res.Mix, res.Description, res.KeysPerReq = mix.name, mix.desc, mix.perReq
 		report.Mixes = append(report.Mixes, res)
 	}
-	report.MetricDeltas = metricDeltas(before, scrape(base))
+	after := scrape(base)
+	report.MetricDeltas = metricDeltas(before, after)
+	report.Runtime = sampler.stop(before, after)
 	return report, nil
+}
+
+// runtimeSampleInterval paces the mid-run gauge sampler: frequent enough to
+// catch goroutine/heap peaks inside a 2s mix, cheap enough (one /metrics GET)
+// not to perturb the measurement.
+const runtimeSampleInterval = 250 * time.Millisecond
+
+// runtimeSampler polls the target's /metrics in the background to track
+// gauge high-water marks while the mixes run.
+type runtimeSampler struct {
+	stopCh chan struct{}
+	done   chan struct{}
+
+	mu             sync.Mutex
+	samples        int
+	peakGoroutines float64
+	peakHeap       float64
+}
+
+func startRuntimeSampler(base string) *runtimeSampler {
+	s := &runtimeSampler{stopCh: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(runtimeSampleInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stopCh:
+				return
+			case <-t.C:
+				s.observe(scrape(base))
+			}
+		}
+	}()
+	return s
+}
+
+func (s *runtimeSampler) observe(m map[string]float64) {
+	if m == nil {
+		return
+	}
+	g, okG := seriesBySuffix(m, "_go_goroutines")
+	h, okH := seriesBySuffix(m, "_go_heap_inuse_bytes")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples++
+	if okG && g > s.peakGoroutines {
+		s.peakGoroutines = g
+	}
+	if okH && h > s.peakHeap {
+		s.peakHeap = h
+	}
+}
+
+// stop ends the sampler and folds the before/after scrapes into the summary:
+// cumulative GC families come from the scrape deltas, the peaks from the
+// mid-run samples (seeded with both endpoint scrapes so a short run with no
+// tick still reports the gauges). Returns nil when the target exposes no
+// runtime families — an older daemon, or no /metrics at all.
+func (s *runtimeSampler) stop(before, after map[string]float64) *RuntimeDeltas {
+	close(s.stopCh)
+	<-s.done
+	s.observe(before)
+	s.observe(after)
+	if _, ok := seriesBySuffix(after, "_go_goroutines"); !ok {
+		return nil
+	}
+	delta := func(suffix string) float64 {
+		a, _ := seriesBySuffix(after, suffix)
+		b, _ := seriesBySuffix(before, suffix)
+		return a - b
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &RuntimeDeltas{
+		GCCycles:          delta("_go_gc_cycles_total"),
+		GCPauseCount:      delta("_go_gc_pause_seconds_count"),
+		GCPauseSeconds:    round6(delta("_go_gc_pause_seconds_sum")),
+		PeakGoroutines:    s.peakGoroutines,
+		PeakHeapInUse:     s.peakHeap,
+		SamplesTaken:      s.samples,
+		SampleIntervalSec: runtimeSampleInterval.Seconds(),
+	}
+}
+
+// seriesBySuffix finds the one runtime series ending in suffix regardless of
+// the daemon's metric prefix (paris_ on parisd, paris_router_ on the router).
+func seriesBySuffix(m map[string]float64, suffix string) (float64, bool) {
+	for series, v := range m {
+		if strings.HasSuffix(series, suffix) {
+			return v, true
+		}
+	}
+	return 0, false
 }
 
 // startInProcess aligns a synthetic corpus and serves it from a local parisd.
@@ -313,6 +428,12 @@ func quantile(sorted []float64, q float64) float64 {
 
 func round3(v float64) float64 {
 	return float64(int64(v*1000+0.5)) / 1000
+}
+
+// round6 keeps microsecond precision for GC pause totals, which are far
+// below the millisecond granularity round3 assumes.
+func round6(v float64) float64 {
+	return float64(int64(v*1e6+0.5)) / 1e6
 }
 
 // postQuery issues one conjunctive query with the mix's shared row limit.

@@ -64,6 +64,25 @@ func TestLoadGeneratorSmoke(t *testing.T) {
 	if hits := rep.MetricDeltas["paris_query_plan_cache_hits_total"]; hits < wantQueries-3 {
 		t.Errorf("plan-cache hits %v across %v queries", hits, wantQueries)
 	}
+	// The runtime summary rides along: parisd exposes the paris_go_* families,
+	// so the sampler must have found the gauges (both endpoint scrapes count
+	// as samples even if no mid-run tick fired in a short window).
+	rt := rep.Runtime
+	if rt == nil {
+		t.Fatal("report has no runtime summary")
+	}
+	if rt.PeakGoroutines <= 0 {
+		t.Errorf("peak goroutines %v, want > 0", rt.PeakGoroutines)
+	}
+	if rt.PeakHeapInUse <= 0 {
+		t.Errorf("peak heap in-use %v, want > 0", rt.PeakHeapInUse)
+	}
+	if rt.SamplesTaken < 2 {
+		t.Errorf("sampler took %d samples, want >= 2", rt.SamplesTaken)
+	}
+	if rt.GCCycles < 0 || rt.GCPauseSeconds < 0 {
+		t.Errorf("negative GC deltas: %+v", rt)
+	}
 }
 
 // TestBenchReportSchema validates every committed BENCH_*.json at the repo

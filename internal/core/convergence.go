@@ -1,0 +1,72 @@
+package core
+
+// Convergence introspection for the fixpoint of Section 5.1. The iteration
+// counter and changed-fraction say *that* the loop is moving; the numbers
+// here say *how*: did the maximal assignment grow, churn between targets,
+// or shed pairs, and where do its scores sit. An OnIteration hook calls
+// Convergence() and ships the snapshot to the flight recorder, which serves
+// it at GET /v1/jobs/{id}/convergence.
+
+// ConvergenceScoreBuckets is the number of equal-width probability buckets
+// in ConvergenceStats.ScoreBuckets.
+const ConvergenceScoreBuckets = 10
+
+// ConvergenceStats describes how the maximal instance assignment moved in
+// the iteration that just completed, relative to the one before it.
+type ConvergenceStats struct {
+	Iteration       int     // 1-based index of the completed iteration
+	Assigned        int     // ontology-1 entities with a maximal assignment
+	NewPairs        int     // assigned now, unassigned before
+	ChangedPairs    int     // assigned in both, to a different target
+	DroppedPairs    int     // assigned before, unassigned now
+	ChangedFraction float64 // the run's convergence criterion, as in IterationStats
+
+	// ScoreBuckets histograms the probabilities of the current maximal
+	// assignments into ConvergenceScoreBuckets equal-width buckets over
+	// [0,1] (the last bucket includes 1.0). A healthy run drains the
+	// middle buckets into the top one as evidence accumulates.
+	ScoreBuckets [ConvergenceScoreBuckets]int
+}
+
+// Convergence compares the current maximal assignment against the previous
+// iteration's and summarizes the movement. Valid inside an OnIteration
+// hook or after any Step; before the first iteration everything is zero.
+func (a *Aligner) Convergence() ConvergenceStats {
+	var s ConvergenceStats
+	if len(a.iters) > 0 {
+		last := a.iters[len(a.iters)-1]
+		s.Iteration = last.Iteration
+		s.ChangedFraction = last.ChangedFraction
+	}
+	if a.eq == nil {
+		return s
+	}
+	for x := range a.eq.maxFwd {
+		cur := a.eq.maxFwd[x]
+		old := Cand{To: NoResource}
+		if a.prevEq != nil {
+			old = a.prevEq.maxFwd[x]
+		}
+		if cur.To != NoResource {
+			s.Assigned++
+			b := int(cur.P * ConvergenceScoreBuckets)
+			if b >= ConvergenceScoreBuckets {
+				b = ConvergenceScoreBuckets - 1
+			}
+			if b < 0 {
+				b = 0
+			}
+			s.ScoreBuckets[b]++
+		}
+		switch {
+		case cur.To == NoResource && old.To == NoResource:
+		case old.To == NoResource:
+			s.NewPairs++
+		case cur.To == NoResource:
+			s.DroppedPairs++
+		case cur.To != old.To:
+			s.ChangedPairs++
+		}
+	}
+	return s
+}

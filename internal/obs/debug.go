@@ -1,0 +1,218 @@
+package obs
+
+// GET /debug/traces — the human side of the flight recorder. Serves the
+// retained slow/error traces plus whatever full trees are still
+// assemblable from the recent ring, as JSON (default) or indented text
+// (?format=text), filterable by route family, minimum root duration, and
+// errors-only. Mounted on the DebugMux, never the public API listener.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TraceView is one trace in the /debug/traces response.
+type TraceView struct {
+	TraceID     string    `json:"trace"`
+	Family      string    `json:"family"`
+	Reason      string    `json:"reason"` // "slow", "error", or "recent"
+	DurationMS  float64   `json:"duration_ms"`
+	ThresholdMS float64   `json:"threshold_ms,omitempty"`
+	RetainedAt  time.Time `json:"retained_at,omitempty"`
+	Root        *TreeView `json:"root"`
+}
+
+// TreeView is one span node of a trace tree.
+type TreeView struct {
+	Name       string            `json:"name"`
+	SpanID     string            `json:"span"`
+	ParentID   string            `json:"parent,omitempty"`
+	Start      time.Time         `json:"start"`
+	DurationMS float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Err        string            `json:"err,omitempty"`
+	Children   []*TreeView       `json:"children,omitempty"`
+}
+
+func toTreeView(n *SpanTree) *TreeView {
+	v := &TreeView{
+		Name:       n.Name,
+		SpanID:     n.SpanID,
+		ParentID:   n.ParentID,
+		Start:      n.Start,
+		DurationMS: float64(n.Duration) / float64(time.Millisecond),
+		Err:        n.Err,
+	}
+	if len(n.Attrs) > 0 {
+		v.Attrs = make(map[string]string, len(n.Attrs))
+		for _, a := range n.Attrs {
+			v.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, c := range n.Children {
+		v.Children = append(v.Children, toTreeView(c))
+	}
+	return v
+}
+
+// tracesQuery is the parsed filter set.
+type tracesQuery struct {
+	route      string
+	minMS      float64
+	errorsOnly bool
+	limit      int
+	text       bool
+}
+
+func parseTracesQuery(r *http.Request) (tracesQuery, error) {
+	q := tracesQuery{limit: 32}
+	vals := r.URL.Query()
+	q.route = vals.Get("route")
+	if s := vals.Get("min_ms"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 0 {
+			return q, fmt.Errorf("bad min_ms %q", s)
+		}
+		q.minMS = v
+	}
+	switch s := vals.Get("errors"); s {
+	case "", "0", "false":
+	case "1", "true":
+		q.errorsOnly = true
+	default:
+		return q, fmt.Errorf("bad errors %q", s)
+	}
+	if s := vals.Get("limit"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			return q, fmt.Errorf("bad limit %q", s)
+		}
+		q.limit = v
+	}
+	q.text = vals.Get("format") == "text"
+	return q, nil
+}
+
+// TracesHandler serves the collector's retained and recent traces. Filters:
+// route= (substring match on the route family), min_ms= (root duration at
+// least this), errors=1 (error traces only), limit= (default 32),
+// format=text for the human rendering.
+func TracesHandler(col *Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q, err := parseTracesQuery(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+
+		// Retained traces first (complete trees frozen at retention
+		// time), then trees still assemblable from the recent ring.
+		views := make([]TraceView, 0, 16)
+		seen := make(map[string]bool)
+		add := func(family, reason string, thresholdMS float64, at time.Time, root *SpanTree) {
+			key := root.TraceID + "/" + root.SpanID
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			durMS := float64(root.Duration) / float64(time.Millisecond)
+			if q.route != "" && !strings.Contains(family, q.route) {
+				return
+			}
+			if durMS < q.minMS {
+				return
+			}
+			if q.errorsOnly && reason != "error" && !treeHasErr(root) {
+				return
+			}
+			views = append(views, TraceView{
+				TraceID: root.TraceID, Family: family, Reason: reason,
+				DurationMS: durMS, ThresholdMS: thresholdMS,
+				RetainedAt: at, Root: toTreeView(root),
+			})
+		}
+		for _, rt := range col.ErrorTraces() {
+			for _, root := range retainedRoots(rt) {
+				add(rt.Family, rt.Reason, rt.ThresholdMS, rt.RetainedAt, root)
+			}
+		}
+		for _, rt := range col.SlowTraces() {
+			for _, root := range retainedRoots(rt) {
+				add(rt.Family, rt.Reason, rt.ThresholdMS, rt.RetainedAt, root)
+			}
+		}
+		for _, root := range AssembleTrees(col.Recent()) {
+			add(root.Family(), "recent", 0, time.Time{}, root)
+		}
+
+		sort.SliceStable(views, func(i, j int) bool { return views[i].DurationMS > views[j].DurationMS })
+		if len(views) > q.limit {
+			views = views[:q.limit]
+		}
+
+		if q.text {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, v := range views {
+				fmt.Fprintf(w, "trace %s family=%q reason=%s dur_ms=%.3f", v.TraceID, v.Family, v.Reason, v.DurationMS)
+				if v.ThresholdMS > 0 {
+					fmt.Fprintf(w, " threshold_ms=%.3f", v.ThresholdMS)
+				}
+				fmt.Fprintln(w)
+				writeTreeText(w, v.Root, 1)
+				fmt.Fprintln(w)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Traces []TraceView `json:"traces"`
+		}{Traces: views})
+	})
+}
+
+// retainedRoots re-assembles a retained trace's span set; the root that
+// triggered retention comes out first.
+func retainedRoots(rt RetainedTrace) []*SpanTree {
+	roots := AssembleTrees(rt.Spans)
+	sort.SliceStable(roots, func(i, j int) bool {
+		return roots[i].SpanID == rt.Root.SpanID && roots[j].SpanID != rt.Root.SpanID
+	})
+	return roots
+}
+
+func treeHasErr(n *SpanTree) bool {
+	if n.Err != "" {
+		return true
+	}
+	for _, c := range n.Children {
+		if treeHasErr(c) {
+			return true
+		}
+	}
+	return false
+}
+
+func writeTreeText(w io.Writer, n *TreeView, depth int) {
+	fmt.Fprintf(w, "%s%s dur_ms=%.3f", strings.Repeat("  ", depth), n.Name, n.DurationMS)
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, " %s=%s", k, n.Attrs[k])
+	}
+	if n.Err != "" {
+		fmt.Fprintf(w, " err=%q", n.Err)
+	}
+	fmt.Fprintln(w)
+	for _, c := range n.Children {
+		writeTreeText(w, c, depth+1)
+	}
+}

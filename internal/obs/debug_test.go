@@ -1,0 +1,149 @@
+package obs
+
+// /debug/traces handler tests: the filter matrix (route substring, minimum
+// duration, errors-only, limit), both renderings, parameter validation, and
+// the ordering/dedup rules (slowest first, a retained trace never repeated
+// from the recent ring).
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// tracesCollector builds a collector holding one retained slow trace
+// (50ms, GET /v1/sameas, with a child span), one retained error trace
+// (5ms, GET /v1/jobs), and uniform 1ms recent traffic.
+func tracesCollector(t *testing.T) *Collector {
+	t.Helper()
+	c := NewCollector(CollectorConfig{})
+	lookup := Attr{Key: "route", Value: "GET /v1/sameas"}
+	for i := 0; i < 40; i++ {
+		c.Observe(span("http", "uni"+string(rune('a'+i%26))+string(rune('a'+i/26)), "a", "", 1, lookup))
+	}
+	c.spanStarted(Trace{TraceID: "slow1", SpanID: "root"})
+	c.Observe(span("exec", "slow1", "child", "root", 40))
+	c.Observe(span("http", "slow1", "root", "", 50, lookup))
+
+	errRoot := span("http", "err1", "root", "", 5, Attr{Key: "route", Value: "GET /v1/jobs"})
+	errRoot.Err = "http 500"
+	c.Observe(errRoot)
+
+	if len(c.SlowTraces()) != 1 || len(c.ErrorTraces()) != 1 {
+		t.Fatalf("fixture: %d slow, %d error traces", len(c.SlowTraces()), len(c.ErrorTraces()))
+	}
+	return c
+}
+
+// getTraces runs one request through the handler and decodes the JSON body.
+func getTraces(t *testing.T, c *Collector, query string) (int, []TraceView) {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	TracesHandler(c).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces"+query, nil))
+	if rr.Code != 200 {
+		return rr.Code, nil
+	}
+	var body struct {
+		Traces []TraceView `json:"traces"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rr.Body.String())
+	}
+	return rr.Code, body.Traces
+}
+
+func TestTracesHandlerFilters(t *testing.T) {
+	c := tracesCollector(t)
+
+	// Unfiltered: slowest first, the retained slow trace leads with its
+	// child tree and threshold, and it is not repeated as "recent".
+	_, all := getTraces(t, c, "")
+	if len(all) < 3 {
+		t.Fatalf("unfiltered returned %d traces", len(all))
+	}
+	top := all[0]
+	if top.TraceID != "slow1" || top.Reason != "slow" || top.DurationMS != 50 {
+		t.Fatalf("top trace %+v, want slow1/slow/50ms", top)
+	}
+	if top.ThresholdMS != 1 {
+		t.Errorf("top threshold %v, want 1", top.ThresholdMS)
+	}
+	if top.Root == nil || len(top.Root.Children) != 1 || top.Root.Children[0].Name != "exec" {
+		t.Errorf("retained tree lost its child span: %+v", top.Root)
+	}
+	slowSeen := 0
+	for _, v := range all {
+		if v.TraceID == "slow1" {
+			slowSeen++
+		}
+		if v.DurationMS > top.DurationMS {
+			t.Errorf("ordering violated: %v ms after %v ms", v.DurationMS, top.DurationMS)
+		}
+	}
+	if slowSeen != 1 {
+		t.Errorf("slow1 appears %d times, want 1 (dedup against recent)", slowSeen)
+	}
+
+	// route= is a substring match on the family.
+	_, jobs := getTraces(t, c, "?route=/v1/jobs")
+	if len(jobs) != 1 || jobs[0].TraceID != "err1" {
+		t.Fatalf("route filter returned %+v", jobs)
+	}
+
+	// min_ms= cuts on root duration: only the 50ms outlier survives 10ms.
+	_, slow := getTraces(t, c, "?min_ms=10")
+	if len(slow) != 1 || slow[0].TraceID != "slow1" {
+		t.Fatalf("min_ms filter returned %+v", slow)
+	}
+
+	// errors=1 keeps only traces that errored.
+	_, errs := getTraces(t, c, "?errors=1")
+	if len(errs) != 1 || errs[0].TraceID != "err1" || errs[0].Reason != "error" {
+		t.Fatalf("errors filter returned %+v", errs)
+	}
+
+	// limit= truncates after sorting, so the slowest survive.
+	_, limited := getTraces(t, c, "?limit=2")
+	if len(limited) != 2 || limited[0].TraceID != "slow1" {
+		t.Fatalf("limit filter returned %+v", limited)
+	}
+
+	// Filters compose: a min_ms no recent trace reaches plus errors-only
+	// leaves nothing.
+	_, none := getTraces(t, c, "?errors=1&min_ms=10")
+	if len(none) != 0 {
+		t.Fatalf("composed filters returned %+v", none)
+	}
+}
+
+func TestTracesHandlerText(t *testing.T) {
+	c := tracesCollector(t)
+	rr := httptest.NewRecorder()
+	TracesHandler(c).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces?format=text&min_ms=10", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	text := rr.Body.String()
+	for _, want := range []string{
+		"trace slow1", "reason=slow", "dur_ms=50.000", "threshold_ms=1.000",
+		"\n  http", "\n    exec", // indentation mirrors the tree
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text rendering missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTracesHandlerBadParams(t *testing.T) {
+	c := NewCollector(CollectorConfig{})
+	for _, q := range []string{"?min_ms=abc", "?min_ms=-1", "?errors=maybe", "?limit=0", "?limit=x"} {
+		code, _ := getTraces(t, c, q)
+		if code != 400 {
+			t.Errorf("%s: status %d, want 400", q, code)
+		}
+	}
+}

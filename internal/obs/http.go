@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -18,7 +19,13 @@ type HTTPMetrics struct {
 	requests *CounterVec   // route, method, code
 	latency  *HistogramVec // route
 	inflight *Gauge
+	col      *Collector // optional flight recorder, attached to request contexts
 }
+
+// AttachCollector wires the flight recorder into the middleware: every
+// request context carries it, so the http span and everything started
+// under it (query.plan, shard fan-outs, ...) is recorded.
+func (m *HTTPMetrics) AttachCollector(c *Collector) { m.col = c }
 
 // NewHTTPMetrics registers the HTTP instrument family under prefix (for
 // example "paris_http" → paris_http_requests_total,
@@ -80,6 +87,9 @@ func (m *HTTPMetrics) Middleware(route func(*http.Request) string, logf func(for
 		if t, ok := Extract(r.Header); ok {
 			ctx = WithTrace(ctx, t)
 		}
+		if m.col != nil {
+			ctx = WithCollector(ctx, m.col)
+		}
 		ctx, sp := StartSpan(ctx, logf, "http")
 		sp.Set("method", r.Method)
 		sp.Set("route", pattern)
@@ -99,6 +109,9 @@ func (m *HTTPMetrics) Middleware(route func(*http.Request) string, logf func(for
 		hist.Observe(elapsed.Seconds())
 		m.requests.With(pattern, r.Method, strconv.Itoa(sw.code)).Inc()
 		sp.Set("status", sw.code)
+		if sw.code >= 500 {
+			sp.Fail(fmt.Errorf("http %d", sw.code))
+		}
 		sp.End()
 	})
 }
@@ -113,12 +126,16 @@ func MetricsHandler(reg *Registry) http.Handler {
 }
 
 // DebugMux is the opt-in debug surface served on a separate -debug-addr
-// listener: the process metrics plus net/http/pprof profiling endpoints.
-// Keeping it off the public API listener means profiling is never exposed
-// to lookup traffic.
-func DebugMux(reg *Registry) *http.ServeMux {
+// listener: the process metrics, net/http/pprof profiling endpoints, and —
+// when a flight recorder is attached (col may be nil) — the retained-trace
+// browser at /debug/traces. Keeping it off the public API listener means
+// none of this is ever exposed to lookup traffic.
+func DebugMux(reg *Registry, col *Collector) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(reg))
+	if col != nil {
+		mux.Handle("/debug/traces", TracesHandler(col))
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

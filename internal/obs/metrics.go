@@ -35,6 +35,16 @@ var DefBuckets = []float64{
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+	hooks    []func()
+}
+
+// OnScrape registers a hook run at the start of every WriteText call,
+// before any family renders. Sampled instruments (the Go runtime metrics)
+// use it to refresh their gauges at scrape time instead of polling.
+func (r *Registry) OnScrape(f func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, f)
+	r.mu.Unlock()
 }
 
 // NewRegistry returns an empty registry.
@@ -132,6 +142,12 @@ func escapeLabel(v string) string {
 // by name and children by label value, so two exposures of the same state
 // are byte-identical (the property the exposition golden test pins).
 func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	hooks := r.hooks
+	r.mu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for name := range r.families {
@@ -277,6 +293,24 @@ func (h *Histogram) Observe(v float64) {
 	for {
 		old := h.sumBits.Load()
 		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// addN folds n pre-counted observations of value v into the histogram in
+// two atomic adds (plus the sum CAS). The runtime-metrics bridge uses it
+// to replay GC-pause bucket deltas without n Observe calls.
+func (h *Histogram) addN(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(n)
+	h.count.Add(n)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v*float64(n))) {
 			return
 		}
 	}

@@ -1,0 +1,528 @@
+package obs
+
+// The flight recorder. PR 6 made spans log lines; this file makes them
+// data. A Collector is a per-process sink of finished SpanRecords held in
+// bounded memory: a "recent" ring buffer of every span, plus reservoirs
+// that *retain* whole traces worth keeping after the ring has moved on —
+// roots that exceeded their route family's nearest-rank p99 (computed over
+// a sliding window of recent root durations) and traces that contained an
+// error. Retention captures the full local span tree at the moment the
+// root ends, so /debug/traces can show the shape of an outlier request
+// (plan vs exec vs shard fan-out) minutes after it happened.
+//
+// The collector also carries the fixpoint introspection channel: per-job,
+// per-iteration ConvergenceRecords pushed from core.Config.OnIteration and
+// served at GET /v1/jobs/{id}/convergence.
+//
+// Everything is bounded and allocation-light: one mutex, fixed rings, and
+// a cached p99 threshold recomputed every few root observations rather
+// than per request.
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attr is one key=value pair attached to a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanRecord is one finished span: the structured form of the "span
+// name=... trace=..." log line.
+type SpanRecord struct {
+	Name     string        `json:"name"`
+	TraceID  string        `json:"trace"`
+	SpanID   string        `json:"span"`
+	ParentID string        `json:"parent,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// Attr returns the value of the named attribute, "" when absent.
+func (r *SpanRecord) Attr(key string) string {
+	for _, a := range r.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Family is the route family a root span is grouped under for slow-trace
+// retention: the "route" attribute when present (HTTP middleware sets it),
+// the span name otherwise (job roots, background work).
+func (r *SpanRecord) Family() string {
+	if route := r.Attr("route"); route != "" {
+		return route
+	}
+	return r.Name
+}
+
+// RetainedTrace is one trace the recorder decided to keep: the root span,
+// every span of the trace still present in the recent ring at retention
+// time, and why it was kept.
+type RetainedTrace struct {
+	TraceID     string       `json:"trace"`
+	Family      string       `json:"family"`
+	Reason      string       `json:"reason"` // "slow" or "error"
+	ThresholdMS float64      `json:"threshold_ms,omitempty"`
+	Root        SpanRecord   `json:"root"`
+	Spans       []SpanRecord `json:"spans"`
+	RetainedAt  time.Time    `json:"retained_at"`
+}
+
+// ConvergenceRecord is one fixpoint iteration seen through the eq-store:
+// how the maximal sameAs assignment moved and where its scores sit. Pushed
+// from core's OnIteration hook; obs stays core-independent by taking the
+// already-computed numbers.
+type ConvergenceRecord struct {
+	Iteration       int           `json:"iteration"`
+	Assigned        int           `json:"assigned"`
+	NewPairs        int           `json:"new_pairs"`
+	ChangedPairs    int           `json:"changed_pairs"`
+	DroppedPairs    int           `json:"dropped_pairs"`
+	ChangedFraction float64       `json:"changed_fraction"`
+	ScoreBuckets    []int         `json:"score_buckets"` // 10 buckets over [0,1]
+	WallTime        time.Duration `json:"wall_time"`
+}
+
+// CollectorConfig bounds the recorder. Zero values take defaults.
+type CollectorConfig struct {
+	RecentSpans   int // recent ring size (default 1024)
+	SlowPerFamily int // retained slow traces per route family (default 8)
+	ErrorTraces   int // retained error traces, process-wide (default 32)
+	Window        int // sliding window of root durations per family (default 256)
+	MaxFamilies   int // distinct route families tracked (default 64)
+	MaxConvJobs   int // jobs with convergence series (default 64, FIFO evict)
+	MaxConvIters  int // iterations kept per job (default 4096)
+}
+
+func (c *CollectorConfig) defaults() {
+	if c.RecentSpans <= 0 {
+		c.RecentSpans = 1024
+	}
+	if c.SlowPerFamily <= 0 {
+		c.SlowPerFamily = 8
+	}
+	if c.ErrorTraces <= 0 {
+		c.ErrorTraces = 32
+	}
+	if c.Window <= 0 {
+		c.Window = 256
+	}
+	if c.MaxFamilies <= 0 {
+		c.MaxFamilies = 64
+	}
+	if c.MaxConvJobs <= 0 {
+		c.MaxConvJobs = 64
+	}
+	if c.MaxConvIters <= 0 {
+		c.MaxConvIters = 4096
+	}
+}
+
+// Root-slowness thresholds are nearest-rank p99 over the family window,
+// recomputed every recalcEvery root observations once minWindow samples
+// exist — an O(w log w) sort amortized off the request path.
+const (
+	minWindow   = 32
+	recalcEvery = 32
+)
+
+// routeFamily is the per-route-family slow-trace state.
+type routeFamily struct {
+	window    []float64 // ring of recent root durations, ms
+	windowLen int       // filled portion
+	windowPos int
+	sinceCalc int
+	threshold float64 // cached nearest-rank p99 (ms); 0 until minWindow
+	slow      []RetainedTrace
+}
+
+// Collector is the per-process flight recorder. All methods are
+// goroutine-safe; a nil *Collector is a valid no-op receiver so span
+// plumbing never nil-checks.
+type Collector struct {
+	mu         sync.Mutex
+	cfg        CollectorConfig
+	ring       []SpanRecord    // recent spans, ring buffer
+	ringPos    int             // next write slot
+	ringLen    int             // filled portion
+	ringIdx    map[spanRef]int // ring slot of each held span, for parent lookups
+	traceCount map[string]int  // ring spans per trace, to skip retention scans
+	live       map[spanRef]struct{}
+	families   map[string]*routeFamily
+	famOrder   []string
+	errs       []RetainedTrace
+	errMarks   map[string]struct{} // traces that saw an errored span
+
+	conv      map[string][]ConvergenceRecord
+	convOrder []string
+}
+
+// NewCollector builds a recorder with the given bounds.
+func NewCollector(cfg CollectorConfig) *Collector {
+	cfg.defaults()
+	return &Collector{
+		cfg:        cfg,
+		ring:       make([]SpanRecord, cfg.RecentSpans),
+		ringIdx:    make(map[spanRef]int, cfg.RecentSpans),
+		traceCount: make(map[string]int),
+		live:       make(map[spanRef]struct{}),
+		families:   make(map[string]*routeFamily),
+		errMarks:   make(map[string]struct{}),
+		conv:       make(map[string][]ConvergenceRecord),
+	}
+}
+
+type collectorCtxKey struct{}
+
+// WithCollector attaches the recorder to a context; StartSpan picks it up
+// so every span opened under that context is recorded. HTTP middleware and
+// the job runner attach it at the edges.
+func WithCollector(ctx context.Context, c *Collector) context.Context {
+	if c == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, collectorCtxKey{}, c)
+}
+
+// CollectorFrom returns the context's recorder, nil when none is attached.
+func CollectorFrom(ctx context.Context) *Collector {
+	c, _ := ctx.Value(collectorCtxKey{}).(*Collector)
+	return c
+}
+
+// spanRef identifies one span as a comparable map key; a struct rather
+// than a concatenated string keeps the hot Observe path allocation-free.
+type spanRef struct{ trace, span string }
+
+// spanStarted registers an in-flight span so rootness of later spans can
+// be decided (a span whose parent is neither live nor in the ring came
+// from another process — it is a local root).
+func (c *Collector) spanStarted(t Trace) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if len(c.live) > 1<<16 {
+		// Leaked spans (End never called) should not grow without bound.
+		c.live = make(map[spanRef]struct{})
+	}
+	c.live[spanRef{t.TraceID, t.SpanID}] = struct{}{}
+	c.mu.Unlock()
+}
+
+// Observe records one finished span and, when it is a local root, runs the
+// retention decision for its trace.
+func (c *Collector) Observe(rec SpanRecord) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	delete(c.live, spanRef{rec.TraceID, rec.SpanID})
+	if rec.Err != "" {
+		if len(c.errMarks) > 4*c.cfg.ErrorTraces+256 {
+			// Error-storm guard: marks are only a retention hint.
+			c.errMarks = make(map[string]struct{})
+		}
+		c.errMarks[rec.TraceID] = struct{}{}
+	}
+
+	// Rootness before inserting rec itself: a local root's parent is
+	// either empty or a remote span we have never seen.
+	root := rec.ParentID == ""
+	if !root {
+		pk := spanRef{rec.TraceID, rec.ParentID}
+		if _, ok := c.live[pk]; !ok {
+			if _, ok := c.ringIdx[pk]; !ok {
+				root = true
+			}
+		}
+	}
+
+	// Insert into the recent ring, evicting the oldest occupant's index.
+	old := &c.ring[c.ringPos]
+	if c.ringLen == len(c.ring) {
+		delete(c.ringIdx, spanRef{old.TraceID, old.SpanID})
+		if n := c.traceCount[old.TraceID] - 1; n > 0 {
+			c.traceCount[old.TraceID] = n
+		} else {
+			delete(c.traceCount, old.TraceID)
+		}
+	}
+	c.ring[c.ringPos] = rec
+	c.ringIdx[spanRef{rec.TraceID, rec.SpanID}] = c.ringPos
+	c.traceCount[rec.TraceID]++
+	c.ringPos = (c.ringPos + 1) % len(c.ring)
+	if c.ringLen < len(c.ring) {
+		c.ringLen++
+	}
+
+	if !root {
+		return
+	}
+
+	fam := c.familyLocked(rec.Family())
+	durMS := float64(rec.Duration) / float64(time.Millisecond)
+	fam.window[fam.windowPos] = durMS
+	fam.windowPos = (fam.windowPos + 1) % len(fam.window)
+	if fam.windowLen < len(fam.window) {
+		fam.windowLen++
+	}
+	fam.sinceCalc++
+	if fam.windowLen >= minWindow && (fam.threshold == 0 || fam.sinceCalc >= recalcEvery) {
+		fam.threshold = nearestRankP99(fam.window[:fam.windowLen])
+		fam.sinceCalc = 0
+	}
+
+	slow := fam.windowLen >= minWindow && durMS > fam.threshold
+	_, isErr := c.errMarks[rec.TraceID]
+	delete(c.errMarks, rec.TraceID)
+	if !slow && !isErr {
+		return
+	}
+
+	spans := c.traceSpansLocked(rec)
+	if slow {
+		rt := RetainedTrace{
+			TraceID: rec.TraceID, Family: rec.Family(), Reason: "slow",
+			ThresholdMS: fam.threshold, Root: rec, Spans: spans,
+			RetainedAt: time.Now(),
+		}
+		fam.slow = append(fam.slow, rt)
+		if len(fam.slow) > c.cfg.SlowPerFamily {
+			fam.slow = fam.slow[len(fam.slow)-c.cfg.SlowPerFamily:]
+		}
+	}
+	if isErr {
+		rt := RetainedTrace{
+			TraceID: rec.TraceID, Family: rec.Family(), Reason: "error",
+			Root: rec, Spans: spans, RetainedAt: time.Now(),
+		}
+		c.errs = append(c.errs, rt)
+		if len(c.errs) > c.cfg.ErrorTraces {
+			c.errs = c.errs[len(c.errs)-c.cfg.ErrorTraces:]
+		}
+	}
+}
+
+func (c *Collector) familyLocked(name string) *routeFamily {
+	if f, ok := c.families[name]; ok {
+		return f
+	}
+	if len(c.families) >= c.cfg.MaxFamilies {
+		name = "~overflow"
+		if f, ok := c.families[name]; ok {
+			return f
+		}
+	}
+	f := &routeFamily{window: make([]float64, c.cfg.Window)}
+	c.families[name] = f
+	c.famOrder = append(c.famOrder, name)
+	return f
+}
+
+// traceSpansLocked copies every ring span of root's trace, oldest first.
+// root was inserted just before the call, so a trace count of one means the
+// root is the whole trace and the O(ring) scan is skipped — the common case
+// for requests that open no child spans.
+func (c *Collector) traceSpansLocked(root SpanRecord) []SpanRecord {
+	if c.traceCount[root.TraceID] == 1 {
+		return []SpanRecord{root}
+	}
+	var out []SpanRecord
+	start := c.ringPos - c.ringLen
+	for i := 0; i < c.ringLen; i++ {
+		slot := (start + i + len(c.ring)) % len(c.ring)
+		if c.ring[slot].TraceID == root.TraceID {
+			out = append(out, c.ring[slot])
+		}
+	}
+	return out
+}
+
+// nearestRankP99 returns the nearest-rank 99th percentile of vals: the
+// rank-th smallest, equivalently the m-th largest for m = n-rank+1. m is at
+// most ~1% of the window, so a selection scan over a tiny ascending buffer
+// beats sorting the window by two orders of magnitude — this runs under the
+// collector lock.
+func nearestRankP99(vals []float64) float64 {
+	n := len(vals)
+	rank := (99*n + 99) / 100 // ceil(0.99*n)
+	if rank < 1 {
+		rank = 1
+	}
+	m := n - rank + 1
+	if m > 16 {
+		// Only reachable with a window far beyond the default; fall back
+		// to the straightforward sort.
+		tmp := make([]float64, n)
+		copy(tmp, vals)
+		sort.Float64s(tmp)
+		return tmp[rank-1]
+	}
+	var topArr [16]float64
+	top := topArr[:0] // the m largest seen, ascending; top[0] is the answer
+	for _, v := range vals {
+		switch {
+		case len(top) < m:
+			i := len(top)
+			top = top[:i+1]
+			for i > 0 && top[i-1] > v {
+				top[i] = top[i-1]
+				i--
+			}
+			top[i] = v
+		case v > top[0]:
+			i := 0
+			for i+1 < m && top[i+1] < v {
+				top[i] = top[i+1]
+				i++
+			}
+			top[i] = v
+		}
+	}
+	return top[0]
+}
+
+// Recent returns a copy of the recent-span ring, oldest first.
+func (c *Collector) Recent() []SpanRecord {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SpanRecord, 0, c.ringLen)
+	start := c.ringPos - c.ringLen
+	for i := 0; i < c.ringLen; i++ {
+		out = append(out, c.ring[(start+i+len(c.ring))%len(c.ring)])
+	}
+	return out
+}
+
+// SlowTraces returns the retained slow traces across all route families,
+// oldest first within a family.
+func (c *Collector) SlowTraces() []RetainedTrace {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []RetainedTrace
+	for _, name := range c.famOrder {
+		out = append(out, c.families[name].slow...)
+	}
+	return out
+}
+
+// ErrorTraces returns the retained error traces, oldest first.
+func (c *Collector) ErrorTraces() []RetainedTrace {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]RetainedTrace, len(c.errs))
+	copy(out, c.errs)
+	return out
+}
+
+// Threshold returns the current slow threshold (ms) for a route family, 0
+// until its window has minWindow samples.
+func (c *Collector) Threshold(familyName string) float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.families[familyName]; ok {
+		return f.threshold
+	}
+	return 0
+}
+
+// ObserveConvergence appends one iteration record to the job's series.
+// Jobs beyond MaxConvJobs evict the oldest series; iterations beyond
+// MaxConvIters are dropped (a fixpoint that long has other problems).
+func (c *Collector) ObserveConvergence(jobID string, rec ConvergenceRecord) {
+	if c == nil || jobID == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	series, ok := c.conv[jobID]
+	if !ok {
+		for len(c.convOrder) >= c.cfg.MaxConvJobs {
+			delete(c.conv, c.convOrder[0])
+			c.convOrder = c.convOrder[1:]
+		}
+		c.convOrder = append(c.convOrder, jobID)
+	}
+	if len(series) >= c.cfg.MaxConvIters {
+		return
+	}
+	c.conv[jobID] = append(series, rec)
+}
+
+// Convergence returns a copy of the job's iteration series; ok=false when
+// the recorder holds nothing for the job (never ran here, or evicted).
+func (c *Collector) Convergence(jobID string) ([]ConvergenceRecord, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	series, ok := c.conv[jobID]
+	if !ok {
+		return nil, false
+	}
+	out := make([]ConvergenceRecord, len(series))
+	copy(out, series)
+	return out, true
+}
+
+// SpanTree is one span with its children, assembled from flat records.
+type SpanTree struct {
+	SpanRecord
+	Children []*SpanTree `json:"children,omitempty"`
+}
+
+// AssembleTrees links flat span records into parent→child trees. Spans
+// whose parent is absent from the input (true roots, or hops whose parent
+// lives in another process's recorder) become roots; merging the span sets
+// of a router and its shards therefore re-parents the shard hops under the
+// router's fan-out spans. Roots and children are ordered by start time.
+func AssembleTrees(spans []SpanRecord) []*SpanTree {
+	nodes := make(map[spanRef]*SpanTree, len(spans))
+	for i := range spans {
+		nodes[spanRef{spans[i].TraceID, spans[i].SpanID}] = &SpanTree{SpanRecord: spans[i]}
+	}
+	var roots []*SpanTree
+	for _, n := range nodes {
+		if n.ParentID != "" {
+			if p, ok := nodes[spanRef{n.TraceID, n.ParentID}]; ok && p != n {
+				p.Children = append(p.Children, n)
+				continue
+			}
+		}
+		roots = append(roots, n)
+	}
+	var sortTree func(ns []*SpanTree)
+	sortTree = func(ns []*SpanTree) {
+		sort.Slice(ns, func(i, j int) bool { return ns[i].Start.Before(ns[j].Start) })
+		for _, n := range ns {
+			sortTree(n.Children)
+		}
+	}
+	sortTree(roots)
+	return roots
+}

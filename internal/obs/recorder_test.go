@@ -1,0 +1,279 @@
+package obs
+
+// Flight-recorder tests: ring bounds and eviction, rootness against live and
+// remote parents, slow retention against the per-family nearest-rank p99,
+// error retention through child spans, convergence-series bounds, tree
+// assembly (including the router+shard merge re-parenting), and snapshot
+// reads racing observes (the -race matrix runs this package).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// span builds one finished SpanRecord with millisecond duration.
+func span(name, trace, id, parent string, durMS float64, attrs ...Attr) SpanRecord {
+	return SpanRecord{
+		Name: name, TraceID: trace, SpanID: id, ParentID: parent,
+		Start:    time.Unix(0, 0),
+		Duration: time.Duration(durMS * float64(time.Millisecond)),
+		Attrs:    attrs,
+	}
+}
+
+func TestCollectorRecentRingBounds(t *testing.T) {
+	c := NewCollector(CollectorConfig{RecentSpans: 4})
+	for i := 0; i < 10; i++ {
+		c.Observe(span("s", "t", fmt.Sprintf("sp%d", i), "", 1))
+	}
+	recent := c.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(recent))
+	}
+	// Oldest first, and only the newest four survive.
+	for i, r := range recent {
+		if want := fmt.Sprintf("sp%d", 6+i); r.SpanID != want {
+			t.Errorf("recent[%d] = %s, want %s", i, r.SpanID, want)
+		}
+	}
+}
+
+func TestCollectorNilNoOp(t *testing.T) {
+	var c *Collector
+	c.spanStarted(Trace{TraceID: "t", SpanID: "s"})
+	c.Observe(span("s", "t", "a", "", 1))
+	c.ObserveConvergence("j", ConvergenceRecord{})
+	if c.Recent() != nil || c.SlowTraces() != nil || c.ErrorTraces() != nil {
+		t.Error("nil collector returned non-nil snapshots")
+	}
+	if _, ok := c.Convergence("j"); ok {
+		t.Error("nil collector claims convergence data")
+	}
+	if c.Threshold("x") != 0 {
+		t.Error("nil collector has a threshold")
+	}
+}
+
+func TestCollectorSlowRetention(t *testing.T) {
+	c := NewCollector(CollectorConfig{})
+	attr := Attr{Key: "route", Value: "GET /v1/sameas"}
+	// Uniform traffic establishes the window; with a strict > comparison
+	// nothing that merely equals the p99 is retained.
+	for i := 0; i < 40; i++ {
+		c.Observe(span("http", fmt.Sprintf("t%d", i), "a", "", 1, attr))
+	}
+	if got := c.Threshold("GET /v1/sameas"); got != 1 {
+		t.Fatalf("threshold %v ms after uniform 1ms traffic, want 1", got)
+	}
+	if slow := c.SlowTraces(); len(slow) != 0 {
+		t.Fatalf("uniform traffic retained %d slow traces, want 0", len(slow))
+	}
+
+	// An outlier root crosses the threshold; its whole local tree (the
+	// child still in the ring) is frozen into the reservoir.
+	c.spanStarted(Trace{TraceID: "tx", SpanID: "root"})
+	c.Observe(span("plan", "tx", "child", "root", 10))
+	c.Observe(span("http", "tx", "root", "", 50, attr))
+	slow := c.SlowTraces()
+	if len(slow) != 1 {
+		t.Fatalf("retained %d slow traces, want 1", len(slow))
+	}
+	rt := slow[0]
+	if rt.Reason != "slow" || rt.Family != "GET /v1/sameas" || rt.TraceID != "tx" {
+		t.Errorf("retained trace %+v", rt)
+	}
+	if rt.ThresholdMS != 1 {
+		t.Errorf("threshold_ms %v, want 1", rt.ThresholdMS)
+	}
+	if len(rt.Spans) != 2 {
+		t.Fatalf("retained %d spans of the trace, want 2 (root + child)", len(rt.Spans))
+	}
+
+	// The reservoir is bounded per family, keeping the newest.
+	c2 := NewCollector(CollectorConfig{SlowPerFamily: 2})
+	for i := 0; i < 33; i++ {
+		c2.Observe(span("http", fmt.Sprintf("w%d", i), "a", "", 1, attr))
+	}
+	for i := 0; i < 5; i++ {
+		c2.Observe(span("http", fmt.Sprintf("s%d", i), "a", "", float64(100+i), attr))
+	}
+	slow = c2.SlowTraces()
+	if len(slow) != 2 {
+		t.Fatalf("family reservoir holds %d, want 2", len(slow))
+	}
+	if slow[len(slow)-1].TraceID != "s4" {
+		t.Errorf("newest retained trace %s, want s4", slow[len(slow)-1].TraceID)
+	}
+}
+
+func TestCollectorErrorRetention(t *testing.T) {
+	c := NewCollector(CollectorConfig{ErrorTraces: 2})
+	// A child error marks the trace even though the root itself succeeds.
+	c.spanStarted(Trace{TraceID: "te", SpanID: "root"})
+	child := span("shard", "te", "child", "root", 2)
+	child.Err = "boom"
+	c.Observe(child)
+	c.Observe(span("http", "te", "root", "", 5))
+	errs := c.ErrorTraces()
+	if len(errs) != 1 {
+		t.Fatalf("retained %d error traces, want 1", len(errs))
+	}
+	if errs[0].Reason != "error" || errs[0].TraceID != "te" || len(errs[0].Spans) != 2 {
+		t.Errorf("retained %+v", errs[0])
+	}
+	// The mark is consumed: a second root on the same trace is not retained.
+	c.Observe(span("http", "te", "root2", "", 5))
+	if errs := c.ErrorTraces(); len(errs) != 1 {
+		t.Fatalf("consumed error mark retained again: %d traces", len(errs))
+	}
+
+	// Process-wide bound keeps the newest errors.
+	for i := 0; i < 5; i++ {
+		r := span("http", fmt.Sprintf("e%d", i), "a", "", 1)
+		r.Err = "fail"
+		c.Observe(r)
+	}
+	errs = c.ErrorTraces()
+	if len(errs) != 2 {
+		t.Fatalf("error reservoir holds %d, want 2", len(errs))
+	}
+	if errs[1].TraceID != "e4" {
+		t.Errorf("newest error trace %s, want e4", errs[1].TraceID)
+	}
+}
+
+func TestCollectorRootness(t *testing.T) {
+	c := NewCollector(CollectorConfig{})
+	// A child ending while its parent is live is not a root: it must not
+	// feed the family window.
+	c.spanStarted(Trace{TraceID: "t1", SpanID: "p"})
+	for i := 0; i < 40; i++ {
+		c.Observe(span("inner", "t1", fmt.Sprintf("c%d", i), "p", 1))
+	}
+	if got := c.Threshold("inner"); got != 0 {
+		t.Errorf("non-root spans built a family window (threshold %v)", got)
+	}
+
+	// A span whose parent was never seen locally is a remote hop: a local
+	// root that does feed its family.
+	for i := 0; i < 40; i++ {
+		c.Observe(span("http", fmt.Sprintf("r%d", i), "a", "remote-parent", 1))
+	}
+	if got := c.Threshold("http"); got != 1 {
+		t.Errorf("remote-parent roots did not establish a threshold (got %v)", got)
+	}
+}
+
+func TestCollectorConvergenceBounds(t *testing.T) {
+	c := NewCollector(CollectorConfig{MaxConvJobs: 2, MaxConvIters: 3})
+	for i := 0; i < 5; i++ {
+		c.ObserveConvergence("j1", ConvergenceRecord{Iteration: i + 1})
+	}
+	recs, ok := c.Convergence("j1")
+	if !ok || len(recs) != 3 {
+		t.Fatalf("job series holds %d records (ok=%v), want 3", len(recs), ok)
+	}
+	for i, r := range recs {
+		if r.Iteration != i+1 {
+			t.Errorf("record %d has iteration %d", i, r.Iteration)
+		}
+	}
+	// New jobs FIFO-evict the oldest series.
+	c.ObserveConvergence("j2", ConvergenceRecord{Iteration: 1})
+	c.ObserveConvergence("j3", ConvergenceRecord{Iteration: 1})
+	if _, ok := c.Convergence("j1"); ok {
+		t.Error("oldest job series survived eviction")
+	}
+	if _, ok := c.Convergence("j3"); !ok {
+		t.Error("newest job series missing")
+	}
+	if _, ok := c.Convergence("unknown"); ok {
+		t.Error("unknown job reported ok")
+	}
+}
+
+func TestAssembleTreesReparenting(t *testing.T) {
+	// The router's recorder saw the http root and its fan-out spans; the
+	// shard's recorder saw its own http span parented on a router span it
+	// never observed locally. Merged, the shard hop re-parents under the
+	// fan-out span; alone, it is a root.
+	routerSpans := []SpanRecord{
+		span("shard", "t", "fan1", "root", 5),
+		span("http", "t", "root", "client", 10),
+		span("shard", "t", "fan0", "root", 4),
+	}
+	shardSpans := []SpanRecord{
+		span("http", "t", "sh0", "fan0", 3),
+		span("http", "t", "sh1", "fan1", 4),
+	}
+
+	alone := AssembleTrees(shardSpans)
+	if len(alone) != 2 {
+		t.Fatalf("shard spans alone form %d roots, want 2", len(alone))
+	}
+
+	merged := AssembleTrees(append(append([]SpanRecord{}, routerSpans...), shardSpans...))
+	if len(merged) != 1 {
+		t.Fatalf("merged set forms %d roots, want 1", len(merged))
+	}
+	root := merged[0]
+	if root.SpanID != "root" || len(root.Children) != 2 {
+		t.Fatalf("root %s has %d children, want span 'root' with 2", root.SpanID, len(root.Children))
+	}
+	// Children ordered by start; both fan-outs carry their shard hop.
+	for _, fan := range root.Children {
+		if fan.Name != "shard" || len(fan.Children) != 1 {
+			t.Fatalf("fan-out %s has %d children, want 1 shard hop", fan.SpanID, len(fan.Children))
+		}
+		hop := fan.Children[0]
+		if hop.ParentID != fan.SpanID {
+			t.Errorf("hop %s parented on %s, not %s", hop.SpanID, hop.ParentID, fan.SpanID)
+		}
+	}
+}
+
+// TestCollectorConcurrent exercises observes, span starts, convergence
+// pushes, and every snapshot accessor from racing goroutines; the -race CI
+// lane turns any unsynchronized access into a failure.
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector(CollectorConfig{RecentSpans: 64, Window: 64})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				trace := fmt.Sprintf("t%d-%d", w, i)
+				c.spanStarted(Trace{TraceID: trace, SpanID: "root"})
+				child := span("inner", trace, "child", "root", float64(i%7))
+				if i%13 == 0 {
+					child.Err = "boom"
+				}
+				c.Observe(child)
+				c.Observe(span("http", trace, "root", "", float64(i%11),
+					Attr{Key: "route", Value: fmt.Sprintf("GET /r%d", w%2)}))
+				c.ObserveConvergence(fmt.Sprintf("job%d", w), ConvergenceRecord{Iteration: i})
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Recent()
+				c.SlowTraces()
+				c.ErrorTraces()
+				c.Threshold("GET /r0")
+				c.Convergence("job1")
+				AssembleTrees(c.Recent())
+			}
+		}()
+	}
+	wg.Wait()
+	if len(c.Recent()) != 64 {
+		t.Errorf("ring holds %d spans after churn, want 64", len(c.Recent()))
+	}
+}

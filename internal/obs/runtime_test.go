@@ -1,0 +1,73 @@
+package obs
+
+// Runtime-metrics bridge tests: the families appear in the exposition with
+// live values, refresh on every scrape through the OnScrape hook, and the
+// GC cycle counter moves by deltas (not the process-lifetime cumulative).
+
+import (
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// expoValue pulls one series value out of an exposition dump.
+func expoValue(t *testing.T, text, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("series %s has unparsable value %q", series, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s missing from exposition:\n%s", series, text)
+	return 0
+}
+
+func TestRuntimeMetricsExposition(t *testing.T) {
+	reg := NewRegistry()
+	NewRuntimeMetrics(reg, "testp")
+
+	var b strings.Builder
+	reg.WriteText(&b)
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE testp_go_goroutines gauge",
+		"# TYPE testp_go_heap_inuse_bytes gauge",
+		"# TYPE testp_go_heap_sys_bytes gauge",
+		"# TYPE testp_go_gc_cycles_total counter",
+		"# TYPE testp_go_gc_pause_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if g := expoValue(t, text, "testp_go_goroutines"); g < 1 {
+		t.Errorf("goroutines %v, want >= 1", g)
+	}
+	if h := expoValue(t, text, "testp_go_heap_inuse_bytes"); h <= 0 {
+		t.Errorf("heap in-use %v, want > 0", h)
+	}
+	if sys := expoValue(t, text, "testp_go_heap_sys_bytes"); sys < expoValue(t, text, "testp_go_heap_inuse_bytes") {
+		t.Errorf("heap sys %v below heap in-use", sys)
+	}
+
+	// Cycles are deltas from the first scrape's baseline: forcing GCs
+	// between scrapes moves the counter by at least that many cycles.
+	before := expoValue(t, text, "testp_go_gc_cycles_total")
+	runtime.GC()
+	runtime.GC()
+	b.Reset()
+	reg.WriteText(&b)
+	after := expoValue(t, b.String(), "testp_go_gc_cycles_total")
+	if after < before+2 {
+		t.Errorf("gc cycles moved %v -> %v across two forced GCs", before, after)
+	}
+	// The pause histogram counts those cycles' stop-the-world pauses.
+	if pc := expoValue(t, b.String(), "testp_go_gc_pause_seconds_count"); pc < 1 {
+		t.Errorf("gc pause count %v after forced GCs, want >= 1", pc)
+	}
+}

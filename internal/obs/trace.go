@@ -128,22 +128,27 @@ func Extract(h http.Header) (Trace, bool) {
 
 // Span is one timed unit of work inside a trace. End emits a single
 // structured log line ("span name=... trace=... dur_ms=...") through the
-// logf it was started with; a nil *Span is a valid no-op receiver, so
-// callers never nil-check.
+// logf it was started with, and — when the context carried a Collector —
+// records a SpanRecord into the flight recorder. A nil *Span is a valid
+// no-op receiver, so callers never nil-check.
 type Span struct {
 	trace  Trace
 	parent string // inbound span ID, empty at the edge
 	name   string
 	start  time.Time
 	logf   func(format string, args ...any)
-	attrs  []string
+	attrs  []Attr
+	col    *Collector
+	err    string
 }
 
 // StartSpan opens a span named name: a child of the context's trace when
 // one is attached (the context trace becomes the parent), a fresh edge
 // trace otherwise. The returned context carries the span's own trace, so
 // outbound requests made with it propagate this span as the parent. logf
-// may be nil (the span still propagates, just never logs).
+// may be nil (the span still propagates, just never logs); when the
+// context carries a Collector (WithCollector), End also records the span
+// there.
 func StartSpan(ctx context.Context, logf func(format string, args ...any), name string) (context.Context, *Span) {
 	sp := &Span{name: name, start: time.Now(), logf: logf}
 	if parent, ok := TraceFrom(ctx); ok {
@@ -151,6 +156,10 @@ func StartSpan(ctx context.Context, logf func(format string, args ...any), name 
 		sp.parent = parent.SpanID
 	} else {
 		sp.trace = NewTrace()
+	}
+	if col := CollectorFrom(ctx); col != nil {
+		sp.col = col
+		col.spanStarted(sp.trace)
 	}
 	return WithTrace(ctx, sp.trace), sp
 }
@@ -163,22 +172,59 @@ func (sp *Span) Trace() Trace {
 	return sp.trace
 }
 
-// Set attaches one key=value pair to the span's log line, in call order.
+// Set attaches one key=value pair to the span, in call order. The pair
+// rides the log line and the recorded SpanRecord.
 func (sp *Span) Set(key string, value any) {
 	if sp == nil {
 		return
 	}
-	sp.attrs = append(sp.attrs, fmt.Sprintf("%s=%v", key, value))
+	sp.attrs = append(sp.attrs, Attr{Key: key, Value: fmt.Sprint(value)})
 }
 
-// End emits the span's structured log line with its duration.
-func (sp *Span) End() {
-	if sp == nil || sp.logf == nil {
+// Fail marks the span errored: the message lands on the SpanRecord (so the
+// recorder retains the trace in its error reservoir) and on the log line.
+// A nil err is a no-op, so `defer`-style call sites can pass the outcome
+// unconditionally.
+func (sp *Span) Fail(err error) {
+	if sp == nil || err == nil {
 		return
 	}
-	extra := ""
-	if len(sp.attrs) > 0 {
-		extra = " " + strings.Join(sp.attrs, " ")
+	sp.err = err.Error()
+}
+
+// End records the span into the collector (when one was attached at start)
+// and emits the structured log line. Logging is not suppressed by the
+// recorder: grep-a-trace-across-the-fleet keeps working, and processes
+// without a collector lose nothing.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	dur := time.Since(sp.start)
+	if sp.col != nil {
+		sp.col.Observe(SpanRecord{
+			Name:     sp.name,
+			TraceID:  sp.trace.TraceID,
+			SpanID:   sp.trace.SpanID,
+			ParentID: sp.parent,
+			Start:    sp.start,
+			Duration: dur,
+			Attrs:    sp.attrs,
+			Err:      sp.err,
+		})
+	}
+	if sp.logf == nil {
+		return
+	}
+	var b strings.Builder
+	for _, a := range sp.attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Value)
+	}
+	if sp.err != "" {
+		fmt.Fprintf(&b, " err=%q", sp.err)
 	}
 	parent := sp.parent
 	if parent == "" {
@@ -186,5 +232,5 @@ func (sp *Span) End() {
 	}
 	sp.logf("span name=%s trace=%s span=%s parent=%s dur_ms=%.3f%s",
 		sp.name, sp.trace.TraceID, sp.trace.SpanID, parent,
-		float64(time.Since(sp.start))/float64(time.Millisecond), extra)
+		float64(dur)/float64(time.Millisecond), b.String())
 }

@@ -147,8 +147,8 @@ func TestMiddleware(t *testing.T) {
 func TestDebugMux(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("test_total", "x").Inc()
-	mux := DebugMux(reg)
-	for _, path := range []string{"/metrics", "/debug/pprof/", "/debug/pprof/cmdline"} {
+	mux := DebugMux(reg, NewCollector(CollectorConfig{}))
+	for _, path := range []string{"/metrics", "/debug/traces", "/debug/pprof/", "/debug/pprof/cmdline"} {
 		rec := httptest.NewRecorder()
 		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
 		if rec.Code != http.StatusOK {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diskstore"
 	"repro/internal/incremental"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/store"
 )
@@ -134,14 +135,13 @@ func (s *Server) realign(ctx context.Context, id string, req DeltaRequest) (stri
 	cfg := core.Config{
 		MaxIterations: req.MaxIterations,
 		Workers:       req.Workers,
-		OnIteration: func(_ int, a *core.Aligner) {
-			if its := a.Iterations(); len(its) > 0 {
-				s.jobs.progress(id, its[len(its)-1])
-				s.met.fixpoint(its[len(its)-1])
-			}
-		},
+		OnIteration:   s.onIteration(id),
 	}
-	res, stats, err := incremental.Realign(ctx, o1, o2, delta, prior, cfg)
+	fctx, fsp := obs.StartSpan(ctx, s.opts.Logf, "fixpoint.warm")
+	res, stats, err := incremental.Realign(fctx, o1, o2, delta, prior, cfg)
+	fsp.Set("base", req.Base)
+	fsp.Fail(err)
+	fsp.End()
 	if err != nil {
 		// The ontologies may hold a partially applied delta; they no
 		// longer correspond to any snapshot.

@@ -1,0 +1,59 @@
+package server
+
+// Introspection endpoints: readiness (distinct from the pure-liveness
+// /v1/healthz) and per-job fixpoint convergence from the flight recorder.
+
+import (
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// handleReadyz implements GET /v1/readyz: 200 once the server holds a
+// serving index (a completed alignment, an ingested shard slice, or a
+// recovered snapshot), 503 before. Load balancers gate traffic on this;
+// /v1/healthz stays true the moment the process listens, so a daemon that
+// is up but empty restarts nothing and receives nothing.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	ix := s.idx.Load()
+	if ix == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "unavailable",
+			"reason": errNoSnapshot.Error(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":   "ready",
+		"snapshot": ix.id,
+	})
+}
+
+// ConvergenceReport is the body of GET /v1/jobs/{id}/convergence: the
+// per-iteration movement of the job's fixpoint as captured by the flight
+// recorder. Records is empty for jobs that never ran a fixpoint here
+// (ingest-only jobs, jobs recovered from a previous process, evicted
+// series).
+type ConvergenceReport struct {
+	Job     string                  `json:"job"`
+	Kind    string                  `json:"kind"`
+	State   JobState                `json:"state"`
+	Records []obs.ConvergenceRecord `json:"records"`
+}
+
+// handleJobConvergence implements GET /v1/jobs/{id}/convergence.
+func (s *Server) handleJobConvergence(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	recs, _ := s.col.Convergence(id)
+	if recs == nil {
+		recs = []obs.ConvergenceRecord{}
+	}
+	writeJSON(w, http.StatusOK, ConvergenceReport{
+		Job: j.ID, Kind: metricKind(j.Kind), State: j.State, Records: recs,
+	})
+}

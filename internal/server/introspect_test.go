@@ -1,0 +1,116 @@
+package server
+
+// Introspection-surface tests: /v1/readyz flips from 503 to 200 at the
+// first serving snapshot (while /v1/healthz stays a pure liveness probe),
+// and GET /v1/jobs/{id}/convergence serves the flight recorder's
+// per-iteration fixpoint records for a real alignment on the movies corpus.
+
+import (
+	"net/http"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func TestReadyzFlipsOnFirstSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	d := writePersonsKB(t, dir, 40)
+	_, ts := newTestServer(t, filepath.Join(dir, "state"), 1)
+
+	// Empty daemon: alive but not ready.
+	if code := getJSON(t, ts.URL+"/v1/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz on empty server: %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz on empty server: %d, want 503", code)
+	}
+
+	j := postJob(t, ts.URL, JobRequest{
+		KB1: filepath.Join(dir, d.Name1+".nt"),
+		KB2: filepath.Join(dir, d.Name2+".nt"),
+	})
+	if final := waitDone(t, ts.URL, j.ID); final.State != JobDone {
+		t.Fatalf("job failed: %s", final.Error)
+	}
+
+	var ready struct {
+		Status   string `json:"status"`
+		Snapshot string `json:"snapshot"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/readyz", &ready); code != http.StatusOK {
+		t.Fatalf("readyz after snapshot: %d, want 200", code)
+	}
+	if ready.Status != "ready" || ready.Snapshot == "" {
+		t.Fatalf("readyz body %+v", ready)
+	}
+}
+
+func TestJobConvergenceEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	d := gen.Movies(gen.MoviesConfig{People: 120, Movies: 50, Seed: 5})
+	if err := d.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, filepath.Join(dir, "state"), 1)
+
+	if code := getJSON(t, ts.URL+"/v1/jobs/nope/convergence", nil); code != http.StatusNotFound {
+		t.Fatalf("convergence for unknown job: %d, want 404", code)
+	}
+
+	j := postJob(t, ts.URL, JobRequest{
+		KB1: filepath.Join(dir, d.Name1+".nt"),
+		KB2: filepath.Join(dir, d.Name2+".nt"),
+	})
+	if final := waitDone(t, ts.URL, j.ID); final.State != JobDone {
+		t.Fatalf("job failed: %s", final.Error)
+	}
+
+	var rep ConvergenceReport
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+j.ID+"/convergence", &rep); code != http.StatusOK {
+		t.Fatalf("convergence: %d", code)
+	}
+	if rep.Job != j.ID || rep.State != JobDone || rep.Kind != "align" {
+		t.Fatalf("report header %+v", rep)
+	}
+	if len(rep.Records) == 0 {
+		t.Fatal("no convergence records for a completed alignment")
+	}
+	for i, r := range rep.Records {
+		if r.Iteration != i+1 {
+			t.Errorf("records[%d].Iteration = %d, want monotone 1-based", i, r.Iteration)
+		}
+		if len(r.ScoreBuckets) != core.ConvergenceScoreBuckets {
+			t.Errorf("records[%d] has %d score buckets", i, len(r.ScoreBuckets))
+		}
+		sum := 0
+		for _, b := range r.ScoreBuckets {
+			sum += b
+		}
+		if sum != r.Assigned {
+			t.Errorf("records[%d]: buckets sum %d != assigned %d", i, sum, r.Assigned)
+		}
+		if r.WallTime <= 0 {
+			t.Errorf("records[%d] wall time %v", i, r.WallTime)
+		}
+	}
+	if last := rep.Records[len(rep.Records)-1]; last.Assigned == 0 {
+		t.Error("converged fixpoint assigned nothing on the movies corpus")
+	}
+
+	// The job's spans reached the recorder: the fixpoint span hangs off the
+	// job root, so the whole alignment shows up as one tree.
+	var sawJob, sawFixpoint bool
+	for _, rec := range srv.Recorder().Recent() {
+		switch rec.Name {
+		case "job":
+			sawJob = true
+		case "fixpoint":
+			sawFixpoint = true
+		}
+	}
+	if !sawJob || !sawFixpoint {
+		t.Errorf("recorder missing job/fixpoint spans (job=%v fixpoint=%v)", sawJob, sawFixpoint)
+	}
+}

@@ -65,6 +65,9 @@ type jobMetrics struct {
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	// Go runtime health (goroutines, heap, GC) refreshes on every scrape
+	// of the registry via its OnScrape hook.
+	obs.NewRuntimeMetrics(reg, "paris")
 	return &serverMetrics{
 		http: obs.NewHTTPMetrics(reg, "paris_http"),
 		jobs: &jobMetrics{
@@ -117,6 +120,34 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Queries answered with a cached plan (same normalized shape)."),
 		queryPlanCacheMisses: reg.Counter("paris_query_plan_cache_misses_total",
 			"Queries that had to be planned from scratch."),
+	}
+}
+
+// onIteration returns the per-iteration fixpoint hook for one job: job
+// record + SSE progress and process metrics as before, plus a convergence
+// record into the flight recorder for GET /v1/jobs/{id}/convergence.
+func (s *Server) onIteration(id string) func(int, *core.Aligner) {
+	return func(_ int, a *core.Aligner) {
+		its := a.Iterations()
+		if len(its) == 0 {
+			return
+		}
+		it := its[len(its)-1]
+		s.jobs.progress(id, it)
+		s.met.fixpoint(it)
+		if s.col != nil {
+			cs := a.Convergence()
+			s.col.ObserveConvergence(id, obs.ConvergenceRecord{
+				Iteration:       cs.Iteration,
+				Assigned:        cs.Assigned,
+				NewPairs:        cs.NewPairs,
+				ChangedPairs:    cs.ChangedPairs,
+				DroppedPairs:    cs.DroppedPairs,
+				ChangedFraction: cs.ChangedFraction,
+				ScoreBuckets:    append([]int(nil), cs.ScoreBuckets[:]...),
+				WallTime:        it.InstanceTime + it.RelationTime,
+			})
+		}
 	}
 }
 

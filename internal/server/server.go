@@ -100,6 +100,12 @@ type Options struct {
 
 	// Logf, when non-nil, receives one line per significant event.
 	Logf func(format string, args ...any)
+
+	// DisableRecorder turns off the in-process flight recorder (span
+	// collection, slow/error trace retention, convergence introspection).
+	// Span log lines keep flowing through Logf. Exists for A/B overhead
+	// measurement; production keeps the recorder on.
+	DisableRecorder bool
 }
 
 // Bounds on the per-job numeric knobs accepted over HTTP.
@@ -194,6 +200,7 @@ type Server struct {
 	handler http.Handler // mux wrapped in the telemetry middleware
 	reg     *obs.Registry
 	met     *serverMetrics
+	col     *obs.Collector // flight recorder; nil when Options.DisableRecorder
 	started time.Time
 	lookups atomic.Uint64
 
@@ -241,6 +248,10 @@ func New(opts Options) (*Server, error) {
 		started:  time.Now().UTC(),
 		reg:      reg,
 		met:      newServerMetrics(reg),
+	}
+	if !opts.DisableRecorder {
+		s.col = obs.NewCollector(obs.CollectorConfig{})
+		s.met.http.AttachCollector(s.col)
 	}
 	if err := s.recoverState(); err != nil {
 		st.Close()
@@ -365,6 +376,10 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // can scrape deltas in-process.
 func (s *Server) MetricsRegistry() *obs.Registry { return s.reg }
 
+// Recorder exposes the server's flight recorder so the daemon can mount
+// GET /debug/traces on the -debug-addr listener. Nil when disabled.
+func (s *Server) Recorder() *obs.Collector { return s.col }
+
 // errShutdown is the cancellation cause for jobs aborted because the
 // shutdown grace period ran out.
 var errShutdown = errors.New("server shutting down")
@@ -416,6 +431,13 @@ func (s *Server) runJob(ctx context.Context, id string) {
 	if s.testBeforeAlign != nil {
 		s.testBeforeAlign(id)
 	}
+	// The job runs under its own root span (jobs have no inbound trace),
+	// with the flight recorder attached so the ingest/fixpoint spans below
+	// land in it and the whole tree is retained when the job errs.
+	ctx = obs.WithCollector(ctx, s.col)
+	ctx, jsp := obs.StartSpan(ctx, s.opts.Logf, "job")
+	jsp.Set("job", id)
+	jsp.Set("kind", metricKind(j.Kind))
 	var snapID string
 	var err error
 	switch j.Kind {
@@ -436,6 +458,8 @@ func (s *Server) runJob(ctx context.Context, id string) {
 		// context.Canceled the fixpoint returns.
 		err = context.Cause(ctx)
 	}
+	jsp.Fail(err)
+	jsp.End()
 	final := s.jobs.finish(id, snapID, err)
 	switch {
 	case err != nil:
@@ -507,18 +531,17 @@ func (s *Server) align(ctx context.Context, id string, req JobRequest) (string, 
 		NegativeEvidence: req.NegativeEvidence,
 		AllEqualities:    req.AllEqualities,
 		Workers:          req.Workers,
-		OnIteration: func(_ int, a *core.Aligner) {
-			if its := a.Iterations(); len(its) > 0 {
-				s.jobs.progress(id, its[len(its)-1])
-				s.met.fixpoint(its[len(its)-1])
-			}
-		},
+		OnIteration:      s.onIteration(id),
 	}
 	a, err := core.NewChecked(o1, o2, cfg)
 	if err != nil {
 		return "", err
 	}
-	res, err := a.RunContext(ctx)
+	fctx, fsp := obs.StartSpan(ctx, s.opts.Logf, "fixpoint")
+	res, err := a.RunContext(fctx)
+	fsp.Set("iterations", len(a.Iterations()))
+	fsp.Fail(err)
+	fsp.End()
 	if err != nil {
 		return "", err
 	}
@@ -544,7 +567,14 @@ func (s *Server) cacheOntologies(snapID string, o1, o2 *store.Ontology) {
 // temp segments under StateDir when a dump outgrows it), cancellation
 // checked per block, and — when jobID is non-empty — per-block progress
 // onto the job record and its SSE stream.
-func (s *Server) loadKB(ctx context.Context, jobID, phase, path string, lits *store.Literals, norm store.Normalizer) (*store.Ontology, error) {
+func (s *Server) loadKB(ctx context.Context, jobID, phase, path string, lits *store.Literals, norm store.Normalizer) (o *store.Ontology, err error) {
+	ctx, sp := obs.StartSpan(ctx, s.opts.Logf, "ingest.load")
+	sp.Set("phase", phase)
+	sp.Set("path", path)
+	defer func() {
+		sp.Fail(err)
+		sp.End()
+	}()
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -771,9 +801,13 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("GET /v1/snapshots/{id}", s.handleExportSnapshot)
 	mux.HandleFunc("PUT /v1/snapshots/{id}", s.handleIngestSnapshot)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/jobs/{id}/convergence", s.handleJobConvergence)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Pure liveness: the process is up and serving HTTP. Readiness
+		// (is there anything to serve?) is /v1/readyz.
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
 	s.mux = mux
 	// Route patterns for the per-route metrics come from the mux itself, so

@@ -117,9 +117,11 @@ func TestRouterTracePropagation(t *testing.T) {
 		}
 	}
 
+	// The router logs four spans per trace — two http spans (proxy GET,
+	// scatter POST) plus one "shard" fan-out span under each.
 	routerSpans := routerLog.spans(tr.TraceID)
-	if len(routerSpans) != 2 {
-		t.Fatalf("router logged %d spans for the trace, want 2:\n%s",
+	if len(routerSpans) != 4 {
+		t.Fatalf("router logged %d spans for the trace, want 4 (2 http + 2 shard):\n%s",
 			len(routerSpans), strings.Join(routerSpans, "\n"))
 	}
 	shardSpans := shardLog.spans(tr.TraceID)
@@ -127,18 +129,34 @@ func TestRouterTracePropagation(t *testing.T) {
 		t.Fatalf("shard logged %d spans for the trace, want 2 (proxy + scatter):\n%s",
 			len(shardSpans), strings.Join(shardSpans, "\n"))
 	}
-	// Parenting: the router's spans are children of the client's span; the
-	// shard's spans are children of the router's spans, never of the client.
-	routerSpanIDs := map[string]bool{}
+	// Parenting: the router's http spans are children of the client's span,
+	// its shard spans children of those, and the shard process's http spans
+	// children of the router's shard spans — never of the client directly.
+	httpSpanIDs := map[string]bool{}
+	fanoutSpanIDs := map[string]bool{}
 	for _, l := range routerSpans {
-		if got := spanAttr(l, "parent"); got != tr.SpanID {
-			t.Errorf("router span parent %q, want client span %q: %s", got, tr.SpanID, l)
+		switch name := spanAttr(l, "name"); name {
+		case "http":
+			if got := spanAttr(l, "parent"); got != tr.SpanID {
+				t.Errorf("router http span parent %q, want client span %q: %s", got, tr.SpanID, l)
+			}
+			httpSpanIDs[spanAttr(l, "span")] = true
+		case "shard":
+			fanoutSpanIDs[spanAttr(l, "span")] = true
+		default:
+			t.Errorf("unexpected router span name %q: %s", name, l)
 		}
-		routerSpanIDs[spanAttr(l, "span")] = true
+	}
+	for _, l := range routerSpans {
+		if spanAttr(l, "name") == "shard" {
+			if parent := spanAttr(l, "parent"); !httpSpanIDs[parent] {
+				t.Errorf("router shard span parent %q is not a router http span: %s", parent, l)
+			}
+		}
 	}
 	for _, l := range shardSpans {
-		if parent := spanAttr(l, "parent"); !routerSpanIDs[parent] {
-			t.Errorf("shard span parent %q is not a router span (%v): %s", parent, routerSpanIDs, l)
+		if parent := spanAttr(l, "parent"); !fanoutSpanIDs[parent] {
+			t.Errorf("shard span parent %q is not a router shard span (%v): %s", parent, fanoutSpanIDs, l)
 		}
 	}
 
@@ -208,5 +226,54 @@ func TestRouterShardErrorNamesShardWithTiming(t *testing.T) {
 	rt.MetricsRegistry().WriteText(&b)
 	if !strings.Contains(b.String(), `paris_router_shard_errors_total{shard="0"} 2`) {
 		t.Errorf("shard error counter missing:\n%s", b.String())
+	}
+}
+
+// TestRouterReadyz: the router is alive from the start but not ready until
+// its first epoch flip — the readiness gate of a rolling deploy.
+func TestRouterReadyz(t *testing.T) {
+	srv, err := server.New(server.Options{StateDir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	rt, err := shard.NewRouter([]string{ts.URL}, shard.WithLogf(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+
+	if r := get(t, rts.URL, "/v1/healthz"); r.code != http.StatusOK {
+		t.Fatalf("healthz before epoch: %d", r.code)
+	}
+	if r := get(t, rts.URL, "/v1/readyz"); r.code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before epoch: %d %s", r.code, r.body)
+	}
+
+	// The shard has no snapshot either, so a refresh cannot flip the epoch.
+	if _, err := rt.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if r := get(t, rts.URL, "/v1/readyz"); r.code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with empty fleet: %d %s", r.code, r.body)
+	}
+
+	d := gen.Persons(gen.PersonsConfig{N: 10, Seed: 7})
+	o1, o2, _ := d.Build(nil)
+	if _, err := srv.PublishResult(core.New(o1, o2, core.Config{}).Run()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r := get(t, rts.URL, "/v1/readyz")
+	if r.code != http.StatusOK {
+		t.Fatalf("readyz after epoch flip: %d %s", r.code, r.body)
+	}
+	if !strings.Contains(string(r.body), rt.Epoch()) {
+		t.Errorf("readyz body %s does not name the epoch %q", r.body, rt.Epoch())
 	}
 }

@@ -75,6 +75,7 @@ type Router struct {
 	handler http.Handler // mux wrapped in the telemetry middleware
 	reg     *obs.Registry
 	met     *routerMetrics
+	col     *obs.Collector // flight recorder for the scatter path
 }
 
 // NewRouter builds a router over the shard base URLs, in shard-index order:
@@ -92,7 +93,9 @@ func NewRouter(shardURLs []string, opts ...RouterOption) (*Router, error) {
 		logf:  func(string, ...any) {},
 		reg:   reg,
 		met:   newRouterMetrics(reg),
+		col:   obs.NewCollector(obs.CollectorConfig{}),
 	}
+	rt.met.http.AttachCollector(rt.col)
 	rt.epoch.Store("")
 	for _, opt := range opts {
 		opt(rt)
@@ -218,6 +221,10 @@ func (rt *Router) Handler() http.Handler { return rt.handler }
 // -debug-addr listener and in-process scrapes.
 func (rt *Router) MetricsRegistry() *obs.Registry { return rt.reg }
 
+// Recorder exposes the router's flight recorder for the daemon's
+// -debug-addr listener (GET /debug/traces).
+func (rt *Router) Recorder() *obs.Collector { return rt.col }
+
 func (rt *Router) buildMux() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/sameas", rt.handleSameAs)
@@ -228,7 +235,18 @@ func (rt *Router) buildMux() {
 	mux.HandleFunc("POST /v1/refresh", rt.handleRefresh)
 	mux.HandleFunc("GET /v1/stats", rt.handleStats)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Pure liveness; readiness (a routable epoch) is /v1/readyz.
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		// The router can serve unpinned reads only after its first epoch
+		// flip — before that every lookup would 503 anyway.
+		epoch := rt.Epoch()
+		if epoch == "" {
+			httpError(w, http.StatusServiceUnavailable, "no routing epoch yet")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready", "epoch": epoch})
 	})
 	mux.Handle("GET /metrics", obs.MetricsHandler(rt.reg))
 	rt.mux = mux
@@ -293,16 +311,25 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, shard int, q url
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, nil)
+	// The shard hop gets its own child span; the shard's http span parents
+	// onto it, so a merged router+shard trace tree reads
+	// http → shard → http.
+	sctx, sp := obs.StartSpan(r.Context(), rt.logf, "shard")
+	sp.Set("shard", shard)
+	req, err := http.NewRequestWithContext(sctx, r.Method, u, nil)
 	if err != nil {
+		sp.Fail(err)
+		sp.End()
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	obs.Inject(r.Context(), req.Header)
+	obs.Inject(sctx, req.Header)
 	start := time.Now()
 	resp, err := rt.httpc.Do(req)
 	elapsed := time.Since(start)
 	rt.met.shardDone(shard, elapsed.Seconds(), err != nil)
+	sp.Fail(err)
+	sp.End()
 	if err != nil {
 		httpError(w, http.StatusBadGateway, "shard %d unreachable after %s: %v",
 			shard, elapsed.Round(100*time.Microsecond), err)
@@ -397,12 +424,19 @@ func (rt *Router) handleSameAsBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// One child span per sub-batch: the fan-out's shape (which
+			// shard straggled) survives into the retained trace tree.
+			sctx, sp := obs.StartSpan(ctx, rt.logf, "shard")
+			sp.Set("shard", i)
+			sp.Set("keys", len(groupKeys[i]))
 			start := time.Now()
-			resp, err := rt.peers[i].SameAsBatch(ctx, client.BatchSameAsQuery{
+			resp, err := rt.peers[i].SameAsBatch(sctx, client.BatchSameAsQuery{
 				KB: req.KB, Keys: groupKeys[i], Snapshot: pin,
 			})
 			dur := time.Since(start)
 			rt.met.shardDone(i, dur.Seconds(), err != nil)
+			sp.Fail(err)
+			sp.End()
 			if err != nil {
 				// Cancel the sibling sub-batches: the batch is already
 				// doomed, no point finishing the fan-out.

@@ -1,0 +1,113 @@
+package paris
+
+// Recorder overhead guard: the flight recorder sits on every request of the
+// hot read path, so its cost is measured, not assumed. Two identical
+// services — one with Options.DisableRecorder — serve the same published
+// snapshot, and interleaved timing rounds assert the recorded path stays
+// within 5% of the bare one (plus a small absolute epsilon so sub-µs
+// scheduler noise cannot fail the build). BenchmarkSameAsLookupNoRecorder
+// gives the CI bench smoke the same A/B as named artifacts.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/server"
+)
+
+// newLookupPair publishes one aligned persons corpus into two services that
+// differ only in DisableRecorder.
+func newLookupPair(tb testing.TB) (withRec, without http.Handler, urls []string) {
+	tb.Helper()
+	d := gen.Persons(gen.PersonsConfig{N: 100, Seed: 42})
+	o1, o2, err := d.Build(nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res := core.New(o1, o2, core.Config{}).Run()
+	build := func(disable bool) http.Handler {
+		srv, err := server.New(server.Options{StateDir: tb.TempDir(), DisableRecorder: disable})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tb.Cleanup(func() { srv.Close() })
+		if _, err := srv.PublishResult(res); err != nil {
+			tb.Fatal(err)
+		}
+		return srv.Handler()
+	}
+	for _, p := range d.Gold.Pairs() {
+		urls = append(urls, "/v1/sameas?kb=1&key="+url.QueryEscape(p[0]))
+	}
+	return build(false), build(true), urls
+}
+
+// timeLookups drives iters sequential requests and returns the per-request
+// cost.
+func timeLookups(tb testing.TB, h http.Handler, urls []string, iters int) time.Duration {
+	tb.Helper()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, urls[i%len(urls)], nil))
+		if w.Code != http.StatusOK {
+			tb.Fatalf("lookup %s: %d", urls[i%len(urls)], w.Code)
+		}
+	}
+	return time.Since(start) / time.Duration(iters)
+}
+
+func TestRecorderOverheadOnLookupPath(t *testing.T) {
+	withRec, without, urls := newLookupPair(t)
+
+	const warmup, iters, rounds = 500, 2000, 7
+	timeLookups(t, withRec, urls, warmup)
+	timeLookups(t, without, urls, warmup)
+
+	// Min-of-rounds, interleaved: the minimum is the run least disturbed by
+	// the scheduler, and interleaving keeps thermal/GC drift from loading
+	// one side.
+	minWith, minWithout := time.Duration(1<<62), time.Duration(1<<62)
+	for r := 0; r < rounds; r++ {
+		if d := timeLookups(t, withRec, urls, iters); d < minWith {
+			minWith = d
+		}
+		if d := timeLookups(t, without, urls, iters); d < minWithout {
+			minWithout = d
+		}
+	}
+
+	const epsilon = 2 * time.Microsecond
+	limit := minWithout + minWithout/20 + epsilon
+	t.Logf("recorder on: %v/op, off: %v/op, limit %v/op", minWith, minWithout, limit)
+	if minWith > limit {
+		t.Errorf("recorder overhead too high: %v/op with recorder vs %v/op without (limit %v)",
+			minWith, minWithout, limit)
+	}
+}
+
+// BenchmarkSameAsLookupNoRecorder is BenchmarkSameAsLookup with the flight
+// recorder disabled: the ns/op gap between the two is the recorder's cost
+// on the hot read path.
+func BenchmarkSameAsLookupNoRecorder(b *testing.B) {
+	_, h, urls := newLookupPair(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, urls[i%len(urls)], nil))
+			if w.Code != http.StatusOK {
+				b.Errorf("lookup %s: %d", urls[i%len(urls)], w.Code)
+				return
+			}
+			i++
+		}
+	})
+}
