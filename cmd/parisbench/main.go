@@ -13,10 +13,13 @@
 // an in-process parisd when -target is empty, writing latency quantiles,
 // throughput, scraped /metrics deltas, and a Go-runtime summary (GC cycles
 // and pause time induced by the load, goroutine/heap peaks sampled mid-run)
-// to -out:
+// to -out. -fleet degraded targets a replicated in-process fleet (3 shard
+// groups × 2 replicas behind a parisrouter) with one replica per group
+// killed, so the measured mixes run through the router's hedged-failover
+// read path:
 //
-//	parisbench -load [-target http://host:7171] [-duration 2s]
-//	           [-concurrency 8] [-keys 300] [-out BENCH_8.json]
+//	parisbench -load [-target http://host:7171] [-fleet degraded] [-duration 2s]
+//	           [-concurrency 8] [-keys 300] [-out BENCH_9.json]
 package main
 
 import (
@@ -36,15 +39,17 @@ func main() {
 	scale := flag.Float64("scale", 1, "size multiplier for the large corpora")
 	load := flag.Bool("load", false, "run the serving-path load generator instead of the paper experiments")
 	target := flag.String("target", "", "base URL of a running parisd or parisrouter (empty starts an in-process parisd)")
+	fleet := flag.String("fleet", "", `in-process deployment shape: "" for a single parisd, "degraded" for a replicated fleet with one replica down per group`)
 	duration := flag.Duration("duration", 2*time.Second, "measured window per load mix")
 	concurrency := flag.Int("concurrency", 8, "closed-loop workers per load mix")
 	keys := flag.Int("keys", 300, "corpus size in matched persons for the load run")
-	out := flag.String("out", "BENCH_8.json", "load report output path")
+	out := flag.String("out", "BENCH_9.json", "load report output path")
 	flag.Parse()
 
 	if *load {
 		runLoad(bench.LoadOptions{
 			Target:      *target,
+			Fleet:       *fleet,
 			Duration:    *duration,
 			Concurrency: *concurrency,
 			Seed:        *seed,

@@ -7,15 +7,22 @@
 //
 // It fetches the snapshot (the currently served version unless -snapshot
 // names one) from the aligner in its binary form, splits it into per-shard
-// slices by hash of the normalized entity key, and pushes slice i to shard
-// i under the snapshot's own ID (phase one). With -router it then asks the
-// router to refresh its routing epoch (phase two); without it, the router's
-// own -poll loop picks the new version up. Shard URLs must be in
-// shard-index order, matching the fleet's -shard i/N flags.
+// slices by hash of the normalized entity key, and pushes slice i to every
+// replica of shard group i under the snapshot's own ID (phase one). With
+// -router it then asks the router to refresh its routing epoch (phase two);
+// without it, the router's own -poll loop picks the new version up. Shard
+// URLs must be in shard-index order, matching the fleet's -shard i/N flags;
+// replicated fleets separate groups with ";" and a group's replicas with
+// "," (same syntax as parisrouter -shards):
 //
-// The push is idempotent in the way that matters operationally: a shard
+//	parispublish -from http://aligner:7171 \
+//	    -shards "http://a0:7171,http://a1:7171;http://b0:7171,http://b1:7171"
+//
+// The push is idempotent in the way that matters operationally: a replica
 // that already holds the ID answers 409, which parispublish treats as that
-// shard having acknowledged, so a half-failed publish can simply be rerun.
+// replica having acknowledged, so a half-failed publish can simply be
+// rerun — including after a replica was down for a push (the router serves
+// from its siblings in the meantime).
 package main
 
 import (
@@ -77,16 +84,18 @@ func main() {
 	log.Printf("parispublish: fetched %s (%s vs %s, %d instances)",
 		id, snap.KB1, snap.KB2, len(snap.Instances))
 
-	peers, err := shardClients(*shards)
+	groups, replicas, err := shardGroups(*shards)
 	if err != nil {
 		log.Fatal(err)
 	}
-	// shard.Publish treats a 409 (the shard already holds the version) as
-	// that shard's acknowledgment, so a half-failed publish is simply rerun.
-	if err := shard.Publish(ctx, peers, id, snap); err != nil {
+	// shard.PublishGroups treats a 409 (the replica already holds the
+	// version) as that replica's acknowledgment, so a half-failed publish
+	// is simply rerun.
+	if err := shard.PublishGroups(ctx, groups, id, snap); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("parispublish: %s acknowledged by all %d shards", id, len(peers))
+	log.Printf("parispublish: %s acknowledged by all %d replica(s) across %d shard group(s)",
+		id, replicas, len(groups))
 
 	if *router != "" {
 		epoch, err := refresh(ctx, *router)
@@ -97,23 +106,34 @@ func main() {
 	}
 }
 
-func shardClients(list string) ([]*client.Client, error) {
-	var peers []*client.Client
-	for i, u := range strings.Split(list, ",") {
-		u = strings.TrimSpace(u)
-		if u == "" {
+// shardGroups parses the -shards topology into replica groups of clients,
+// returning the groups plus the total replica count.
+func shardGroups(list string) ([][]*client.Client, int, error) {
+	var groups [][]*client.Client
+	replicas := 0
+	for gi, element := range shard.SplitTopology(list) {
+		var g []*client.Client
+		for ri, u := range strings.Split(element, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			peer, err := client.New(u)
+			if err != nil {
+				return nil, 0, fmt.Errorf("parispublish: shard %d replica %d: %w", gi, ri, err)
+			}
+			g = append(g, peer)
+		}
+		if len(g) == 0 {
 			continue
 		}
-		peer, err := client.New(u)
-		if err != nil {
-			return nil, fmt.Errorf("parispublish: shard %d: %w", i, err)
-		}
-		peers = append(peers, peer)
+		groups = append(groups, g)
+		replicas += len(g)
 	}
-	if len(peers) == 0 {
-		return nil, errors.New("parispublish: no shard URLs")
+	if len(groups) == 0 {
+		return nil, 0, errors.New("parispublish: no shard URLs")
 	}
-	return peers, nil
+	return groups, replicas, nil
 }
 
 func refresh(ctx context.Context, routerURL string) (string, error) {

@@ -8,7 +8,18 @@
 //	parisrouter -shards http://h0:7171,http://h1:7171,http://h2:7171 [-addr :7170] [-poll 2s]
 //
 // The shard URLs must be in shard-index order: the i-th URL is the shard
-// started with -shard i/N. The router serves:
+// started with -shard i/N. Each shard may be a replica set — separate
+// groups with ";" and a group's replicas with ",":
+//
+//	parisrouter -shards "http://a0:7171,http://a1:7171;http://b0:7171,http://b1:7171"
+//
+// Every replica of group i serves slice i; reads pick a healthy replica,
+// hedge to a second one once the route's latency budget expires (-hedge, or
+// adaptively from the route's sliding p99, floored at 1ms), and fail over
+// on transport error, so a one-replica-down group keeps serving.
+// -rate-limit N throttles each client (first X-Forwarded-For hop, else the
+// remote address) to N requests/second with burst -rate-burst, answering
+// 429 with Retry-After past it. The router serves:
 //
 //	GET  /v1/sameas     proxied verbatim to the shard owning the key
 //	POST /v1/sameas     batch lookup, scatter-gathered across owning shards
@@ -47,7 +58,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
@@ -58,22 +68,26 @@ import (
 func main() {
 	addr := flag.String("addr", ":7170", "HTTP listen address")
 	debugAddr := flag.String("debug-addr", "", "optional listen address for /metrics and /debug/pprof (e.g. 127.0.0.1:7169); the main listener serves /metrics regardless")
-	shards := flag.String("shards", "", "comma-separated shard base URLs in shard-index order (required)")
+	shards := flag.String("shards", "", `shard topology in shard-index order (required): ","-separated URLs, or ";"-separated replica groups of ","-separated URLs`)
 	poll := flag.Duration("poll", 2*time.Second, "epoch refresh interval")
+	hedgeDelay := flag.Duration("hedge", 0, "fixed hedge latency budget (0 = adaptive: the route's sliding p99, floored at 1ms)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client sustained requests/second (0 = no rate limiting)")
+	rateBurst := flag.Int("rate-burst", 0, "per-client burst size (0 = 2x the rate)")
 	flag.Parse()
 
 	if *shards == "" {
-		fmt.Fprintln(os.Stderr, "usage: parisrouter -shards URL0,URL1,... [-addr :7170]")
+		fmt.Fprintln(os.Stderr, "usage: parisrouter -shards 'URL0,URL1,...' or 'URL0a,URL0b;URL1a,URL1b' [-addr :7170]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	var urls []string
-	for _, u := range strings.Split(*shards, ",") {
-		if u = strings.TrimSpace(u); u != "" {
-			urls = append(urls, u)
-		}
+	opts := []shard.RouterOption{shard.WithLogf(log.Printf)}
+	if *hedgeDelay > 0 {
+		opts = append(opts, shard.WithHedgeDelay(*hedgeDelay))
 	}
-	rt, err := shard.NewRouter(urls, shard.WithLogf(log.Printf))
+	if *rateLimit > 0 {
+		opts = append(opts, shard.WithRateLimit(*rateLimit, *rateBurst))
+	}
+	rt, err := shard.NewRouter(shard.SplitTopology(*shards), opts...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,9 +9,12 @@ package bench
 // induced by the load, plus goroutine/heap peaks sampled mid-run).
 // cmd/parisbench -load writes the report as BENCH_<n>.json so the perf
 // trajectory of the serving stack is committed alongside the
-// paper-reproduction numbers.
+// paper-reproduction numbers. With Fleet set to FleetDegraded the target is
+// a replicated in-process fleet behind a parisrouter with one replica per
+// group killed, measuring the hedged-failover read path under degradation.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -26,9 +29,12 @@ import (
 	"sync"
 	"time"
 
+	"repro/client"
 	"repro/internal/core"
+	"repro/internal/diskstore"
 	"repro/internal/gen"
 	"repro/internal/server"
+	"repro/internal/shard"
 )
 
 // LoadReportSchema identifies the BENCH_*.json layout; bump on breaking
@@ -49,12 +55,23 @@ const (
 	personsNS2 = "http://person2.example.org/"
 )
 
+// FleetDegraded is the LoadOptions.Fleet value selecting the degraded
+// replicated fleet: a 3-group × 2-replica in-process deployment behind a
+// parisrouter with one replica per group killed before the measured
+// window, so the run exercises the hedged-failover read path end to end.
+const FleetDegraded = "degraded"
+
 // LoadOptions configures one load-generator run.
 type LoadOptions struct {
 	// Target is the base URL of a running parisd or parisrouter. Empty
 	// starts an in-process parisd over a freshly aligned synthetic corpus,
 	// so the run needs no deployment and measures the serving stack alone.
 	Target string
+	// Fleet selects the in-process deployment shape when Target is empty:
+	// "" is a single parisd, FleetDegraded the replicated fleet with one
+	// replica down per group. The router serves no /v1/query, so a fleet
+	// run drives the three /v1/sameas mixes only.
+	Fleet string
 	// Duration is the measured window per mix (default 2s).
 	Duration time.Duration
 	// Concurrency is the number of closed-loop workers per mix (default 8).
@@ -106,7 +123,8 @@ type MixResult struct {
 // LoadReport is the JSON document written to BENCH_<n>.json.
 type LoadReport struct {
 	Schema       string             `json:"schema"`
-	Target       string             `json:"target"` // "in-process" or the URL
+	Target       string             `json:"target"` // "in-process", "in-process-degraded-fleet", or the URL
+	Fleet        string             `json:"fleet,omitempty"`
 	Concurrency  int                `json:"concurrency"`
 	Seed         int64              `json:"seed"`
 	CorpusKeys   int                `json:"corpus_keys"`
@@ -130,20 +148,30 @@ type RuntimeDeltas struct {
 	SampleIntervalSec float64 `json:"sample_interval_seconds"`
 }
 
-// RunLoad executes the six mixes against the target and returns the report.
+// RunLoad executes the traffic mixes against the target and returns the
+// report: all six against a parisd, the three /v1/sameas mixes against the
+// degraded fleet (the router serves no /v1/query).
 func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	opts = opts.withDefaults()
+	if opts.Fleet != "" && opts.Fleet != FleetDegraded {
+		return nil, fmt.Errorf("bench: unknown fleet %q (want empty or %q)", opts.Fleet, FleetDegraded)
+	}
 
 	base := opts.Target
 	targetName := base
 	if base == "" {
-		ts, cleanup, err := startInProcess(opts)
+		start := startInProcess
+		targetName = "in-process"
+		if opts.Fleet == FleetDegraded {
+			start = startInProcessFleet
+			targetName = "in-process-degraded-fleet"
+		}
+		ts, cleanup, err := start(opts)
 		if err != nil {
 			return nil, err
 		}
 		defer cleanup()
 		base = ts
-		targetName = "in-process"
 	}
 
 	// Lookup keys: the kb1 side of the generator's gold pairs. Against a
@@ -164,11 +192,12 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	report := &LoadReport{
 		Schema:      LoadReportSchema,
 		Target:      targetName,
+		Fleet:       opts.Fleet,
 		Concurrency: opts.Concurrency,
 		Seed:        opts.Seed,
 		CorpusKeys:  len(keys),
 	}
-	for _, mix := range []struct {
+	mixes := []struct {
 		name, desc string
 		perReq     int
 		issue      func(c *http.Client, r *rand.Rand) (int, error)
@@ -224,7 +253,12 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 				return postQuery(c, base, `?x a <`+personsNS2+`Human>`)
 			},
 		},
-	} {
+	}
+	if opts.Fleet == FleetDegraded {
+		// The router has no /v1/query surface; the sameas mixes lead.
+		mixes = mixes[:3]
+	}
+	for _, mix := range mixes {
 		opts.Logf("bench: load mix %s (%d workers, %s)", mix.name, opts.Concurrency, opts.Duration)
 		res := runMix(opts, mix.issue)
 		res.Mix, res.Description, res.KeysPerReq = mix.name, mix.desc, mix.perReq
@@ -359,6 +393,88 @@ func startInProcess(opts LoadOptions) (baseURL string, cleanup func(), err error
 		srv.Close()
 		os.RemoveAll(dir)
 	}, nil
+}
+
+// startInProcessFleet aligns the corpus and serves it from a replicated
+// in-process fleet — 3 shard groups of 2 replicas behind a parisrouter —
+// then kills one replica of every group, so the measured window runs
+// against a degraded fleet: every read either lands on the survivor or
+// fails over to it, and the client must still see zero errors.
+func startInProcessFleet(opts LoadOptions) (baseURL string, cleanup func(), err error) {
+	d := gen.Persons(gen.PersonsConfig{N: opts.Keys, Seed: opts.Seed})
+	o1, o2, err := d.Build(nil)
+	if err != nil {
+		return "", nil, err
+	}
+	res := core.New(o1, o2, core.Config{}).Run()
+
+	const nGroups, nReplicas = 3, 2
+	var cleanups []func()
+	cleanup = func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	groups := make([][]*client.Client, nGroups)
+	victims := make([]*httptest.Server, 0, nGroups)
+	var elements []string
+	for i := 0; i < nGroups; i++ {
+		var urls []string
+		for j := 0; j < nReplicas; j++ {
+			dir, err := os.MkdirTemp("", "parisbench-fleet-")
+			if err != nil {
+				cleanup()
+				return "", nil, err
+			}
+			cleanups = append(cleanups, func() { os.RemoveAll(dir) })
+			srv, err := server.New(server.Options{
+				StateDir: dir, ShardIndex: i, ShardCount: nGroups, Logf: func(string, ...any) {},
+			})
+			if err != nil {
+				cleanup()
+				return "", nil, err
+			}
+			cleanups = append(cleanups, func() { srv.Close() })
+			ts := httptest.NewServer(srv.Handler())
+			// httptest.Server.Close is idempotent, so closing the killed
+			// replicas again at cleanup is harmless.
+			cleanups = append(cleanups, ts.Close)
+			peer, err := client.New(ts.URL)
+			if err != nil {
+				cleanup()
+				return "", nil, err
+			}
+			groups[i] = append(groups[i], peer)
+			urls = append(urls, ts.URL)
+			if j == nReplicas-1 {
+				victims = append(victims, ts)
+			}
+		}
+		elements = append(elements, strings.Join(urls, ","))
+	}
+	ctx := context.Background()
+	if err := shard.PublishGroups(ctx, groups, diskstore.SnapshotID(1), res.Snapshot()); err != nil {
+		cleanup()
+		return "", nil, err
+	}
+	rt, err := shard.NewRouter(elements)
+	if err != nil {
+		cleanup()
+		return "", nil, err
+	}
+	if _, err := rt.Refresh(ctx); err != nil {
+		cleanup()
+		return "", nil, err
+	}
+	rts := httptest.NewServer(rt.Handler())
+	cleanups = append(cleanups, rts.Close)
+	// The degradation under measurement: one replica of every group goes
+	// dark after the epoch is set, in-flight connections included.
+	for _, ts := range victims {
+		ts.CloseClientConnections()
+		ts.Close()
+	}
+	return rts.URL, cleanup, nil
 }
 
 // runMix drives one request shape with closed-loop workers for the window.

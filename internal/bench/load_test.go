@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -82,6 +83,67 @@ func TestLoadGeneratorSmoke(t *testing.T) {
 	}
 	if rt.GCCycles < 0 || rt.GCPauseSeconds < 0 {
 		t.Errorf("negative GC deltas: %+v", rt)
+	}
+}
+
+// TestLoadDegradedFleetSmoke drives the replicated fleet with one replica
+// down per group: the three sameas mixes must complete with zero
+// client-visible errors (failover absorbs the dead replicas), and the
+// scraped router deltas must prove reads actually failed over.
+func TestLoadDegradedFleetSmoke(t *testing.T) {
+	rep, err := RunLoad(LoadOptions{
+		Fleet:       FleetDegraded,
+		Duration:    200 * time.Millisecond,
+		Concurrency: 2,
+		Keys:        20,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Target != "in-process-degraded-fleet" || rep.Fleet != FleetDegraded {
+		t.Fatalf("target %q fleet %q", rep.Target, rep.Fleet)
+	}
+	if len(rep.Mixes) != 3 {
+		t.Fatalf("%d mixes, want 3 (the router serves no /v1/query)", len(rep.Mixes))
+	}
+	for i, want := range []string{"get_sameas", "batch_post", "normalized_miss"} {
+		m := rep.Mixes[i]
+		if m.Mix != want {
+			t.Errorf("mix %d = %q, want %q", i, m.Mix, want)
+		}
+		if m.Requests == 0 {
+			t.Errorf("mix %s made no requests", m.Mix)
+		}
+		if m.Errors != 0 {
+			t.Errorf("mix %s: %d errors — failover must hide the dead replicas", m.Mix, m.Errors)
+		}
+		if m.Throughput <= 0 {
+			t.Errorf("mix %s throughput %v", m.Mix, m.Throughput)
+		}
+	}
+	// The router's own counters are the scrape target now: every lookup
+	// lands in paris_router_lookups_total, and with half the fleet dark the
+	// read path must have recorded failovers.
+	wantLookups := float64(rep.Mixes[0].Requests + batchSize*rep.Mixes[1].Requests + rep.Mixes[2].Requests)
+	if got := rep.MetricDeltas["paris_router_lookups_total"]; got != wantLookups {
+		t.Errorf("paris_router_lookups_total delta %v, want %v", got, wantLookups)
+	}
+	failovers := 0.0
+	for series, v := range rep.MetricDeltas {
+		if strings.HasPrefix(series, "paris_router_failovers_total") {
+			failovers += v
+		}
+	}
+	if failovers < 1 {
+		t.Errorf("paris_router_failovers_total delta %v, want >= 1", failovers)
+	}
+}
+
+// TestLoadRejectsUnknownFleet pins the Fleet validation.
+func TestLoadRejectsUnknownFleet(t *testing.T) {
+	if _, err := RunLoad(LoadOptions{Fleet: "half"}); err == nil {
+		t.Fatal("RunLoad with unknown fleet succeeded")
 	}
 }
 

@@ -24,9 +24,10 @@ const (
 	kindJob      = "j\x00"
 )
 
-// SnapshotID formats a sequence number as a snapshot ID. IDs are zero-padded
-// so their lexicographic order is their numeric order, which keeps Each (and
-// therefore ListSnapshots) returning them oldest-first.
+// SnapshotID formats a sequence number as a snapshot ID. The zero-padding
+// keeps small sequence numbers in lexicographic order for readability, but
+// it is not an ordering guarantee — the width overflows at seq 100,000,000
+// — so every comparison of snapshot IDs must go through ParseSnapshotID.
 func SnapshotID(seq uint64) string { return fmt.Sprintf("snap-%08d", seq) }
 
 // ParseSnapshotID extracts the sequence number from a snapshot ID.
@@ -101,6 +102,12 @@ func DeleteSnapshot(s *Store, id string) error {
 }
 
 // ListSnapshots returns the IDs of all persisted snapshots, oldest first.
+// Order is by sequence number, not by string: snap-%08d overflows its
+// zero-padding at seq 100,000,000, where "snap-100000000" sorts *below*
+// "snap-99999999" lexicographically — a string sort would make every
+// newest-snapshot pick regress across that boundary. IDs that do not parse
+// (foreign records) sort before all numbered snapshots, among themselves by
+// string.
 func ListSnapshots(s *Store) ([]string, error) {
 	var ids []string
 	err := s.Each(func(key, _ []byte) bool {
@@ -112,7 +119,20 @@ func ListSnapshots(s *Store) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	sort.Strings(ids)
+	sort.Slice(ids, func(i, j int) bool {
+		si, erri := ParseSnapshotID(ids[i])
+		sj, errj := ParseSnapshotID(ids[j])
+		switch {
+		case erri == nil && errj == nil:
+			return si < sj
+		case erri == nil:
+			return false
+		case errj == nil:
+			return true
+		default:
+			return ids[i] < ids[j]
+		}
+	})
 	return ids, nil
 }
 

@@ -94,3 +94,29 @@ func TestSnapshotPersistence(t *testing.T) {
 		t.Fatal("loading a missing snapshot succeeded")
 	}
 }
+
+// TestListSnapshotsCrossesEightDigitBoundary: snap-%08d overflows its
+// zero-padding at seq 100,000,000, where "snap-100000000" sorts *below*
+// "snap-99999999" as a string. ListSnapshots must order by sequence
+// number, or every "newest snapshot" pick downstream (restart recovery,
+// the router's epoch) regresses across the boundary.
+func TestListSnapshotsCrossesEightDigitBoundary(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "state.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, seq := range []uint64{100000000, 7, 99999999} {
+		if err := SaveSnapshot(s, SnapshotID(seq), testSnapshot("a", "b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := ListSnapshots(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"snap-00000007", "snap-99999999", "snap-100000000"}
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatalf("ListSnapshots = %v, want %v", ids, want)
+	}
+}

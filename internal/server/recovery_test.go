@@ -1,0 +1,109 @@
+package server
+
+// Restart-recovery regression tests for ordering and parsing bugs: the
+// newest-snapshot pick across the snap-%08d padding overflow, and job
+// records whose IDs do not parse.
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diskstore"
+)
+
+// TestRecoveryCrossesEightDigitBoundary: snapshot IDs stop sorting
+// lexicographically at seq 100,000,000 ("snap-100000000" < "snap-99999999"
+// as strings). Publishing across the boundary must advance the serving
+// index, keep the snapshot list in sequence order, and recover the
+// numerically newest snapshot after a restart.
+func TestRecoveryCrossesEightDigitBoundary(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := New(Options{StateDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapFor := func(p float64) *core.ResultSnapshot {
+		return &core.ResultSnapshot{
+			KB1: "a", KB2: "b",
+			Instances: []core.SnapshotAssignment{{Key1: "<http://a/x>", Key2: "<http://b/y>", P: p}},
+		}
+	}
+	if err := srv.publishAs(diskstore.SnapshotID(99999999), snapFor(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.publishAs(diskstore.SnapshotID(100000000), snapFor(0.9)); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.idx.Load().id; got != "snap-100000000" {
+		t.Fatalf("serving index after boundary publish = %q, want snap-100000000", got)
+	}
+	srv.mu.Lock()
+	if len(srv.snaps) != 2 || srv.snaps[0].ID != "snap-99999999" || srv.snaps[1].ID != "snap-100000000" {
+		t.Fatalf("snapshot list order = %+v, want [snap-99999999 snap-100000000]", srv.snaps)
+	}
+	srv.mu.Unlock()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	restarted, err := New(Options{StateDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restarted.Close()
+	if got := restarted.idx.Load().id; got != "snap-100000000" {
+		t.Fatalf("recovered serving index = %q, want snap-100000000", got)
+	}
+	if restarted.snapSeq != 100000000 {
+		t.Fatalf("recovered snapSeq = %d, want 100000000", restarted.snapSeq)
+	}
+}
+
+// TestRecoverJobsSkipsMalformedIDs: a job record whose ID does not
+// round-trip through the job-%08d format must be skipped on recovery, not
+// installed with a bogus sequence — with the old Sscanf-error-ignored
+// code, "weird" would recover as seq 0 and a mangled "job-7-junk" as
+// seq 7, polluting the ID sequence freshly issued jobs draw from.
+func TestRecoverJobsSkipsMalformedIDs(t *testing.T) {
+	dir := t.TempDir()
+	st, err := diskstore.Open(filepath.Join(dir, "paris.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().UTC()
+	for _, id := range []string{"job-00000003", "job-7", "job-5-junk", "weird"} {
+		data, err := json.Marshal(Job{ID: id, State: JobDone, Created: now})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := diskstore.SaveJobRecord(st, id, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := New(Options{StateDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.jobs.mu.Lock()
+	defer srv.jobs.mu.Unlock()
+	if len(srv.jobs.jobs) != 1 || srv.jobs.jobs["job-00000003"] == nil {
+		ids := make([]string, 0, len(srv.jobs.jobs))
+		for id := range srv.jobs.jobs {
+			ids = append(ids, id)
+		}
+		t.Fatalf("recovered jobs = %v, want only job-00000003", ids)
+	}
+	// The next issued ID follows the one valid record: job-00000004, not
+	// job-00000008 (which "job-7" recovering as seq 7 would produce).
+	if srv.jobs.seq != 3 {
+		t.Fatalf("recovered job seq = %d, want 3", srv.jobs.seq)
+	}
+}

@@ -288,6 +288,26 @@ type SnapshotInfo struct {
 	DeltaAdded  int    `json:"delta_added,omitempty"`
 }
 
+// snapshotNewer reports whether snapshot a is newer than b, by sequence
+// number. Snapshot IDs must never be compared as strings: the snap-%08d
+// padding overflows at seq 100,000,000, where the numerically newer ID is
+// the lexicographically smaller one. IDs that do not parse order before
+// every numbered snapshot, among themselves by string.
+func snapshotNewer(a, b string) bool {
+	sa, erra := diskstore.ParseSnapshotID(a)
+	sb, errb := diskstore.ParseSnapshotID(b)
+	switch {
+	case erra == nil && errb == nil:
+		return sa > sb
+	case erra == nil:
+		return true
+	case errb == nil:
+		return false
+	default:
+		return a > b
+	}
+}
+
 func snapshotInfo(id string, snap *core.ResultSnapshot) SnapshotInfo {
 	return SnapshotInfo{
 		ID: id, KB1: snap.KB1, KB2: snap.KB2,
@@ -316,7 +336,15 @@ func (s *Server) recoverState() error {
 		s.snaps = append(s.snaps, info)
 	}
 	if len(ids) > 0 {
+		// Newest by sequence number, never by string: "snap-100000000"
+		// sorts below "snap-99999999" lexicographically, and serving the
+		// wrong one here would silently regress the index on restart.
 		newest := ids[len(ids)-1]
+		for _, id := range ids {
+			if snapshotNewer(id, newest) {
+				newest = id
+			}
+		}
 		snap, err := diskstore.LoadSnapshot(s.store, newest)
 		if err != nil {
 			return err
@@ -358,8 +386,16 @@ func (s *Server) recoverJobs() error {
 			s.opts.Logf("server: dropping corrupt job record %s: %v", id, err)
 			continue
 		}
+		// A record whose ID does not round-trip through the job-%08d format
+		// (foreign store, hand-edited state) must not recover: ignoring the
+		// parse error would install it with seq 0, and a freshly issued
+		// job-N could then collide with its map entry.
 		var seq uint64
-		fmt.Sscanf(j.ID, "job-%d", &seq)
+		if n, err := fmt.Sscanf(j.ID, "job-%d", &seq); n != 1 || err != nil ||
+			fmt.Sprintf("job-%08d", seq) != j.ID {
+			s.opts.Logf("server: skipping job record with unparseable id %q", id)
+			continue
+		}
 		s.jobs.recover(j, seq)
 	}
 	return nil
@@ -654,7 +690,7 @@ func (s *Server) publishAs(id string, snap *core.ResultSnapshot) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	pos := len(s.snaps)
-	for pos > 0 && s.snaps[pos-1].ID > id {
+	for pos > 0 && snapshotNewer(s.snaps[pos-1].ID, id) {
 		pos--
 	}
 	if pos > 0 && s.snaps[pos-1].ID == id {
@@ -677,7 +713,7 @@ func (s *Server) publishAs(id string, snap *core.ResultSnapshot) error {
 	s.snaps = slices.Insert(s.snaps, pos, info)
 	s.met.published.Inc()
 	s.met.snapshots.Set(float64(len(s.snaps)))
-	if cur := s.idx.Load(); cur == nil || cur.id < id {
+	if cur := s.idx.Load(); cur == nil || snapshotNewer(id, cur.id) {
 		s.idx.Store(buildIndex(id, snap))
 	}
 	s.cache.purge()

@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -30,8 +31,9 @@ import (
 
 // response is one captured HTTP exchange.
 type response struct {
-	code int
-	body []byte
+	code   int
+	body   []byte
+	header http.Header
 }
 
 func get(t *testing.T, base, path string) response {
@@ -45,7 +47,7 @@ func get(t *testing.T, base, path string) response {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return response{resp.StatusCode, body}
+	return response{resp.StatusCode, body, resp.Header}
 }
 
 func post(t *testing.T, base, path, body string) response {
@@ -59,11 +61,36 @@ func post(t *testing.T, base, path, body string) response {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return response{resp.StatusCode, data}
+	return response{resp.StatusCode, data, resp.Header}
 }
 
-// compareGET asserts a byte-identical GET exchange on both deployments and
-// returns the shared response.
+// diffHeaders reports the response headers on which the two deployments
+// disagree — the router relays the shard's headers verbatim, so everything
+// but Date (each process stamps its own clock) must match.
+func diffHeaders(want, got http.Header) string {
+	keys := map[string]bool{}
+	for k := range want {
+		keys[k] = true
+	}
+	for k := range got {
+		keys[k] = true
+	}
+	delete(keys, "Date")
+	var diffs []string
+	for k := range keys {
+		w := strings.Join(want.Values(k), ", ")
+		g := strings.Join(got.Values(k), ", ")
+		if w != g {
+			diffs = append(diffs, fmt.Sprintf("%s: single %q vs sharded %q", k, w, g))
+		}
+	}
+	sort.Strings(diffs)
+	return strings.Join(diffs, "; ")
+}
+
+// compareGET asserts a byte-identical GET exchange — status, headers
+// (excluding Date), and body — on both deployments and returns the shared
+// response.
 func compareGET(t *testing.T, singleURL, routerURL, path string) response {
 	t.Helper()
 	want := get(t, singleURL, path)
@@ -72,10 +99,14 @@ func compareGET(t *testing.T, singleURL, routerURL, path string) response {
 		t.Fatalf("GET %s diverges:\nsingle : %d %s\nsharded: %d %s",
 			path, want.code, want.body, got.code, got.body)
 	}
+	if d := diffHeaders(want.header, got.header); d != "" {
+		t.Fatalf("GET %s headers diverge: %s", path, d)
+	}
 	return want
 }
 
-// comparePOST asserts a byte-identical POST /v1/sameas exchange.
+// comparePOST asserts a byte-identical POST /v1/sameas exchange, headers
+// included.
 func comparePOST(t *testing.T, singleURL, routerURL, path, body string) response {
 	t.Helper()
 	want := post(t, singleURL, path, body)
@@ -83,6 +114,9 @@ func comparePOST(t *testing.T, singleURL, routerURL, path, body string) response
 	if want.code != got.code || !bytes.Equal(want.body, got.body) {
 		t.Fatalf("POST %s diverges:\nsingle : %d %s\nsharded: %d %s",
 			path, want.code, want.body, got.code, got.body)
+	}
+	if d := diffHeaders(want.header, got.header); d != "" {
+		t.Fatalf("POST %s headers diverge: %s", path, d)
 	}
 	return want
 }
@@ -571,4 +605,171 @@ func TestShardGCKeepsPreviousEpoch(t *testing.T) {
 	if _, err := peer.SameAs(ctx, client.SameAsQuery{KB: "1", Key: "<http://a/x>", Snapshot: "snap-00000001"}); !client.IsNotFound(err) {
 		t.Fatalf("retired snapshot still serves: %v, want 404", err)
 	}
+}
+
+// TestDifferentialReplicatedDegraded runs the differential harness against
+// a replicated fleet losing one replica per group mid-flight: 3 shard
+// groups of 2 replicas each must serve the same bytes as a single process
+// — headers included, no 502s — before the kill, with concurrent readers
+// across it, after it, and for a new version published while the dead
+// replicas are still down (the epoch advances on the survivors'
+// acknowledgment alone).
+func TestDifferentialReplicatedDegraded(t *testing.T) {
+	ctx := context.Background()
+	d := gen.Movies(gen.MoviesConfig{Seed: 11, People: 200, Movies: 80})
+	o1, o2, err := d.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.New(o1, o2, core.Config{}).Run()
+	if len(res.Instances) == 0 {
+		t.Fatal("alignment produced nothing")
+	}
+	snap := res.Snapshot()
+	snap.CreatedAt = time.Now().UTC() // one timestamp for every copy
+
+	// ---- Single-process reference deployment. ----
+	single, err := server.New(server.Options{StateDir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleTS := httptest.NewServer(single.Handler())
+	t.Cleanup(func() { singleTS.Close(); single.Close() })
+	singleClient, err := client.New(singleTS.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := diskstore.SnapshotID(1)
+	if _, err := singleClient.PutSnapshot(ctx, v1, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// ---- 3 shard groups x 2 replicas. ----
+	const nGroups, nReplicas = 3, 2
+	groups := make([][]*client.Client, nGroups)
+	servers := make([][]*httptest.Server, nGroups)
+	var elements []string
+	for i := 0; i < nGroups; i++ {
+		var urls []string
+		for j := 0; j < nReplicas; j++ {
+			srv, err := server.New(server.Options{
+				StateDir: t.TempDir(), ShardIndex: i, ShardCount: nGroups, Logf: t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			// httptest.Server.Close is idempotent; the killed replicas are
+			// closed twice (mid-test and here) without harm.
+			t.Cleanup(func() { ts.Close(); srv.Close() })
+			peer, err := client.New(ts.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			groups[i] = append(groups[i], peer)
+			servers[i] = append(servers[i], ts)
+			urls = append(urls, ts.URL)
+		}
+		elements = append(elements, strings.Join(urls, ","))
+	}
+	if err := shard.PublishGroups(ctx, groups, v1, snap); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := shard.NewRouter(elements, shard.WithLogf(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+	if epoch, err := rt.Refresh(ctx); err != nil || epoch != v1 {
+		t.Fatalf("epoch = %q (err %v), want %q", epoch, err, v1)
+	}
+
+	pairs := d.Gold.Pairs()
+	if len(pairs) == 0 {
+		t.Fatal("empty gold standard")
+	}
+	fwd := make([]string, 0, len(pairs))
+	for _, p := range pairs {
+		fwd = append(fwd, p[0])
+	}
+	sweep := func(label string) {
+		t.Helper()
+		for _, p := range pairs {
+			compareGET(t, singleTS.URL, rts.URL, "/v1/sameas?kb=1&key="+url.QueryEscape(p[0]))
+			compareGET(t, singleTS.URL, rts.URL, "/v1/sameas?kb=2&key="+url.QueryEscape(p[1]))
+		}
+		comparePOST(t, singleTS.URL, rts.URL, "/v1/sameas", batchBody("1", fwd))
+		t.Logf("%s sweep: %d pairs byte-identical in both directions", label, len(pairs))
+	}
+	sweep("full fleet")
+
+	// ---- Concurrent pinned readers across the replica kill. ----
+	pinnedProbe := "/v1/sameas?kb=1&key=" + url.QueryEscape(pairs[0][0]) + "&snapshot=" + v1
+	v1Body := get(t, singleTS.URL, pinnedProbe).body
+	stop := make(chan struct{})
+	errc := make(chan error, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if r := get(t, rts.URL, pinnedProbe); r.code != http.StatusOK || !bytes.Equal(r.body, v1Body) {
+					errc <- fmt.Errorf("pinned read broke across the replica kill: %d %s", r.code, r.body)
+					return
+				}
+			}
+		}()
+	}
+
+	// Kill replica 1 of every group while the readers run: in-flight
+	// requests abort mid-read, and every group is down to one replica.
+	for i := 0; i < nGroups; i++ {
+		servers[i][1].CloseClientConnections()
+		servers[i][1].Close()
+	}
+	sweep("degraded fleet")
+	if v := counterValue(t, rt, "paris_router_failovers_total"); v < 1 {
+		t.Errorf("paris_router_failovers_total = %v, want >= 1 (reads must have failed over)", v)
+	}
+
+	// ---- Publish v2 while the dead replicas are still down. ----
+	snap2 := res.Snapshot()
+	for i := range snap2.Instances {
+		snap2.Instances[i].P = 0.25 + snap2.Instances[i].P/2
+	}
+	snap2.CreatedAt = time.Now().UTC()
+	v2 := diskstore.SnapshotID(2)
+	if _, err := singleClient.PutSnapshot(ctx, v2, snap2); err != nil {
+		t.Fatal(err)
+	}
+	err = shard.PublishGroups(ctx, groups, v2, snap2)
+	if err == nil || !strings.Contains(err.Error(), "probing") || !strings.Contains(err.Error(), "replica 1") {
+		t.Fatalf("PublishGroups with dead replicas = %v, want a probe error naming replica 1", err)
+	}
+	// The survivors acknowledged, so the epoch still advances.
+	if epoch, err := rt.Refresh(ctx); err != nil || epoch != v2 {
+		t.Fatalf("epoch after degraded publish = %q (err %v), want %q", epoch, err, v2)
+	}
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Unpinned reads now serve v2 — visibly different from v1 and still
+	// byte-identical — and v1 pins keep resolving on the survivors.
+	probe := "/v1/sameas?kb=1&key=" + url.QueryEscape(pairs[0][0])
+	if v2Body := compareGET(t, singleTS.URL, rts.URL, probe).body; bytes.Equal(v2Body, v1Body) {
+		t.Fatal("v2 probe answer equals v1; the perturbation is invisible")
+	}
+	compareGET(t, singleTS.URL, rts.URL, pinnedProbe)
+	sweep("degraded fleet on v2")
 }

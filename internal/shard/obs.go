@@ -1,10 +1,11 @@
 package shard
 
 // Router telemetry: the same obs.Registry surface the shard servers expose,
-// under router-specific names — per-route HTTP metrics, per-shard fan-out
-// latency and error counters (so a slow shard is distinguishable from a
-// failed one on the dashboard, not just in error messages), and epoch
-// observability for the two-phase publish.
+// under router-specific names — per-route HTTP metrics, per-replica fan-out
+// latency and error counters (so a slow replica is distinguishable from a
+// failed one on the dashboard, not just in error messages), hedging and
+// failover counters for the replicated read path, and epoch observability
+// for the two-phase publish.
 
 import (
 	"strconv"
@@ -16,11 +17,16 @@ import (
 type routerMetrics struct {
 	http *obs.HTTPMetrics
 
-	// shardSeconds and shardErrors are labeled by shard index: the scatter
-	// path records every sub-request's latency, and every transport failure
-	// names the shard it hit.
+	// shardSeconds and shardErrors are labeled by shard group and replica
+	// index: the scatter path records every sub-request's latency, and
+	// every transport failure names the replica it hit.
 	shardSeconds *obs.HistogramVec
 	shardErrors  *obs.CounterVec
+
+	hedges      *obs.Counter
+	hedgeWins   *obs.Counter
+	failovers   *obs.Counter
+	rateLimited *obs.Counter
 
 	epochSeq   *obs.Gauge
 	epochFlips *obs.Counter
@@ -34,11 +40,19 @@ func newRouterMetrics(reg *obs.Registry) *routerMetrics {
 	return &routerMetrics{
 		http: obs.NewHTTPMetrics(reg, "paris_router_http"),
 		shardSeconds: reg.HistogramVec("paris_router_shard_request_seconds",
-			"Latency of one shard sub-request during routing or scatter-gather, by shard index.",
-			nil, "shard"),
+			"Latency of one shard sub-request during routing or scatter-gather, by shard group and replica.",
+			nil, "shard", "replica"),
 		shardErrors: reg.CounterVec("paris_router_shard_errors_total",
-			"Shard sub-requests that failed at the transport layer, by shard index.",
-			"shard"),
+			"Shard sub-requests that failed at the transport layer, by shard group and replica.",
+			"shard", "replica"),
+		hedges: reg.Counter("paris_router_hedges_total",
+			"Hedge sub-requests launched after a read exceeded its latency budget."),
+		hedgeWins: reg.Counter("paris_router_hedge_wins_total",
+			"Hedge sub-requests that answered before the replica they backed up."),
+		failovers: reg.Counter("paris_router_failovers_total",
+			"Sub-requests retried on another replica after a transport error."),
+		rateLimited: reg.Counter("paris_router_rate_limited_total",
+			"Requests rejected with 429 by the per-client rate limiter."),
 		epochSeq: reg.Gauge("paris_router_epoch_seq",
 			"Sequence number of the routing epoch (0 before the first acknowledged version)."),
 		epochFlips: reg.Counter("paris_router_epoch_flips_total",
@@ -49,11 +63,11 @@ func newRouterMetrics(reg *obs.Registry) *routerMetrics {
 }
 
 // shardDone records one shard sub-request's outcome.
-func (m *routerMetrics) shardDone(shard int, seconds float64, failed bool) {
-	label := strconv.Itoa(shard)
-	m.shardSeconds.With(label).Observe(seconds)
+func (m *routerMetrics) shardDone(shard, replica int, seconds float64, failed bool) {
+	s, r := strconv.Itoa(shard), strconv.Itoa(replica)
+	m.shardSeconds.With(s, r).Observe(seconds)
 	if failed {
-		m.shardErrors.With(label).Inc()
+		m.shardErrors.With(s, r).Inc()
 	}
 }
 

@@ -171,7 +171,7 @@ func TestRouterTracePropagation(t *testing.T) {
 	for _, want := range []string{
 		`paris_router_http_requests_total{route="GET /v1/sameas",method="GET",code="200"} 1`,
 		`paris_router_http_requests_total{route="POST /v1/sameas",method="POST",code="200"} 1`,
-		`paris_router_shard_request_seconds_count{shard="0"} 2`,
+		`paris_router_shard_request_seconds_count{shard="0",replica="0"} 2`,
 		"paris_router_epoch_seq 1",
 		"paris_router_epoch_flips_total 1",
 		"paris_router_lookups_total 2",
@@ -180,7 +180,7 @@ func TestRouterTracePropagation(t *testing.T) {
 			t.Errorf("router exposition missing %q", want)
 		}
 	}
-	if strings.Contains(text, `paris_router_shard_errors_total{shard="0"}`) {
+	if strings.Contains(text, `paris_router_shard_errors_total{shard="0",replica="0"}`) {
 		t.Errorf("error counter recorded for a healthy shard:\n%s", text)
 	}
 }
@@ -224,7 +224,7 @@ func TestRouterShardErrorNamesShardWithTiming(t *testing.T) {
 
 	var b strings.Builder
 	rt.MetricsRegistry().WriteText(&b)
-	if !strings.Contains(b.String(), `paris_router_shard_errors_total{shard="0"} 2`) {
+	if !strings.Contains(b.String(), `paris_router_shard_errors_total{shard="0",replica="0"} 2`) {
 		t.Errorf("shard error counter missing:\n%s", b.String())
 	}
 }

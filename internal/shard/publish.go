@@ -21,6 +21,8 @@ import (
 // two-phase publish. The ID is common to every shard, so a ?snapshot=-
 // pinned read resolves consistently across the deployment. shards must be
 // in shard-index order and id a diskstore snapshot ID (snap-NNNNNNNN).
+// Replicated deployments use PublishGroups; Publish is the
+// one-replica-per-shard convenience over it.
 //
 // Publish returns once every shard has acknowledged (persisted and
 // published) its slice; the caller then flips the routing epoch (phase two,
@@ -30,53 +32,97 @@ import (
 // rerunning the same Publish converges: a shard that already holds the ID
 // answers 409, which counts as acknowledged.
 func Publish(ctx context.Context, shards []*client.Client, id string, snap *core.ResultSnapshot) error {
+	groups := make([][]*client.Client, len(shards))
+	for i, peer := range shards {
+		groups[i] = []*client.Client{peer}
+	}
+	return PublishGroups(ctx, groups, id, snap)
+}
+
+// PublishGroups is Publish over a replica topology: groups[i] is the
+// replica set for slice i, and the slice pushes to every replica of the
+// group, concurrently across the whole fleet.
+//
+// An unreachable replica fails PublishGroups but does not block the rest
+// of the fleet: the reachable replicas still receive their slices, so the
+// router's epoch advances once every group holds the version through at
+// least one replica (Router.Refresh needs one acknowledgment per group,
+// not per replica). The error tells the operator which replicas missed the
+// version; rerunning the same PublishGroups once they return converges,
+// exactly like Publish.
+func PublishGroups(ctx context.Context, groups [][]*client.Client, id string, snap *core.ResultSnapshot) error {
 	if _, err := diskstore.ParseSnapshotID(id); err != nil {
 		return err
 	}
-	part, err := NewPartitioner(len(shards))
+	part, err := NewPartitioner(len(groups))
 	if err != nil {
 		return err
 	}
-	// A misordered shard list would persist slices on the wrong shards —
-	// data corruption, not just misrouting — so check each shard's
-	// self-reported i/N coordinates against its position before pushing.
-	if err := verifyShardOrder(ctx, shards, func(i int) string { return fmt.Sprintf("peer %d", i) }); err != nil {
-		return err
+	for gi, g := range groups {
+		if len(g) == 0 {
+			return fmt.Errorf("shard: group %d has no replicas", gi)
+		}
+	}
+	// A misordered topology would persist slices on the wrong shards —
+	// data corruption, not just misrouting — so check each replica's
+	// self-reported i/N coordinates against its group before pushing. A
+	// replica that cannot answer the coordinate probe is skipped for the
+	// push too (never persist to an unverified replica): it surfaces in
+	// the returned error, while its verified siblings still get the slice.
+	verified := make([][]error, len(groups))
+	for gi, g := range groups {
+		verified[gi] = make([]error, len(g))
+		for ri, peer := range g {
+			stats, err := peer.Stats(ctx)
+			if err != nil {
+				verified[gi][ri] = fmt.Errorf("shard: probing %s on shard %d replica %d: %w", id, gi, ri, err)
+				continue
+			}
+			if err := checkShardCoords(stats, gi, len(groups), fmt.Sprintf("peer %d/%d", gi, ri)); err != nil {
+				return err
+			}
+		}
 	}
 	stampCreated(snap)
-	slices := snap.Split(len(shards), part.Owner)
-	errs := make([]error, len(shards))
+	slices := snap.Split(len(groups), part.Owner)
 	var wg sync.WaitGroup
-	for i := range shards {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			_, err := shards[i].PutSnapshot(ctx, id, slices[i])
-			var se *client.Error
-			if errors.As(err, &se) && se.StatusCode == http.StatusConflict {
-				// A 409 usually means the shard already holds the version
-				// (an earlier, partly failed publish) — but the status also
-				// covers the reservation-collision rejection, which stores
-				// nothing. Only an ID the shard actually lists counts as
-				// the acknowledgment.
-				if list, lerr := shards[i].Snapshots(ctx); lerr == nil {
-					for _, info := range list.Snapshots {
-						if info.ID == id {
-							err = nil
-							break
+	for gi, g := range groups {
+		for ri, peer := range g {
+			if verified[gi][ri] != nil {
+				continue
+			}
+			wg.Add(1)
+			go func(gi, ri int, peer *client.Client) {
+				defer wg.Done()
+				_, err := peer.PutSnapshot(ctx, id, slices[gi])
+				var se *client.Error
+				if errors.As(err, &se) && se.StatusCode == http.StatusConflict {
+					// A 409 usually means the replica already holds the
+					// version (an earlier, partly failed publish) — but the
+					// status also covers the reservation-collision
+					// rejection, which stores nothing. Only an ID the
+					// replica actually lists counts as the acknowledgment.
+					if list, lerr := peer.Snapshots(ctx); lerr == nil {
+						for _, info := range list.Snapshots {
+							if info.ID == id {
+								err = nil
+								break
+							}
 						}
 					}
 				}
-			}
-			if err != nil {
-				errs[i] = fmt.Errorf("shard: pushing %s to shard %d: %w", id, i, err)
-			}
-		}(i)
+				if err != nil {
+					verified[gi][ri] = fmt.Errorf("shard: pushing %s to shard %d replica %d: %w", id, gi, ri, err)
+				}
+			}(gi, ri, peer)
+		}
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	for _, g := range verified {
+		for _, err := range g {
+			if err != nil {
+				return err
+			}
 		}
 	}
 	return nil

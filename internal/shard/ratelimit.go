@@ -1,0 +1,134 @@
+package shard
+
+// Per-client rate limiting for the router: a token bucket per client key
+// (first X-Forwarded-For hop when present, else the remote address),
+// refilled continuously, answering 429 with a Retry-After estimate when a
+// bucket runs dry. Hand-rolled on the standard library — the repo carries
+// no external dependencies.
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxRateLimitClients bounds the bucket map: past it, fully-refilled
+// (idle) buckets are evicted, and as a last resort an arbitrary one — a
+// spoofed X-Forwarded-For flood must not grow router memory without bound.
+const maxRateLimitClients = 65536
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+type rateLimiter struct {
+	rps   float64 // sustained tokens per second per client
+	burst float64 // bucket capacity
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+	now     func() time.Time // test hook
+}
+
+func newRateLimiter(rps float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = int(math.Ceil(2 * rps))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &rateLimiter{
+		rps:     rps,
+		burst:   float64(burst),
+		buckets: make(map[string]*tokenBucket),
+		now:     time.Now,
+	}
+}
+
+// allow takes one token from key's bucket. When the bucket is dry it
+// returns false and the wait until a token is available again.
+func (l *rateLimiter) allow(key string) (bool, time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= maxRateLimitClients {
+			l.evictLocked(now)
+		}
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	b.tokens = min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rps)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rps * float64(time.Second))
+}
+
+// evictLocked drops buckets that have fully refilled — clients idle long
+// enough that forgetting them is indistinguishable from remembering them.
+// If every bucket is active, one arbitrary entry goes: staying bounded
+// beats perfect fairness against an adversarial key flood.
+func (l *rateLimiter) evictLocked(now time.Time) {
+	for k, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rps >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+	if len(l.buckets) >= maxRateLimitClients {
+		for k := range l.buckets {
+			delete(l.buckets, k)
+			break
+		}
+	}
+}
+
+// clientKey identifies the client for rate limiting: the first hop of
+// X-Forwarded-For when a fronting proxy supplies one, else the remote
+// address without its ephemeral port.
+func clientKey(r *http.Request) string {
+	if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+		if i := strings.IndexByte(xff, ','); i >= 0 {
+			xff = xff[:i]
+		}
+		if key := strings.TrimSpace(xff); key != "" {
+			return key
+		}
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// middleware enforces the limit in front of next. Health, readiness, and
+// metrics stay exempt: throttling a load balancer's probes or a scraper
+// would turn an overloaded router into an officially dead one.
+func (l *rateLimiter) middleware(met *routerMetrics, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/healthz", "/v1/readyz", "/metrics":
+			next.ServeHTTP(w, r)
+			return
+		}
+		if ok, retry := l.allow(clientKey(r)); !ok {
+			met.rateLimited.Inc()
+			secs := int(math.Ceil(retry.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			httpError(w, http.StatusTooManyRequests, "rate limit exceeded, retry after %ds", secs)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,150 @@
+package shard
+
+// Replica topology: each partition of a sharded deployment is a replica
+// set. The -shard i/N slice identity is unchanged — every replica of group
+// i holds the same slice i — so the router's reads have somewhere to go
+// when one replica is down, and somewhere to hedge to when one is slow.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+
+	"repro/client"
+)
+
+// replica is one server of a replica group: a peer client plus the health
+// and version knowledge the router maintains about it (updated from both
+// Refresh polls and live request outcomes).
+type replica struct {
+	idx  int // position within the group, the "replica" metric label
+	url  string
+	peer *client.Client
+
+	// healthy is the last-known transport health: false after a failed
+	// poll or a transport-failed request, true again on any success. It
+	// orders replica selection; it never excludes — a group whose every
+	// replica looks unhealthy is still tried (the mark may be stale).
+	healthy atomic.Bool
+
+	// held is the set of snapshot IDs the replica listed at its last
+	// successful poll (map[string]bool), used to prefer replicas known to
+	// hold the pinned version.
+	held atomic.Value
+}
+
+// holds reports whether the replica listed the snapshot at its last poll.
+func (rep *replica) holds(id string) bool {
+	m, _ := rep.held.Load().(map[string]bool)
+	return m[id]
+}
+
+// noteOutcome folds one request outcome into the replica's health: any
+// response — including a server-reported HTTP error, which proves the
+// replica is up — marks it healthy, a transport failure unhealthy. A
+// canceled attempt (hedge loser, client gone) says nothing about health.
+func (rep *replica) noteOutcome(err error) {
+	switch {
+	case err == nil || isServerError(err):
+		rep.healthy.Store(true)
+	case errors.Is(err, context.Canceled):
+	default:
+		rep.healthy.Store(false)
+	}
+}
+
+// isServerError reports whether err is a shard-reported HTTP error — the
+// replica answered, so the error relays verbatim (every replica of the
+// group would report the same) instead of triggering a failover.
+func isServerError(err error) bool {
+	var se *client.Error
+	return errors.As(err, &se)
+}
+
+// group is the replica set serving one shard slice.
+type group struct {
+	replicas []*replica
+	next     atomic.Uint64 // round-robin cursor for read spreading
+}
+
+// candidates returns the group's replicas in the order a read pinned to
+// the given snapshot should try them: healthy replicas known to hold the
+// pin first, then healthy ones with unknown holdings, then the rest —
+// rotated round-robin within the ranking so concurrent reads spread over
+// equivalent replicas. Every replica is always listed: health marks are
+// advisory, and the last-ranked replica of a group may still be the only
+// one that answers.
+func (g *group) candidates(pin string) []*replica {
+	n := len(g.replicas)
+	if n == 1 {
+		return g.replicas
+	}
+	start := int(g.next.Add(1) % uint64(n))
+	order := make([]*replica, 0, n)
+	for rank := 0; rank < 3; rank++ {
+		for i := 0; i < n; i++ {
+			rep := g.replicas[(start+i)%n]
+			ok := rep.healthy.Load()
+			switch rank {
+			case 0:
+				if ok && rep.holds(pin) {
+					order = append(order, rep)
+				}
+			case 1:
+				if ok && !rep.holds(pin) {
+					order = append(order, rep)
+				}
+			case 2:
+				if !ok {
+					order = append(order, rep)
+				}
+			}
+		}
+	}
+	return order
+}
+
+// healthyCount reports how many replicas of the group look reachable.
+func (g *group) healthyCount() int {
+	n := 0
+	for _, rep := range g.replicas {
+		if rep.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// SplitTopology splits a -shards flag value into the replica-group
+// elements NewRouter and PublishGroups expect: with a ";" present, groups
+// separate on ";" and each element keeps its comma-separated replicas
+// ("http://a0,http://a1;http://b0,http://b1" is two groups of two
+// replicas); without one, the legacy comma syntax means one
+// single-replica group per URL. Empty elements are dropped.
+func SplitTopology(s string) []string {
+	sep := ","
+	if strings.Contains(s, ";") {
+		sep = ";"
+	}
+	var elements []string
+	for _, e := range strings.Split(s, sep) {
+		if e = strings.TrimSpace(e); e != "" {
+			elements = append(elements, e)
+		}
+	}
+	return elements
+}
+
+// splitReplicaGroup splits one shardURLs element into its replica URLs:
+// "http://a:7171,http://b:7171" is a two-replica group, a bare URL a
+// single-replica group (the pre-replication topology, unchanged).
+func splitReplicaGroup(element string) []string {
+	var urls []string
+	for _, u := range strings.Split(element, ",") {
+		if u = strings.TrimSuffix(strings.TrimSpace(u), "/"); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}

@@ -8,12 +8,12 @@ import (
 	"io"
 	"net/http"
 	"net/url"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/client"
+	"repro/internal/diskstore"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -24,6 +24,11 @@ const (
 	maxBatchKeys = server.MaxBatchKeys
 	maxBatchBody = server.MaxBatchBody
 )
+
+// minHedgeDelay floors the adaptive hedge budget: with no latency history
+// the route family's p99 reads 0, and hedging every request instantly
+// would double the fleet's read load for nothing.
+const minHedgeDelay = time.Millisecond
 
 // defaultShardClient returns the router's default HTTP client: the stock
 // transport keeps only two idle connections per host, so a router fanning
@@ -51,20 +56,45 @@ func WithLogf(f func(format string, args ...any)) RouterOption {
 	return func(rt *Router) { rt.logf = f }
 }
 
+// WithHedgeDelay fixes the latency budget after which a read hedges to a
+// second replica, instead of tracking the route family's sliding p99
+// (tests, or deployments with a known latency SLO).
+func WithHedgeDelay(d time.Duration) RouterOption {
+	return func(rt *Router) { rt.hedgeFixed = d }
+}
+
+// WithRateLimit enables per-client token-bucket rate limiting: rps
+// sustained requests per second per client (keyed by the first
+// X-Forwarded-For hop, else the remote address), bursting to burst
+// (default 2×rps). Over-limit requests answer 429 with a Retry-After
+// header. rps <= 0 leaves limiting off.
+func WithRateLimit(rps float64, burst int) RouterOption {
+	return func(rt *Router) {
+		if rps > 0 {
+			rt.limiter = newRateLimiter(rps, burst)
+		}
+	}
+}
+
 // Router is the stateless front of a sharded deployment: it owns no index,
-// only the shard topology and a routing epoch. Reads route to the shard
-// owning the queried key; batch lookups scatter-gather across the owning
-// shards with per-shard contexts. Every read without an explicit ?snapshot=
-// is pinned to the routing epoch — the newest snapshot version every shard
-// has acknowledged — so a publish in flight (slices landed on some shards
-// but not all) never produces a torn cross-shard view. Refresh advances the
-// epoch, and only forward.
+// only the shard topology and a routing epoch. Each partition is a replica
+// set — shardURLs[i] may name several replicas, all holding slice i — and
+// reads route to the group owning the queried key: the preferred replica
+// first, a hedge to the next once the route's latency budget expires, and
+// an immediate failover on transport error, so a one-replica-down group
+// keeps serving the same bytes. Batch lookups scatter-gather across the
+// owning groups with per-group contexts. Every read without an explicit
+// ?snapshot= is pinned to the routing epoch — the newest snapshot version
+// every group has acknowledged — so a publish in flight never produces a
+// torn cross-shard view. Refresh advances the epoch, and only forward.
 type Router struct {
-	part  Partitioner
-	urls  []string
-	peers []*client.Client
-	httpc *http.Client
-	logf  func(format string, args ...any)
+	part   Partitioner
+	groups []*group
+	httpc  *http.Client
+	logf   func(format string, args ...any)
+
+	hedgeFixed time.Duration // 0 = adaptive (route-family p99)
+	limiter    *rateLimiter  // nil = no rate limiting
 
 	// epochMu serializes epoch advancement; readers go through the atomic.
 	epochMu sync.Mutex
@@ -72,14 +102,15 @@ type Router struct {
 
 	lookups atomic.Uint64
 	mux     *http.ServeMux
-	handler http.Handler // mux wrapped in the telemetry middleware
+	handler http.Handler // mux wrapped in rate-limit + telemetry middleware
 	reg     *obs.Registry
 	met     *routerMetrics
 	col     *obs.Collector // flight recorder for the scatter path
 }
 
-// NewRouter builds a router over the shard base URLs, in shard-index order:
-// shardURLs[i] must be the shard started with -shard i/N, where N is
+// NewRouter builds a router over the shard topology, in shard-index order:
+// shardURLs[i] is the replica group for slice i — one base URL, or several
+// comma-separated ones, each a shard started with -shard i/N where N is
 // len(shardURLs).
 func NewRouter(shardURLs []string, opts ...RouterOption) (*Router, error) {
 	part, err := NewPartitioner(len(shardURLs))
@@ -100,45 +131,38 @@ func NewRouter(shardURLs []string, opts ...RouterOption) (*Router, error) {
 	for _, opt := range opts {
 		opt(rt)
 	}
-	for i, u := range shardURLs {
-		u = strings.TrimSuffix(u, "/")
-		peer, err := client.New(u, client.WithHTTPClient(rt.httpc))
-		if err != nil {
-			return nil, fmt.Errorf("shard %d: %w", i, err)
+	for i, element := range shardURLs {
+		urls := splitReplicaGroup(element)
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("shard %d: empty replica group", i)
 		}
-		rt.urls = append(rt.urls, u)
-		rt.peers = append(rt.peers, peer)
+		g := &group{}
+		for j, u := range urls {
+			peer, err := client.New(u, client.WithHTTPClient(rt.httpc))
+			if err != nil {
+				return nil, fmt.Errorf("shard %d replica %d: %w", i, j, err)
+			}
+			rep := &replica{idx: j, url: u, peer: peer}
+			// Optimistic until the first poll or request says otherwise.
+			rep.healthy.Store(true)
+			g.replicas = append(g.replicas, rep)
+		}
+		rt.groups = append(rt.groups, g)
 	}
 	rt.buildMux()
 	return rt, nil
 }
 
-// Shards returns the number of shards behind the router.
-func (rt *Router) Shards() int { return len(rt.peers) }
+// Shards returns the number of shard groups behind the router.
+func (rt *Router) Shards() int { return len(rt.groups) }
 
 // Epoch returns the routing epoch: the snapshot ID unpinned reads resolve
-// against, empty before any version has been acknowledged by every shard.
+// against, empty before any version has been acknowledged by every group.
 func (rt *Router) Epoch() string { return rt.epoch.Load().(string) }
 
-// verifyShardOrder checks each peer's self-reported shard coordinates
-// (/v1/stats) against its position in the list; desc names peer i in
-// errors. A plain parisd (no shard coordinates in its stats) passes
-// unchecked: it holds a full index, any position works.
-func verifyShardOrder(ctx context.Context, peers []*client.Client, desc func(int) string) error {
-	for i, peer := range peers {
-		stats, err := peer.Stats(ctx)
-		if err != nil {
-			return fmt.Errorf("shard %d (%s): %w", i, desc(i), err)
-		}
-		if err := checkShardCoords(stats, i, len(peers), desc(i)); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // checkShardCoords validates one shard's self-reported i/N against its
-// position.
+// position. A plain parisd (no shard coordinates in its stats) passes
+// unchecked: it holds a full index, any position works.
 func checkShardCoords(stats map[string]any, pos, count int, desc string) error {
 	sh, ok := stats["shard"].(map[string]any)
 	if !ok {
@@ -153,57 +177,99 @@ func checkShardCoords(stats map[string]any, pos, count int, desc string) error {
 	return nil
 }
 
-// Refresh recomputes the routing epoch: the newest snapshot version listed
-// by every shard, polled concurrently. It is phase two of the two-phase
-// publish — the epoch flips only once each shard has acknowledged
-// (persisted and published) its slice, and it never moves backward, so a
-// shard restarted with an older state cannot regress routing. Every pass
-// also re-checks each shard's self-reported -shard i/N coordinates against
-// its position (not just once at startup: a shard restarted mid-life with
-// swapped flags would otherwise misroute silently). Refresh returns the
-// epoch in force after the check; an unreachable or misordered shard
-// leaves the epoch untouched.
+// Refresh recomputes the routing epoch: the newest snapshot version (by
+// sequence number — snapshot IDs never compare as strings, the zero-padded
+// width overflows at seq 100,000,000) acknowledged by at least one replica
+// of every group, polled concurrently. It is phase two of the two-phase
+// publish — the epoch flips only once every group holds the version, and
+// it never moves backward. Every pass re-checks each reachable replica's
+// self-reported -shard i/N coordinates against its group (a replica
+// restarted mid-life with swapped flags would otherwise misroute
+// silently), refreshes per-replica health and version knowledge for the
+// read path's replica selection, and tolerates unreachable replicas: only
+// a group with no reachable replica at all leaves the epoch untouched and
+// returns an error.
 func (rt *Router) Refresh(ctx context.Context) (string, error) {
 	type report struct {
 		list  client.SnapshotList
 		stats map[string]any
 		err   error
 	}
-	reports := make([]report, len(rt.peers))
+	reports := make([][]report, len(rt.groups))
 	var wg sync.WaitGroup
-	for i := range rt.peers {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			r := &reports[i]
-			if r.stats, r.err = rt.peers[i].Stats(ctx); r.err != nil {
-				return
-			}
-			r.list, r.err = rt.peers[i].Snapshots(ctx)
-		}(i)
+	for gi, g := range rt.groups {
+		reports[gi] = make([]report, len(g.replicas))
+		for ri, rep := range g.replicas {
+			wg.Add(1)
+			go func(r *report, rep *replica) {
+				defer wg.Done()
+				if r.stats, r.err = rep.peer.Stats(ctx); r.err != nil {
+					return
+				}
+				r.list, r.err = rep.peer.Snapshots(ctx)
+			}(&reports[gi][ri], rep)
+		}
 	}
 	wg.Wait()
-	acks := map[string]int{}
-	for i := range rt.peers {
-		if reports[i].err != nil {
-			return rt.Epoch(), fmt.Errorf("shard %d (%s): %w", i, rt.urls[i], reports[i].err)
+	// acked[id] counts groups where at least one replica lists id.
+	acked := map[string]int{}
+	for gi, g := range rt.groups {
+		groupHolds := map[string]bool{}
+		reachable := 0
+		var lastErr error
+		for ri, rep := range g.replicas {
+			r := &reports[gi][ri]
+			if r.err != nil {
+				rep.healthy.Store(false)
+				lastErr = fmt.Errorf("shard %d replica %d (%s): %w", gi, ri, rep.url, r.err)
+				continue
+			}
+			// Coordinate mismatch is a hard error, not a health problem:
+			// the topology is misconfigured and every key this group owns
+			// is suspect.
+			if err := checkShardCoords(r.stats, gi, len(rt.groups), rep.url); err != nil {
+				return rt.Epoch(), err
+			}
+			rep.healthy.Store(true)
+			reachable++
+			held := make(map[string]bool, len(r.list.Snapshots))
+			for _, info := range r.list.Snapshots {
+				held[info.ID] = true
+				groupHolds[info.ID] = true
+			}
+			rep.held.Store(held)
 		}
-		if err := checkShardCoords(reports[i].stats, i, len(rt.peers), rt.urls[i]); err != nil {
-			return rt.Epoch(), err
+		if reachable == 0 {
+			return rt.Epoch(), lastErr
 		}
-		for _, info := range reports[i].list.Snapshots {
-			acks[info.ID]++
+		for id := range groupHolds {
+			acked[id]++
 		}
 	}
-	best := ""
-	for id, n := range acks {
-		if n == len(rt.peers) && id > best {
-			best = id
+	best, bestSeq := "", uint64(0)
+	for id, n := range acked {
+		if n != len(rt.groups) {
+			continue
 		}
+		seq, err := diskstore.ParseSnapshotID(id)
+		if err != nil {
+			continue
+		}
+		if best == "" || seq > bestSeq {
+			best, bestSeq = id, seq
+		}
+	}
+	if best == "" {
+		return rt.Epoch(), nil
 	}
 	rt.epochMu.Lock()
 	defer rt.epochMu.Unlock()
-	if cur := rt.Epoch(); best > cur {
+	cur := rt.Epoch()
+	curSeq := uint64(0)
+	if cur != "" {
+		curSeq, _ = diskstore.ParseSnapshotID(cur)
+	}
+	if cur == "" || bestSeq > curSeq {
 		rt.epoch.Store(best)
 		rt.met.epochFlip(best)
 		rt.logf("router: epoch %s -> %s", cur, best)
@@ -213,8 +279,9 @@ func (rt *Router) Refresh(ctx context.Context) (string, error) {
 
 // Handler returns the router's HTTP API: the /v1 read surface of a parisd,
 // served scatter-gather, plus POST /v1/refresh to advance the epoch — all
-// wrapped in the telemetry middleware, so every request is counted, timed,
-// and traced (an inbound X-Paris-Trace continues through the fan-out).
+// wrapped in the rate-limit middleware (when configured) and the telemetry
+// middleware, so every request is counted, timed, and traced (an inbound
+// X-Paris-Trace continues through the fan-out).
 func (rt *Router) Handler() http.Handler { return rt.handler }
 
 // MetricsRegistry exposes the router's metrics registry for the daemon's
@@ -254,7 +321,29 @@ func (rt *Router) buildMux() {
 		_, pattern := mux.Handler(r)
 		return pattern
 	}
-	rt.handler = rt.met.http.Middleware(route, rt.logf, mux)
+	var inner http.Handler = mux
+	if rt.limiter != nil {
+		// Inside the telemetry middleware, so 429s are counted and timed
+		// like every other response.
+		inner = rt.limiter.middleware(rt.met, inner)
+	}
+	rt.handler = rt.met.http.Middleware(route, rt.logf, inner)
+}
+
+// hedgeDelay resolves the latency budget after which a read hedges to a
+// second replica: the fixed WithHedgeDelay override when set, otherwise
+// the route family's sliding p99 from the flight recorder, floored at
+// minHedgeDelay while the window is still cold.
+func (rt *Router) hedgeDelay(r *http.Request) time.Duration {
+	if rt.hedgeFixed > 0 {
+		return rt.hedgeFixed
+	}
+	_, family := rt.mux.Handler(r)
+	d := time.Duration(rt.col.Threshold(family) * float64(time.Millisecond))
+	if d < minHedgeDelay {
+		d = minHedgeDelay
+	}
+	return d
 }
 
 // pinned resolves the snapshot a read should be served from: the explicit
@@ -273,9 +362,9 @@ func (rt *Router) pinned(w http.ResponseWriter, q url.Values) (pin string, ok bo
 	return pin, true
 }
 
-// handleSameAs routes one lookup to the shard owning the key and relays the
-// shard's response verbatim — the sharded answer is byte-identical to the
-// single-process one.
+// handleSameAs routes one lookup to the group owning the key and relays
+// the winning replica's response verbatim — the sharded answer is
+// byte-identical to the single-process one.
 func (rt *Router) handleSameAs(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	pin, ok := rt.pinned(w, q)
@@ -290,7 +379,7 @@ func (rt *Router) handleSameAs(w http.ResponseWriter, r *http.Request) {
 
 // handleScores serves /v1/relations and /v1/classes. Every snapshot slice
 // carries the full schema-level tables (they are schema-sized, not
-// KB-sized), so shard 0 answers for the whole deployment.
+// KB-sized), so group 0 answers for the whole deployment.
 func (rt *Router) handleScores(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	pin, ok := rt.pinned(w, q)
@@ -301,47 +390,244 @@ func (rt *Router) handleScores(w http.ResponseWriter, r *http.Request) {
 	rt.proxy(w, r, 0, q)
 }
 
-// proxy relays the request to one shard with the rewritten query and copies
-// the response through untouched. The request trace continues onto the
-// shard (X-Paris-Trace), and the attempt is timed — into the per-shard
-// histogram, and into the error message on failure, so a shard that timed
-// out reads differently from one that refused instantly.
-func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, shard int, q url.Values) {
-	u := rt.urls[shard] + r.URL.Path
-	if len(q) > 0 {
-		u += "?" + q.Encode()
-	}
-	// The shard hop gets its own child span; the shard's http span parents
-	// onto it, so a merged router+shard trace tree reads
-	// http → shard → http.
-	sctx, sp := obs.StartSpan(r.Context(), rt.logf, "shard")
-	sp.Set("shard", shard)
-	req, err := http.NewRequestWithContext(sctx, r.Method, u, nil)
-	if err != nil {
-		sp.Fail(err)
-		sp.End()
-		httpError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	obs.Inject(sctx, req.Header)
-	start := time.Now()
-	resp, err := rt.httpc.Do(req)
-	elapsed := time.Since(start)
-	rt.met.shardDone(shard, elapsed.Seconds(), err != nil)
-	sp.Fail(err)
-	sp.End()
-	if err != nil {
-		httpError(w, http.StatusBadGateway, "shard %d unreachable after %s: %v",
-			shard, elapsed.Round(100*time.Microsecond), err)
-		return
-	}
+// hopByHopHeaders are the connection-scoped response headers a relay must
+// not forward (RFC 9110 §7.6.1); everything else copies verbatim, so a
+// routed response carries the shard's headers byte-for-byte.
+var hopByHopHeaders = map[string]bool{
+	"Connection":          true,
+	"Keep-Alive":          true,
+	"Proxy-Authenticate":  true,
+	"Proxy-Authorization": true,
+	"Te":                  true,
+	"Trailer":             true,
+	"Transfer-Encoding":   true,
+	"Upgrade":             true,
+}
+
+// relay copies one shard response through to the client: every header
+// except the hop-by-hop set (the "relays the shard's response verbatim"
+// contract — Content-Length included, so framing matches the shard's),
+// then the status and body.
+func relay(w http.ResponseWriter, resp *http.Response) {
 	defer resp.Body.Close()
-	if ct := resp.Header.Get("Content-Type"); ct != "" {
-		w.Header().Set("Content-Type", ct)
+	h := w.Header()
+	for k, vv := range resp.Header {
+		if !hopByHopHeaders[k] {
+			h[k] = vv
+		}
 	}
 	w.WriteHeader(resp.StatusCode)
 	// The status line is written; a copy error has nowhere to go.
 	_, _ = io.Copy(w, resp.Body)
+}
+
+// proxyAttempt is the outcome of one replica try on the raw relay path.
+type proxyAttempt struct {
+	idx    int // position in the candidate order
+	resp   *http.Response
+	err    error
+	dur    time.Duration
+	hedged bool
+}
+
+// proxy relays the request to the group owning it with hedged failover:
+// the preferred replica first, a hedge to the next replica once the
+// route's latency budget expires, an immediate failover on transport
+// error, first response wins with loser cancellation. A server-reported
+// HTTP error is a response (every replica would report the same) and
+// relays verbatim; only a group whose every replica failed at the
+// transport layer surfaces as 502. Each attempt gets its own child span —
+// a merged router+shard trace reads http → shard → http — and is timed
+// into the per-replica histogram.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, shard int, q url.Values) {
+	target := r.URL.Path
+	if len(q) > 0 {
+		target += "?" + q.Encode()
+	}
+	cands := rt.groups[shard].candidates(q.Get("snapshot"))
+	results := make(chan proxyAttempt, len(cands))
+	cancels := make([]context.CancelFunc, len(cands))
+	launched, received := 0, 0
+	launch := func(hedged bool) {
+		rep := cands[launched]
+		idx := launched
+		launched++
+		actx, cancel := context.WithCancel(r.Context())
+		cancels[idx] = cancel
+		if hedged {
+			rt.met.hedges.Inc()
+		}
+		go func() {
+			sctx, sp := obs.StartSpan(actx, rt.logf, "shard")
+			sp.Set("shard", shard)
+			sp.Set("replica", rep.idx)
+			if hedged {
+				sp.Set("hedge", true)
+			}
+			req, err := http.NewRequestWithContext(sctx, r.Method, rep.url+target, nil)
+			if err != nil {
+				sp.Fail(err)
+				sp.End()
+				results <- proxyAttempt{idx: idx, err: err, hedged: hedged}
+				return
+			}
+			obs.Inject(sctx, req.Header)
+			start := time.Now()
+			resp, err := rt.httpc.Do(req)
+			dur := time.Since(start)
+			rt.met.shardDone(shard, rep.idx, dur.Seconds(), err != nil)
+			rep.noteOutcome(err)
+			sp.Fail(err)
+			sp.End()
+			results <- proxyAttempt{idx: idx, resp: resp, err: err, dur: dur, hedged: hedged}
+		}()
+	}
+	launch(false)
+	hedge := time.NewTimer(rt.hedgeDelay(r))
+	defer hedge.Stop()
+	var last proxyAttempt
+	for {
+		select {
+		case <-hedge.C:
+			if launched < len(cands) {
+				launch(true)
+			}
+		case a := <-results:
+			received++
+			if a.err == nil {
+				if a.hedged {
+					rt.met.hedgeWins.Inc()
+				}
+				// Cancel the losers and drain their results off-path; the
+				// winner's context stays alive until its body is copied.
+				for i := 0; i < launched; i++ {
+					if i != a.idx {
+						cancels[i]()
+					}
+				}
+				if remaining := launched - received; remaining > 0 {
+					go func() {
+						for i := 0; i < remaining; i++ {
+							if la := <-results; la.resp != nil {
+								la.resp.Body.Close()
+							}
+						}
+					}()
+				}
+				defer cancels[a.idx]()
+				relay(w, a.resp)
+				return
+			}
+			cancels[a.idx]()
+			last = a
+			if launched < len(cands) {
+				// Transport error: fail over to the next replica right
+				// away instead of waiting out the hedge budget.
+				rt.met.failovers.Inc()
+				launch(false)
+			} else if received == launched {
+				// The attempt duration makes slow-vs-failed readable from
+				// the message alone: "after 10s: context deadline
+				// exceeded" is a timeout, "after 2ms: connection refused"
+				// a dead group.
+				httpError(w, http.StatusBadGateway, "shard %d unreachable after %s: %v",
+					shard, last.dur.Round(100*time.Microsecond), last.err)
+				return
+			}
+		}
+	}
+}
+
+// batchAttempt is the outcome of one replica try on the scatter sub-batch
+// path.
+type batchAttempt struct {
+	idx    int
+	resp   client.BatchSameAsResponse
+	err    error
+	dur    time.Duration
+	hedged bool
+}
+
+// subBatch sends one group's sub-batch with the same hedged-failover
+// discipline as proxy. It returns the winning replica's response — err is
+// nil or the server-reported *client.Error it relayed — or, when every
+// replica failed at the transport layer, the last transport error and its
+// attempt duration.
+func (rt *Router) subBatch(ctx context.Context, shard int, budget time.Duration, req client.BatchSameAsQuery) (client.BatchSameAsResponse, time.Duration, error) {
+	cands := rt.groups[shard].candidates(req.Snapshot)
+	results := make(chan batchAttempt, len(cands))
+	cancels := make([]context.CancelFunc, len(cands))
+	launched, received := 0, 0
+	launch := func(hedged bool) {
+		rep := cands[launched]
+		idx := launched
+		launched++
+		actx, cancel := context.WithCancel(ctx)
+		cancels[idx] = cancel
+		if hedged {
+			rt.met.hedges.Inc()
+		}
+		go func() {
+			// One child span per attempt: the fan-out's shape (which
+			// replica straggled, where the hedge went) survives into the
+			// retained trace tree.
+			sctx, sp := obs.StartSpan(actx, rt.logf, "shard")
+			sp.Set("shard", shard)
+			sp.Set("replica", rep.idx)
+			sp.Set("keys", len(req.Keys))
+			if hedged {
+				sp.Set("hedge", true)
+			}
+			start := time.Now()
+			resp, err := rep.peer.SameAsBatch(sctx, req)
+			dur := time.Since(start)
+			rt.met.shardDone(shard, rep.idx, dur.Seconds(), err != nil)
+			rep.noteOutcome(err)
+			sp.Fail(err)
+			sp.End()
+			results <- batchAttempt{idx: idx, resp: resp, err: err, dur: dur, hedged: hedged}
+		}()
+	}
+	launch(false)
+	hedge := time.NewTimer(budget)
+	defer hedge.Stop()
+	var last batchAttempt
+	for {
+		select {
+		case <-hedge.C:
+			if launched < len(cands) {
+				launch(true)
+			}
+		case a := <-results:
+			received++
+			if a.err == nil || isServerError(a.err) {
+				if a.hedged {
+					rt.met.hedgeWins.Inc()
+				}
+				// The winner's response is fully decoded; every context
+				// can go, and the losers drain off-path.
+				for i := 0; i < launched; i++ {
+					cancels[i]()
+				}
+				if remaining := launched - received; remaining > 0 {
+					go func() {
+						for i := 0; i < remaining; i++ {
+							<-results
+						}
+					}()
+				}
+				return a.resp, a.dur, a.err
+			}
+			cancels[a.idx]()
+			last = a
+			if launched < len(cands) {
+				rt.met.failovers.Inc()
+				launch(false)
+			} else if received == launched {
+				return client.BatchSameAsResponse{}, last.dur, last.err
+			}
+		}
+	}
 }
 
 // batchRequest mirrors the shard servers' POST /v1/sameas request body.
@@ -361,9 +647,10 @@ type batchResponse struct {
 }
 
 // handleSameAsBatch scatter-gathers one batch lookup: keys group by owning
-// shard, per-shard sub-batches fan out concurrently (each under its own
-// cancelable context — the first failure cancels the stragglers), and the
-// per-key answers reassemble in request order.
+// shard group, per-group sub-batches fan out concurrently (each under its
+// own cancelable context — the first failure cancels the stragglers — and
+// each hedged across the group's replicas), and the per-key answers
+// reassemble in request order.
 func (rt *Router) handleSameAsBatch(w http.ResponseWriter, r *http.Request) {
 	explicit := r.URL.Query().Get("snapshot") != ""
 	pin, ok := rt.pinned(w, r.URL.Query())
@@ -398,16 +685,17 @@ func (rt *Router) handleSameAsBatch(w http.ResponseWriter, r *http.Request) {
 	rt.lookups.Add(uint64(len(req.Keys)))
 	rt.met.lookups.Add(uint64(len(req.Keys)))
 
-	// Group keys by owning shard, remembering every key's request position
-	// so answers reassemble in order.
-	groupKeys := make([][]string, len(rt.peers))
-	groupPos := make([][]int, len(rt.peers))
+	// Group keys by owning shard group, remembering every key's request
+	// position so answers reassemble in order.
+	groupKeys := make([][]string, len(rt.groups))
+	groupPos := make([][]int, len(rt.groups))
 	for i, key := range req.Keys {
 		o := rt.part.Owner(key)
 		groupKeys[o] = append(groupKeys[o], key)
 		groupPos[o] = append(groupPos[o], i)
 	}
 
+	budget := rt.hedgeDelay(r)
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
 	type reply struct {
@@ -415,28 +703,18 @@ func (rt *Router) handleSameAsBatch(w http.ResponseWriter, r *http.Request) {
 		err  error
 		dur  time.Duration
 	}
-	replies := make([]reply, len(rt.peers))
+	replies := make([]reply, len(rt.groups))
 	var wg sync.WaitGroup
-	for i := range rt.peers {
+	for i := range rt.groups {
 		if len(groupKeys[i]) == 0 {
 			continue
 		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			// One child span per sub-batch: the fan-out's shape (which
-			// shard straggled) survives into the retained trace tree.
-			sctx, sp := obs.StartSpan(ctx, rt.logf, "shard")
-			sp.Set("shard", i)
-			sp.Set("keys", len(groupKeys[i]))
-			start := time.Now()
-			resp, err := rt.peers[i].SameAsBatch(sctx, client.BatchSameAsQuery{
+			resp, dur, err := rt.subBatch(ctx, i, budget, client.BatchSameAsQuery{
 				KB: req.KB, Keys: groupKeys[i], Snapshot: pin,
 			})
-			dur := time.Since(start)
-			rt.met.shardDone(i, dur.Seconds(), err != nil)
-			sp.Fail(err)
-			sp.End()
 			if err != nil {
 				// Cancel the sibling sub-batches: the batch is already
 				// doomed, no point finishing the fan-out.
@@ -471,10 +749,6 @@ func (rt *Router) handleSameAsBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if transportErr != nil {
-		// The attempt duration makes slow-vs-failed readable from the
-		// message alone: "after 10s: context deadline exceeded" is a timeout,
-		// "after 2ms: connection refused" a dead shard. Server-reported
-		// errors above stay verbatim — they mirror a single process.
 		httpError(w, http.StatusBadGateway, "shard %d after %s: %v",
 			transportShard, replies[transportShard].dur.Round(100*time.Microsecond), transportErr)
 		return
@@ -485,6 +759,9 @@ func (rt *Router) handleSameAsBatch(w http.ResponseWriter, r *http.Request) {
 		Results: make([]client.BatchSameAsResult, len(req.Keys)),
 	}
 	for i := range replies {
+		if len(groupKeys[i]) == 0 {
+			continue
+		}
 		if got, want := len(replies[i].resp.Results), len(groupPos[i]); got != want {
 			httpError(w, http.StatusBadGateway, "shard %d returned %d results for %d keys", i, got, want)
 			return
@@ -497,12 +774,29 @@ func (rt *Router) handleSameAsBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// snapshotList fetches the deployment's snapshot list from group 0 with
+// replica failover (publication pushes every version to every group, so
+// any one group knows them all). A server-reported error returns without
+// failover: the replica answered, its siblings would answer the same.
+func (rt *Router) snapshotList(ctx context.Context) (client.SnapshotList, error) {
+	var lastErr error
+	for _, rep := range rt.groups[0].candidates("") {
+		list, err := rep.peer.Snapshots(ctx)
+		rep.noteOutcome(err)
+		if err == nil || isServerError(err) {
+			return list, err
+		}
+		lastErr = err
+	}
+	return client.SnapshotList{}, lastErr
+}
+
 // pinExists reports whether an explicitly pinned snapshot exists on the
-// deployment, asking shard 0 (publication pushes every version to every
-// shard). A probe failure counts as existing — the caller's local error
-// then stands, which is also what an unreachable fleet would surface.
+// deployment. A probe failure counts as existing — the caller's local
+// error then stands, which is also what an unreachable fleet would
+// surface.
 func (rt *Router) pinExists(ctx context.Context, pin string) bool {
-	list, err := rt.peers[0].Snapshots(ctx)
+	list, err := rt.snapshotList(ctx)
 	if err != nil {
 		return true
 	}
@@ -514,12 +808,11 @@ func (rt *Router) pinExists(ctx context.Context, pin string) bool {
 	return false
 }
 
-// handleSnapshots reports the deployment's snapshot versions (shard 0's
-// list: publication pushes every version to every shard, so any one shard
-// knows them all) with the router's epoch as "current" — a version pushed
-// but not yet acknowledged everywhere is listed, but not current.
+// handleSnapshots reports the deployment's snapshot versions with the
+// router's epoch as "current" — a version pushed but not yet acknowledged
+// everywhere is listed, but not current.
 func (rt *Router) handleSnapshots(w http.ResponseWriter, r *http.Request) {
-	list, err := rt.peers[0].Snapshots(r.Context())
+	list, err := rt.snapshotList(r.Context())
 	if err != nil {
 		httpError(w, http.StatusBadGateway, "shard 0: %v", err)
 		return
@@ -530,7 +823,7 @@ func (rt *Router) handleSnapshots(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleRefresh triggers an epoch advance check (POST /v1/refresh), the
-// hook a publisher calls after pushing slices to every shard.
+// hook a publisher calls after pushing slices to every group.
 func (rt *Router) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	epoch, err := rt.Refresh(r.Context())
 	if err != nil {
@@ -541,11 +834,22 @@ func (rt *Router) handleRefresh(w http.ResponseWriter, r *http.Request) {
 }
 
 func (rt *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
+	replicas, healthy := 0, 0
+	groups := make([]map[string]any, len(rt.groups))
+	for i, g := range rt.groups {
+		h := g.healthyCount()
+		replicas += len(g.replicas)
+		healthy += h
+		groups[i] = map[string]any{"replicas": len(g.replicas), "healthy": h}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"router": map[string]any{
-			"shards":  len(rt.peers),
-			"epoch":   rt.Epoch(),
-			"lookups": rt.lookups.Load(),
+			"shards":   len(rt.groups),
+			"replicas": replicas,
+			"healthy":  healthy,
+			"groups":   groups,
+			"epoch":    rt.Epoch(),
+			"lookups":  rt.lookups.Load(),
 		},
 	})
 }
