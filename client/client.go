@@ -100,6 +100,35 @@ type (
 	// ConvergenceReport is the body of GET /v1/jobs/{id}/convergence: the
 	// per-iteration movement of a job's fixpoint.
 	ConvergenceReport = server.ConvergenceReport
+
+	// SLOReport is the body of GET /v1/slo: per-route-family error-rate
+	// and latency-budget burn over the 5m/1h windows.
+	SLOReport = obs.SLOReport
+
+	// SLOFamily and SLOWindowStats are the report's nested records.
+	SLOFamily      = obs.SLOFamily
+	SLOWindowStats = obs.SLOWindowStats
+
+	// FleetSLO is the router's GET /v1/slo?fleet=1 body: the fleet-wide
+	// merge plus per-instance reports and scrape failures.
+	FleetSLO = obs.FleetSLO
+
+	// FleetStats is the router's GET /v1/fleet/stats body: router counters
+	// plus one row per replica from the federated metrics scrape.
+	FleetStats = obs.FleetStats
+
+	// FleetReplicaStats is one replica's row in FleetStats.
+	FleetReplicaStats = obs.FleetReplicaStats
+
+	// ScrapeFailure is one unreachable target in a federated scrape.
+	ScrapeFailure = obs.ScrapeFailure
+
+	// TraceDump is the body of GET /debug/traces/{trace}: the raw span
+	// records one process still holds for a trace ID.
+	TraceDump = obs.TraceDump
+
+	// SpanRecord is one finished span inside a TraceDump.
+	SpanRecord = obs.SpanRecord
 )
 
 // Job lifecycle states, re-exported from the service.
@@ -683,6 +712,43 @@ func (c *Client) Stats(ctx context.Context) (map[string]any, error) {
 	var out map[string]any
 	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, nil, &out)
 	return out, err
+}
+
+// SLO fetches the service's burn-rate report (GET /v1/slo): per route
+// family, error-rate and latency-budget burn over the 5m and 1h windows.
+func (c *Client) SLO(ctx context.Context) (SLOReport, error) {
+	var rep SLOReport
+	err := c.do(ctx, http.MethodGet, "/v1/slo", nil, nil, &rep)
+	return rep, err
+}
+
+// FleetSLO fetches the fleet-wide burn-rate report from a parisrouter
+// (GET /v1/slo?fleet=1): the merged view plus each instance's own report
+// and any replicas whose report could not be fetched.
+func (c *Client) FleetSLO(ctx context.Context) (FleetSLO, error) {
+	var rep FleetSLO
+	err := c.do(ctx, http.MethodGet, "/v1/slo", url.Values{"fleet": {"1"}}, nil, &rep)
+	return rep, err
+}
+
+// FleetStats fetches a parisrouter's federated fleet rollup
+// (GET /v1/fleet/stats): per-replica health, snapshot, heap, goroutines,
+// and traffic counters, plus the router's hedge/failover totals.
+func (c *Client) FleetStats(ctx context.Context) (FleetStats, error) {
+	var fs FleetStats
+	err := c.do(ctx, http.MethodGet, "/v1/fleet/stats", nil, nil, &fs)
+	return fs, err
+}
+
+// TraceTree fetches the span records a process still holds for one trace
+// ID (GET /debug/traces/{trace}). Against a parisrouter the dump is the
+// stitched cross-process set: the router's own spans plus every
+// participating replica's, each tagged with its origin instance. A trace
+// the process no longer holds returns an *Error with status 404.
+func (c *Client) TraceTree(ctx context.Context, traceID string) (TraceDump, error) {
+	var td TraceDump
+	err := c.do(ctx, http.MethodGet, "/debug/traces/"+url.PathEscape(traceID), nil, nil, &td)
+	return td, err
 }
 
 // do performs one request. A non-2xx status decodes the server's

@@ -26,6 +26,7 @@ import (
 
 	paris "repro"
 	"repro/internal/diskstore"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -37,7 +38,13 @@ func main() {
 	savePath := flag.String("save", "", "persist the alignment into a key-value store file")
 	min := flag.Float64("min", 0.1, "minimum probability for printed alignments")
 	quiet := flag.Bool("quiet", false, "print summaries only")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionLine("paris"))
+		return
+	}
 
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: paris [flags] ontology1.nt ontology2.nt")

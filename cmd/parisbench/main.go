@@ -16,10 +16,12 @@
 // to -out. -fleet degraded targets a replicated in-process fleet (3 shard
 // groups × 2 replicas behind a parisrouter) with one replica per group
 // killed, so the measured mixes run through the router's hedged-failover
-// read path:
+// read path; the counter deltas then come from the router's federated
+// /v1/fleet/metrics, and the report adds a per-replica traffic breakdown
+// and the fleet-merged SLO burn-rate report:
 //
 //	parisbench -load [-target http://host:7171] [-fleet degraded] [-duration 2s]
-//	           [-concurrency 8] [-keys 300] [-out BENCH_9.json]
+//	           [-concurrency 8] [-keys 300] [-out BENCH_10.json]
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -43,8 +46,14 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Second, "measured window per load mix")
 	concurrency := flag.Int("concurrency", 8, "closed-loop workers per load mix")
 	keys := flag.Int("keys", 300, "corpus size in matched persons for the load run")
-	out := flag.String("out", "BENCH_9.json", "load report output path")
+	out := flag.String("out", "BENCH_10.json", "load report output path")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionLine("parisbench"))
+		return
+	}
 
 	if *load {
 		runLoad(bench.LoadOptions{
@@ -105,6 +114,20 @@ func runLoad(opts bench.LoadOptions, out string) {
 	for _, m := range rep.Mixes {
 		fmt.Printf("%-16s %9d %7d %12.1f %9.3f %9.3f %9.3f\n",
 			m.Mix, m.Requests, m.Errors, m.Throughput, m.P50Ms, m.P90Ms, m.P99Ms)
+	}
+	if len(rep.Replicas) > 0 {
+		fmt.Printf("%-18s %4s %10s %10s\n", "instance", "up", "requests", "lookups")
+		for _, r := range rep.Replicas {
+			fmt.Printf("%-18s %4v %10.0f %10.0f\n", r.Instance, r.Up, r.Requests, r.Lookups)
+		}
+	}
+	if slo := rep.SLO; slo != nil {
+		for _, fam := range slo.Families {
+			for _, w := range fam.Windows {
+				fmt.Printf("slo %-22s %-3s err_burn=%.3f lat_burn=%.3f (%d req)\n",
+					fam.Family, w.Window, w.ErrorBurnRate, w.LatencyBurnRate, w.Requests)
+			}
+		}
 	}
 	if rt := rep.Runtime; rt != nil {
 		fmt.Printf("runtime: %.0f GC cycles, %.1f ms pause, peak %.0f goroutines, peak heap %.1f MiB\n",

@@ -28,12 +28,16 @@
 //	GET    /v1/stats      serving statistics
 //	GET    /v1/healthz    liveness probe (process up)
 //	GET    /v1/readyz     readiness probe (503 until a snapshot serves)
+//	GET    /v1/slo        per-route-family error/latency burn rates (5m and 1h windows)
 //	GET    /metrics       Prometheus text exposition (HTTP/jobs/ingest/fixpoint/Go runtime)
+//	GET    /debug/traces/{trace}  retained span records of one trace ID (JSON)
 //
 // Every request is traced: an X-Paris-Trace header ("<trace>-<span>") is
 // honored and re-parented, each request logs one span line with its
 // duration and route, and an in-process flight recorder retains the span
-// trees of slow (per-route p99-exceeding) and errored requests.
+// trees of slow (per-route p99-exceeding) and errored requests. The
+// trace-by-ID dump on the main listener is what parisrouter's cross-process
+// stitcher (GET /debug/traces?fleet=1 on the router) fans out to.
 // -debug-addr adds a separate listener with /metrics, /debug/pprof, and
 // GET /debug/traces (the retained trees; ?route=&min_ms=&errors=1&format=text).
 // Abandoned upload spools (*.partial older than server.Options.SpoolTTL,
@@ -109,7 +113,13 @@ func main() {
 	ingestWorkers := flag.Int("ingest-workers", 0, "parallel parse workers for streaming KB loads (0 = min(GOMAXPROCS, 8))")
 	ingestBudget := flag.Int64("ingest-budget", 0, "memory budget in bytes for streaming KB loads before spilling to disk (0 = 256 MiB)")
 	maxUpload := flag.Int64("max-upload-bytes", 0, "total spooled size limit of one POST /v1/kbs upload (0 = 16 GiB)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionLine("parisd"))
+		return
+	}
 
 	if *state == "" {
 		fmt.Fprintln(os.Stderr, "usage: parisd -state DIR [-addr :7171]")

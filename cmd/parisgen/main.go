@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"repro/internal/gen"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -19,7 +20,13 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	scale := flag.Float64("scale", 1, "size multiplier for world and movies")
 	out := flag.String("out", ".", "output directory")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionLine("parisgen"))
+		return
+	}
 
 	var d *gen.Dataset
 	switch *corpus {

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/client"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -48,7 +49,13 @@ func main() {
 	router := flag.String("router", "", "router base URL to refresh after the push (optional)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
 	maxSnap := flag.Int64("max-snapshot-bytes", 0, "snapshot download limit (0 = 1 GiB); match the aligner's -max-snapshot-bytes")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionLine("parispublish"))
+		return
+	}
 
 	if *from == "" || *shards == "" {
 		fmt.Fprintln(os.Stderr, "usage: parispublish -from URL -shards URL0,URL1,... [-snapshot ID] [-router URL]")

@@ -28,6 +28,13 @@
 //	GET  /v1/snapshots  deployment versions; "current" is the routing epoch
 //	POST /v1/refresh    advance the routing epoch (publisher hook)
 //	GET  /v1/stats      router statistics
+//	GET  /v1/fleet/metrics  every replica's /metrics federated into one
+//	                    exposition with instance/group/replica labels,
+//	                    fleet:-summed counters, and paris_fleet_up per target
+//	GET  /v1/fleet/stats    JSON fleet rollup: per-replica health, snapshot,
+//	                    heap, goroutines, traffic, hedge/failover totals
+//	GET  /v1/slo        burn-rate report for the router's route families;
+//	                    ?fleet=1 merges every replica's report fleet-wide
 //	GET  /v1/healthz    liveness probe (process up)
 //	GET  /v1/readyz     readiness probe (503 until the first epoch flip)
 //	GET  /metrics       Prometheus text exposition (HTTP, per-shard fan-out, epoch, Go runtime)
@@ -35,8 +42,12 @@
 // Incoming X-Paris-Trace headers are re-parented onto every shard
 // sub-request (each fan-out leg gets its own "shard" span), so one trace ID
 // ties a routed read to its shard-side span logs, and the router's flight
-// recorder retains slow/errored scatter trees. -debug-addr adds a separate
-// listener with /metrics, /debug/pprof, and GET /debug/traces.
+// recorder retains slow/errored scatter trees. GET /debug/traces serves the
+// retained trees; ?fleet=1 stitches each one cross-process — the router
+// fans the trace ID out to the replicas that participated
+// (GET /debug/traces/{trace} on each) and re-assembles a single tree with
+// every span tagged by origin instance. -debug-addr adds a separate
+// listener with /metrics, /debug/pprof, and the same trace surfaces.
 //
 // Publication is two-phase: a publisher splits one snapshot into per-shard
 // slices and pushes them under a common ID (PUT /v1/snapshots/{id} on each
@@ -73,8 +84,13 @@ func main() {
 	hedgeDelay := flag.Duration("hedge", 0, "fixed hedge latency budget (0 = adaptive: the route's sliding p99, floored at 1ms)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-client sustained requests/second (0 = no rate limiting)")
 	rateBurst := flag.Int("rate-burst", 0, "per-client burst size (0 = 2x the rate)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(obs.VersionLine("parisrouter"))
+		return
+	}
 	if *shards == "" {
 		fmt.Fprintln(os.Stderr, "usage: parisrouter -shards 'URL0,URL1,...' or 'URL0a,URL0b;URL1a,URL1b' [-addr :7170]")
 		flag.PrintDefaults()
@@ -123,7 +139,7 @@ func main() {
 	if *debugAddr != "" {
 		debugSrv = &http.Server{
 			Addr:              *debugAddr,
-			Handler:           obs.DebugMux(rt.MetricsRegistry(), rt.Recorder()),
+			Handler:           rt.DebugMux(),
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		go func() {

@@ -11,7 +11,10 @@ package bench
 // trajectory of the serving stack is committed alongside the
 // paper-reproduction numbers. With Fleet set to FleetDegraded the target is
 // a replicated in-process fleet behind a parisrouter with one replica per
-// group killed, measuring the hedged-failover read path under degradation.
+// group killed, measuring the hedged-failover read path under degradation;
+// the counter deltas then come from the router's federated
+// /v1/fleet/metrics — one scrape covering every process — and the report
+// gains a per-replica breakdown plus the fleet-merged SLO burn report.
 
 import (
 	"context"
@@ -33,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diskstore"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/shard"
 )
@@ -120,7 +124,10 @@ type MixResult struct {
 	Description string  `json:"description"`
 }
 
-// LoadReport is the JSON document written to BENCH_<n>.json.
+// LoadReport is the JSON document written to BENCH_<n>.json. On fleet runs
+// MetricDeltas is scraped from the router's /v1/fleet/metrics, so its keys
+// carry instance labels (plus the fleet:-summed families), and the
+// Replicas breakdown and fleet SLO report ride along.
 type LoadReport struct {
 	Schema       string             `json:"schema"`
 	Target       string             `json:"target"` // "in-process", "in-process-degraded-fleet", or the URL
@@ -130,7 +137,20 @@ type LoadReport struct {
 	CorpusKeys   int                `json:"corpus_keys"`
 	Mixes        []MixResult        `json:"mixes"`
 	MetricDeltas map[string]float64 `json:"server_metric_deltas,omitempty"`
+	Replicas     []ReplicaLoad      `json:"replica_breakdown,omitempty"`
+	SLO          *obs.FleetSLO      `json:"slo,omitempty"`
 	Runtime      *RuntimeDeltas     `json:"runtime,omitempty"`
+}
+
+// ReplicaLoad is one row of a fleet run's per-replica breakdown, folded
+// from the instance labels of the federated scrape: how the measured
+// traffic actually spread over the fleet, and which targets were dark —
+// killed replicas appear as Up=false rows with no movement, not as gaps.
+type ReplicaLoad struct {
+	Instance string  `json:"instance"`
+	Up       bool    `json:"up"`
+	Requests float64 `json:"request_delta"`
+	Lookups  float64 `json:"lookup_delta"`
 }
 
 // RuntimeDeltas summarizes the server's Go runtime behavior across the run,
@@ -187,7 +207,20 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		keys[i] = p[0]
 	}
 
-	before := scrape(base)
+	// Counter deltas: the plain /metrics of a single daemon, or the router's
+	// federated /v1/fleet/metrics on fleet runs — one scrape covering every
+	// replica (instance-labeled) plus the fleet:-summed families. The
+	// runtime sampler always reads the plain /metrics, where the unlabeled
+	// <prefix>_go_* gauges live.
+	countersURL := base + "/metrics"
+	if opts.Fleet == FleetDegraded {
+		countersURL = base + "/v1/fleet/metrics"
+	}
+	before := scrape(countersURL)
+	runtimeBefore := before
+	if opts.Fleet == FleetDegraded {
+		runtimeBefore = scrape(base + "/metrics")
+	}
 	sampler := startRuntimeSampler(base)
 	report := &LoadReport{
 		Schema:      LoadReportSchema,
@@ -264,10 +297,92 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		res.Mix, res.Description, res.KeysPerReq = mix.name, mix.desc, mix.perReq
 		report.Mixes = append(report.Mixes, res)
 	}
-	after := scrape(base)
+	after := scrape(countersURL)
+	runtimeAfter := after
+	if opts.Fleet == FleetDegraded {
+		runtimeAfter = scrape(base + "/metrics")
+	}
 	report.MetricDeltas = metricDeltas(before, after)
-	report.Runtime = sampler.stop(before, after)
+	if opts.Fleet == FleetDegraded {
+		report.Replicas = replicaBreakdown(before, after)
+		report.SLO = fetchFleetSLO(base)
+	}
+	report.Runtime = sampler.stop(runtimeBefore, runtimeAfter)
 	return report, nil
+}
+
+// replicaBreakdown folds the instance-labeled series of the federated
+// before/after scrapes into one row per fleet member.
+func replicaBreakdown(before, after map[string]float64) []ReplicaLoad {
+	rows := map[string]*ReplicaLoad{}
+	row := func(instance string) *ReplicaLoad {
+		r, ok := rows[instance]
+		if !ok {
+			r = &ReplicaLoad{Instance: instance}
+			rows[instance] = r
+		}
+		return r
+	}
+	for series, v := range after {
+		inst, ok := seriesLabel(series, "instance")
+		if !ok {
+			continue
+		}
+		name := series
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		switch {
+		case name == obs.FleetUpFamily:
+			row(inst).Up = v == 1
+		case strings.HasSuffix(name, "_http_requests_total"):
+			row(inst).Requests += round3(v - before[series])
+		case name == "paris_lookups_total" || name == "paris_router_lookups_total":
+			row(inst).Lookups += round3(v - before[series])
+		}
+	}
+	out := make([]ReplicaLoad, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Instance < out[j].Instance })
+	return out
+}
+
+// seriesLabel extracts one label value from a flat series key of the form
+// name{a="x",b="y"}. Values the registry escapes (quotes, backslashes)
+// don't occur in instance names, so a plain scan suffices here.
+func seriesLabel(series, label string) (string, bool) {
+	i := strings.Index(series, "{"+label+`="`)
+	if i < 0 {
+		i = strings.Index(series, ","+label+`="`)
+		if i < 0 {
+			return "", false
+		}
+	}
+	rest := series[i+len(label)+3:]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}
+
+// fetchFleetSLO grabs the router's fleet-merged burn-rate report, so the
+// committed BENCH file records whether the measured window burned error
+// budget (a degraded-but-serving fleet must not).
+func fetchFleetSLO(base string) *obs.FleetSLO {
+	cl, err := client.New(base)
+	if err != nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	slo, err := cl.FleetSLO(ctx)
+	if err != nil {
+		return nil
+	}
+	return &slo
 }
 
 // runtimeSampleInterval paces the mid-run gauge sampler: frequent enough to
@@ -298,7 +413,7 @@ func startRuntimeSampler(base string) *runtimeSampler {
 			case <-s.stopCh:
 				return
 			case <-t.C:
-				s.observe(scrape(base))
+				s.observe(scrape(base + "/metrics"))
 			}
 		}
 	}()
@@ -577,12 +692,12 @@ func drain(resp *http.Response) {
 	resp.Body.Close()
 }
 
-// scrape fetches and parses the target's /metrics exposition into a flat
+// scrape fetches and parses one metrics exposition URL into a flat
 // series→value map. A nil map means the target exposes no metrics (or the
 // scrape failed); the report then simply omits the deltas.
-func scrape(base string) map[string]float64 {
+func scrape(metricsURL string) map[string]float64 {
 	c := &http.Client{Timeout: 10 * time.Second}
-	resp, err := c.Get(base + "/metrics")
+	resp, err := c.Get(metricsURL)
 	if err != nil {
 		return nil
 	}

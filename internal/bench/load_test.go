@@ -122,21 +122,60 @@ func TestLoadDegradedFleetSmoke(t *testing.T) {
 			t.Errorf("mix %s throughput %v", m.Mix, m.Throughput)
 		}
 	}
-	// The router's own counters are the scrape target now: every lookup
-	// lands in paris_router_lookups_total, and with half the fleet dark the
-	// read path must have recorded failovers.
+	// The scrape target is the router's federated /v1/fleet/metrics now, so
+	// the deltas carry instance labels: every lookup lands in the router's
+	// labeled series (equivalently the fleet: sum, since only the router
+	// owns that family), and with half the fleet dark the read path must
+	// have recorded failovers.
 	wantLookups := float64(rep.Mixes[0].Requests + batchSize*rep.Mixes[1].Requests + rep.Mixes[2].Requests)
-	if got := rep.MetricDeltas["paris_router_lookups_total"]; got != wantLookups {
+	if got := rep.MetricDeltas[`paris_router_lookups_total{instance="router"}`]; got != wantLookups {
 		t.Errorf("paris_router_lookups_total delta %v, want %v", got, wantLookups)
+	}
+	if got := rep.MetricDeltas["fleet:paris_router_lookups_total"]; got != wantLookups {
+		t.Errorf("fleet:paris_router_lookups_total delta %v, want %v", got, wantLookups)
 	}
 	failovers := 0.0
 	for series, v := range rep.MetricDeltas {
-		if strings.HasPrefix(series, "paris_router_failovers_total") {
+		if strings.HasPrefix(series, `paris_router_failovers_total{`) {
 			failovers += v
 		}
 	}
 	if failovers < 1 {
 		t.Errorf("paris_router_failovers_total delta %v, want >= 1", failovers)
+	}
+	// The per-replica breakdown: router plus 3×2 replicas, the three killed
+	// ones present but down with no traffic, every survivor serving.
+	if len(rep.Replicas) != 7 {
+		t.Fatalf("%d breakdown rows, want 7: %+v", len(rep.Replicas), rep.Replicas)
+	}
+	up := 0
+	for _, r := range rep.Replicas {
+		if r.Up {
+			up++
+			if r.Instance != "router" && r.Lookups <= 0 {
+				t.Errorf("surviving replica %s saw no lookups", r.Instance)
+			}
+		} else if r.Requests != 0 || r.Lookups != 0 {
+			t.Errorf("dead replica %s shows traffic: %+v", r.Instance, r)
+		}
+	}
+	if up != 4 {
+		t.Errorf("%d fleet members up, want 4 (router + one replica per group)", up)
+	}
+	// The fleet SLO report rides along, and a degraded-but-serving fleet
+	// burns no error budget: failover absorbed every dead-replica read.
+	if rep.SLO == nil {
+		t.Fatal("fleet run has no SLO report")
+	}
+	if rep.SLO.Instance != "fleet" {
+		t.Errorf("SLO instance %q, want fleet", rep.SLO.Instance)
+	}
+	for _, fam := range rep.SLO.Families {
+		for _, w := range fam.Windows {
+			if w.ErrorBurnRate != 0 {
+				t.Errorf("family %s window %s burns error budget: %+v", fam.Family, w.Window, w)
+			}
+		}
 	}
 }
 

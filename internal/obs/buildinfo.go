@@ -1,0 +1,60 @@
+package obs
+
+// Build identity. Federated metrics from a mixed-version fleet are
+// misleading unless each instance declares what it is running, so every
+// registry carries one paris_build_info gauge (constant 1, the Prometheus
+// idiom for info metrics) labeled with the module version, the VCS
+// revision, and the Go toolchain — and every binary answers -version with
+// the same line.
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo is the process's build identity as read from the embedded
+// runtime/debug info.
+type BuildInfo struct {
+	Version   string // module version ("(devel)" for local builds)
+	Revision  string // VCS revision, "unknown" when not stamped
+	GoVersion string
+}
+
+// ReadBuildInfo resolves the running binary's build identity.
+func ReadBuildInfo() BuildInfo {
+	info := BuildInfo{Version: "(devel)", Revision: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			info.Revision = s.Value
+			if len(info.Revision) > 12 {
+				info.Revision = info.Revision[:12]
+			}
+		}
+	}
+	return info
+}
+
+// RegisterBuildInfo adds the paris_build_info gauge to a registry. The
+// family name is the same in every process (server, router, tools) so a
+// federated scrape can group by version across the whole fleet.
+func RegisterBuildInfo(reg *Registry) {
+	bi := ReadBuildInfo()
+	reg.GaugeVec("paris_build_info",
+		"Build identity of this process; constant 1, labeled with version, VCS revision, and Go toolchain.",
+		"version", "revision", "goversion").
+		With(bi.Version, bi.Revision, bi.GoVersion).Set(1)
+}
+
+// VersionLine renders the -version output for a binary.
+func VersionLine(binary string) string {
+	bi := ReadBuildInfo()
+	return fmt.Sprintf("%s version %s (rev %s, %s)", binary, bi.Version, bi.Revision, bi.GoVersion)
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestBuildInfoGauge checks the info-metric idiom: a constant-1
+// paris_build_info gauge whose labels carry the build identity, plus the
+// -version line every binary prints.
+func TestBuildInfoGauge(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg)
+	var b strings.Builder
+	reg.WriteText(&b)
+	out := b.String()
+	if !strings.Contains(out, "# TYPE paris_build_info gauge") {
+		t.Errorf("exposition missing the build-info family:\n%s", out)
+	}
+	if !strings.Contains(out, `goversion="`+runtime.Version()+`"`) {
+		t.Errorf("exposition missing the Go toolchain label:\n%s", out)
+	}
+	if !strings.Contains(out, "} 1\n") {
+		t.Errorf("build-info gauge is not constant 1:\n%s", out)
+	}
+
+	bi := ReadBuildInfo()
+	if bi.Version == "" || bi.Revision == "" || bi.GoVersion != runtime.Version() {
+		t.Errorf("ReadBuildInfo() = %+v", bi)
+	}
+	line := VersionLine("parisd")
+	if !strings.HasPrefix(line, "parisd version ") || !strings.Contains(line, bi.GoVersion) {
+		t.Errorf("VersionLine = %q", line)
+	}
+}

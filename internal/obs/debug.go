@@ -4,9 +4,18 @@ package obs
 // retained slow/error traces plus whatever full trees are still
 // assemblable from the recent ring, as JSON (default) or indented text
 // (?format=text), filterable by route family, minimum root duration, and
-// errors-only. Mounted on the DebugMux, never the public API listener.
+// errors-only. On the router, ?fleet=1 upgrades each selected trace to its
+// cross-process form: a Stitcher fetches the span records every
+// participating replica still holds, and AssembleTrees re-parents the
+// shard-side spans under the router's fan-out spans so a hedged scattered
+// read renders as one tree.
+//
+// GET /debug/traces/{trace} is the machine side: one process's raw span
+// records for a trace ID (TraceDumpHandler), which is what the router's
+// stitcher fans out to.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -26,6 +35,11 @@ type TraceView struct {
 	ThresholdMS float64   `json:"threshold_ms,omitempty"`
 	RetainedAt  time.Time `json:"retained_at,omitempty"`
 	Root        *TreeView `json:"root"`
+	// Fleet mode only: every instance that contributed spans, and the
+	// per-target fetch audit (including replicas that held nothing or
+	// could not be reached).
+	Instances []string     `json:"instances,omitempty"`
+	Fetches   []TraceFetch `json:"fetches,omitempty"`
 }
 
 // TreeView is one span node of a trace tree.
@@ -33,6 +47,7 @@ type TreeView struct {
 	Name       string            `json:"name"`
 	SpanID     string            `json:"span"`
 	ParentID   string            `json:"parent,omitempty"`
+	Instance   string            `json:"instance,omitempty"`
 	Start      time.Time         `json:"start"`
 	DurationMS float64           `json:"duration_ms"`
 	Attrs      map[string]string `json:"attrs,omitempty"`
@@ -40,11 +55,33 @@ type TreeView struct {
 	Children   []*TreeView       `json:"children,omitempty"`
 }
 
+// TraceDump is the GET /debug/traces/{trace} response: every span record a
+// single process's recorder still holds for the trace.
+type TraceDump struct {
+	Trace    string       `json:"trace"`
+	Instance string       `json:"instance,omitempty"`
+	Spans    []SpanRecord `json:"spans"`
+}
+
+// TraceFetch is one stitch fan-out target's outcome.
+type TraceFetch struct {
+	Instance string `json:"instance"`
+	Spans    int    `json:"spans"`
+	Error    string `json:"error,omitempty"`
+}
+
+// A Stitcher resolves a trace ID to the merged cross-process span set: the
+// local spans plus whatever each participating replica still holds, every
+// record tagged with its origin instance. The router implements it over
+// GET /debug/traces/{trace}.
+type Stitcher func(ctx context.Context, traceID string) ([]SpanRecord, []TraceFetch)
+
 func toTreeView(n *SpanTree) *TreeView {
 	v := &TreeView{
 		Name:       n.Name,
 		SpanID:     n.SpanID,
 		ParentID:   n.ParentID,
+		Instance:   n.Instance,
 		Start:      n.Start,
 		DurationMS: float64(n.Duration) / float64(time.Millisecond),
 		Err:        n.Err,
@@ -68,12 +105,21 @@ type tracesQuery struct {
 	errorsOnly bool
 	limit      int
 	text       bool
+	fleet      bool
 }
 
 func parseTracesQuery(r *http.Request) (tracesQuery, error) {
 	q := tracesQuery{limit: 32}
 	vals := r.URL.Query()
 	q.route = vals.Get("route")
+	switch s := vals.Get("fleet"); s {
+	case "", "0", "false":
+	case "1", "true":
+		q.fleet = true
+		q.limit = 8 // each selected trace costs a fleet fan-out
+	default:
+		return q, fmt.Errorf("bad fleet %q", s)
+	}
 	if s := vals.Get("min_ms"); s != "" {
 		v, err := strconv.ParseFloat(s, 64)
 		if err != nil || v < 0 {
@@ -104,10 +150,22 @@ func parseTracesQuery(r *http.Request) (tracesQuery, error) {
 // least this), errors=1 (error traces only), limit= (default 32),
 // format=text for the human rendering.
 func TracesHandler(col *Collector) http.Handler {
+	return NewTracesHandler(col, nil)
+}
+
+// NewTracesHandler is TracesHandler with an optional fleet stitcher: when
+// stitch is non-nil, ?fleet=1 replaces each selected trace's local tree
+// with the cross-process assembly of every participant's spans (and drops
+// the default limit to 8, since each trace costs a fan-out).
+func NewTracesHandler(col *Collector, stitch Stitcher) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		q, err := parseTracesQuery(r)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if q.fleet && stitch == nil {
+			http.Error(w, "fleet=1 not supported here", http.StatusBadRequest)
 			return
 		}
 
@@ -156,12 +214,21 @@ func TracesHandler(col *Collector) http.Handler {
 			views = views[:q.limit]
 		}
 
+		if q.fleet {
+			for i := range views {
+				stitchView(r.Context(), stitch, &views[i])
+			}
+		}
+
 		if q.text {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			for _, v := range views {
 				fmt.Fprintf(w, "trace %s family=%q reason=%s dur_ms=%.3f", v.TraceID, v.Family, v.Reason, v.DurationMS)
 				if v.ThresholdMS > 0 {
 					fmt.Fprintf(w, " threshold_ms=%.3f", v.ThresholdMS)
+				}
+				if len(v.Instances) > 0 {
+					fmt.Fprintf(w, " instances=%s", strings.Join(v.Instances, ","))
 				}
 				fmt.Fprintln(w)
 				writeTreeText(w, v.Root, 1)
@@ -173,6 +240,59 @@ func TracesHandler(col *Collector) http.Handler {
 		json.NewEncoder(w).Encode(struct {
 			Traces []TraceView `json:"traces"`
 		}{Traces: views})
+	})
+}
+
+// stitchView swaps a locally-assembled trace view for its cross-process
+// form: the stitcher's merged span set is re-assembled, and the tree whose
+// root matches the local root (by span ID) replaces it — after merging, a
+// shard-side hop that used to be its own root re-parents under the
+// router's fan-out span, so that tree and the local one collapse into one.
+func stitchView(ctx context.Context, stitch Stitcher, v *TraceView) {
+	spans, fetches := stitch(ctx, v.TraceID)
+	v.Fetches = fetches
+	if len(spans) == 0 {
+		return
+	}
+	trees := AssembleTrees(spans)
+	root := trees[0]
+	for _, t := range trees {
+		if t.SpanID == v.Root.SpanID {
+			root = t
+			break
+		}
+	}
+	v.Root = toTreeView(root)
+	set := make(map[string]struct{})
+	for _, s := range spans {
+		if s.Instance != "" {
+			set[s.Instance] = struct{}{}
+		}
+	}
+	v.Instances = make([]string, 0, len(set))
+	for in := range set {
+		v.Instances = append(v.Instances, in)
+	}
+	sort.Strings(v.Instances)
+}
+
+// TraceDumpHandler serves GET /debug/traces/{trace}: the raw span records
+// this process still holds for one trace ID, 404 when it holds none. The
+// instance name tells the fetching router who answered.
+func TraceDumpHandler(col *Collector, instance string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("trace")
+		if !isHex(id) || len(id) > 64 {
+			http.Error(w, "bad trace id", http.StatusBadRequest)
+			return
+		}
+		spans := col.TraceSpans(id)
+		if len(spans) == 0 {
+			http.Error(w, "trace not found", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(TraceDump{Trace: id, Instance: instance, Spans: spans})
 	})
 }
 
@@ -200,6 +320,9 @@ func treeHasErr(n *SpanTree) bool {
 
 func writeTreeText(w io.Writer, n *TreeView, depth int) {
 	fmt.Fprintf(w, "%s%s dur_ms=%.3f", strings.Repeat("  ", depth), n.Name, n.DurationMS)
+	if n.Instance != "" {
+		fmt.Fprintf(w, " @%s", n.Instance)
+	}
 	keys := make([]string, 0, len(n.Attrs))
 	for k := range n.Attrs {
 		keys = append(keys, k)

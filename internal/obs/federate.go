@@ -1,0 +1,402 @@
+package obs
+
+// Metrics federation. Every process serves its own /metrics; this file
+// gives the router one view over all of them: a Federator scrapes each
+// replica's exposition concurrently (bounded fan-out, a timeout per target,
+// partial results when replicas are down), a small parser turns the text
+// format back into families, and WriteFleetExposition re-renders the union
+// with instance/group/replica labels injected on every sample plus
+// fleet-level summed counter families under a "fleet:" prefix (the
+// recording-rule naming convention, so the sums cannot collide with any
+// scraped name). A dead replica becomes paris_fleet_up 0 and an entry in
+// the failures list — scraping a degraded fleet is a normal, successful
+// operation, not an error.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ScrapeTarget is one process the federator reads. Reg set means "scrape
+// in-process" (the router includes its own registry that way); otherwise
+// URL is fetched over HTTP. Group/Replica of -1 mean "not a fleet member"
+// (the router itself) and suppress those labels.
+type ScrapeTarget struct {
+	Instance string
+	Group    int
+	Replica  int
+	URL      string    // full metrics URL; ignored when Reg is set
+	Reg      *Registry // local registry, scraped without HTTP
+	Healthy  bool      // the caller's health view, echoed into stats
+}
+
+// ScrapeFailure reports one target that could not be scraped.
+type ScrapeFailure struct {
+	Instance string `json:"instance"`
+	URL      string `json:"url,omitempty"`
+	Error    string `json:"error"`
+}
+
+// ScrapeResult is one target's parsed exposition, or the error that
+// prevented it.
+type ScrapeResult struct {
+	Target   ScrapeTarget
+	Families []ParsedFamily
+	Err      error
+}
+
+// Value returns the value of the family's first sample, ok=false when the
+// family is absent — the accessor for single-sample gauges and counters
+// (go_goroutines, lookups_total).
+func (r ScrapeResult) Value(family string) (float64, bool) {
+	for _, f := range r.Families {
+		if f.Name == family && len(f.Samples) > 0 {
+			return f.Samples[0].Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sum sums every plain sample of the family (children of a labeled
+// counter/gauge; histogram _bucket/_sum/_count lines are excluded).
+func (r ScrapeResult) Sum(family string) float64 {
+	var sum float64
+	for _, f := range r.Families {
+		if f.Name != family {
+			continue
+		}
+		for _, s := range f.Samples {
+			if s.Name == f.Name {
+				sum += s.Value
+			}
+		}
+	}
+	return sum
+}
+
+// Federator scrapes a set of targets concurrently. The zero value is
+// usable: http.DefaultClient, 2s per target, 8 in flight.
+type Federator struct {
+	Client      *http.Client
+	Timeout     time.Duration // per target (default 2s)
+	Concurrency int           // concurrent scrapes (default 8)
+}
+
+// Scrape fetches and parses every target, in input order. Failed targets
+// come back with Err set and nil Families; the call itself never fails.
+func (f *Federator) Scrape(ctx context.Context, targets []ScrapeTarget) []ScrapeResult {
+	client := f.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	timeout := f.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	conc := f.Concurrency
+	if conc <= 0 {
+		conc = 8
+	}
+	results := make([]ScrapeResult, len(targets))
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	for i, tgt := range targets {
+		wg.Add(1)
+		go func(i int, tgt ScrapeTarget) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = scrapeOne(ctx, client, timeout, tgt)
+		}(i, tgt)
+	}
+	wg.Wait()
+	return results
+}
+
+func scrapeOne(ctx context.Context, client *http.Client, timeout time.Duration, tgt ScrapeTarget) ScrapeResult {
+	res := ScrapeResult{Target: tgt}
+	if tgt.Reg != nil {
+		var b strings.Builder
+		tgt.Reg.WriteText(&b)
+		res.Families, res.Err = ParseExposition(strings.NewReader(b.String()))
+		return res
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, tgt.URL, nil)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+		res.Err = fmt.Errorf("scrape %s: http %d", tgt.URL, resp.StatusCode)
+		return res
+	}
+	res.Families, res.Err = ParseExposition(resp.Body)
+	return res
+}
+
+// Failures extracts the scrape failures from a result set.
+func Failures(results []ScrapeResult) []ScrapeFailure {
+	var out []ScrapeFailure
+	for _, r := range results {
+		if r.Err != nil {
+			out = append(out, ScrapeFailure{Instance: r.Target.Instance, URL: r.Target.URL, Error: r.Err.Error()})
+		}
+	}
+	return out
+}
+
+// ParsedSample is one exposition sample line. Name is the full sample name
+// — the family name, plus _bucket/_sum/_count for histogram lines. Labels
+// is the rendered label block including braces, "" when unlabeled.
+type ParsedSample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// ParsedFamily is one metric family read back from text exposition.
+type ParsedFamily struct {
+	Name, Help, Type string
+	Samples          []ParsedSample
+}
+
+// ParseExposition parses Prometheus text format as written by
+// Registry.WriteText (and by any conforming exporter): # HELP / # TYPE
+// comments open a family, sample lines carry an optional quoted-label block
+// and a float value. Unknown comment lines are skipped; a malformed sample
+// line is an error.
+func ParseExposition(r io.Reader) ([]ParsedFamily, error) {
+	var fams []ParsedFamily
+	byName := make(map[string]int)
+	fam := func(name string) *ParsedFamily {
+		if i, ok := byName[name]; ok {
+			return &fams[i]
+		}
+		byName[name] = len(fams)
+		fams = append(fams, ParsedFamily{Name: name, Type: "untyped"})
+		return &fams[len(fams)-1]
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var cur string // current family name from the last HELP/TYPE
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				f := fam(fields[2])
+				cur = fields[2]
+				if fields[1] == "HELP" && len(fields) == 4 {
+					f.Help = fields[3]
+				} else if fields[1] == "TYPE" && len(fields) == 4 {
+					f.Type = fields[3]
+				}
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, err
+		}
+		owner := s.Name
+		if cur != "" && strings.HasPrefix(s.Name, cur) {
+			owner = cur // histogram _bucket/_sum/_count lines
+		}
+		f := fam(owner)
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// parseSampleLine splits `name{labels} value` (or `name value`) with
+// quote-aware label scanning, so label values containing spaces or braces
+// parse correctly.
+func parseSampleLine(line string) (ParsedSample, error) {
+	var s ParsedSample
+	brace := strings.IndexByte(line, '{')
+	space := strings.IndexByte(line, ' ')
+	if brace >= 0 && (space < 0 || brace < space) {
+		s.Name = line[:brace]
+		end := -1
+		inQuote := false
+		for i := brace + 1; i < len(line); i++ {
+			switch c := line[i]; {
+			case inQuote && c == '\\':
+				i++ // skip the escaped byte
+			case c == '"':
+				inQuote = !inQuote
+			case !inQuote && c == '}':
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("obs: unterminated label block: %q", line)
+		}
+		s.Labels = line[brace : end+1]
+		line = strings.TrimSpace(line[end+1:])
+	} else {
+		if space < 0 {
+			return s, fmt.Errorf("obs: malformed sample line: %q", line)
+		}
+		s.Name = line[:space]
+		line = strings.TrimSpace(line[space+1:])
+	}
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		line = line[:i] // drop an optional timestamp
+	}
+	v, err := strconv.ParseFloat(line, 64)
+	if err != nil {
+		return s, fmt.Errorf("obs: bad sample value in %q: %v", s.Name, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// FleetUpFamily is the synthesized per-target liveness family in the fleet
+// exposition: 1 when the target's scrape succeeded, 0 when it failed.
+const FleetUpFamily = "paris_fleet_up"
+
+// WriteFleetExposition renders the union of a scrape: every family from
+// every reachable target with instance (and, for fleet members, group and
+// replica) labels injected on each sample, a paris_fleet_up liveness gauge
+// per target, and a fleet:<name> summed family per counter. Families sort
+// by name and samples keep target order, so the output is deterministic
+// for a fixed fleet state.
+func WriteFleetExposition(w io.Writer, results []ScrapeResult) {
+	type outFam struct {
+		help, typ string
+		lines     []string
+	}
+	fams := make(map[string]*outFam)
+	get := func(name, help, typ string) *outFam {
+		f, ok := fams[name]
+		if !ok {
+			f = &outFam{help: help, typ: typ}
+			fams[name] = f
+		}
+		return f
+	}
+	counterSums := make(map[string]float64)
+	counterHelp := make(map[string]string)
+
+	up := get(FleetUpFamily, "1 if the target's metrics scrape succeeded.", "gauge")
+	for _, r := range results {
+		inject := targetLabels(r.Target)
+		val := "1"
+		if r.Err != nil {
+			val = "0"
+		}
+		up.lines = append(up.lines, fmt.Sprintf("%s{%s} %s", FleetUpFamily, inject, val))
+		for _, pf := range r.Families {
+			f := get(pf.Name, pf.Help, pf.Type)
+			for _, s := range pf.Samples {
+				f.lines = append(f.lines, s.Name+mergeLabels(inject, s.Labels)+" "+formatFloat(s.Value))
+				if pf.Type == "counter" && s.Name == pf.Name {
+					counterSums[pf.Name] += s.Value
+					counterHelp[pf.Name] = pf.Help
+				}
+			}
+		}
+	}
+	for name, sum := range counterSums {
+		f := get("fleet:"+name, "Fleet-wide sum of "+name+".", "counter")
+		f.lines = append(f.lines, "fleet:"+name+" "+formatFloat(sum))
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, f.help, name, f.typ)
+		for _, l := range f.lines {
+			fmt.Fprintln(w, l)
+		}
+	}
+}
+
+// targetLabels renders the injected identity labels (no braces).
+func targetLabels(t ScrapeTarget) string {
+	var b strings.Builder
+	b.WriteString(`instance="`)
+	b.WriteString(escapeLabel(t.Instance))
+	b.WriteByte('"')
+	if t.Group >= 0 {
+		fmt.Fprintf(&b, `,group="%d"`, t.Group)
+	}
+	if t.Replica >= 0 {
+		fmt.Fprintf(&b, `,replica="%d"`, t.Replica)
+	}
+	return b.String()
+}
+
+// mergeLabels prepends the injected identity labels to an existing
+// rendered label block.
+func mergeLabels(inject, labels string) string {
+	if labels == "" {
+		return "{" + inject + "}"
+	}
+	inner := labels[1 : len(labels)-1]
+	if inner == "" {
+		return "{" + inject + "}"
+	}
+	return "{" + inject + "," + inner + "}"
+}
+
+// FleetReplicaStats is one replica's slice of the fleet stats rollup.
+type FleetReplicaStats struct {
+	Instance   string  `json:"instance"`
+	Group      int     `json:"group"`
+	Replica    int     `json:"replica"`
+	URL        string  `json:"url,omitempty"`
+	Healthy    bool    `json:"healthy"`
+	ScrapeOK   bool    `json:"scrape_ok"`
+	Error      string  `json:"error,omitempty"`
+	Snapshot   string  `json:"snapshot,omitempty"`
+	Goroutines float64 `json:"goroutines,omitempty"`
+	HeapInUse  float64 `json:"heap_in_use_bytes,omitempty"`
+	Lookups    float64 `json:"lookups_total,omitempty"`
+	Requests   float64 `json:"http_requests_total,omitempty"`
+}
+
+// FleetStats is the GET /v1/fleet/stats response: the router's own
+// counters plus one row per replica from the federated scrape.
+type FleetStats struct {
+	Instances      int                 `json:"instances"`
+	Healthy        int                 `json:"healthy"`
+	ScrapeFailures int                 `json:"scrape_failures"`
+	Epoch          string              `json:"epoch,omitempty"`
+	Hedges         uint64              `json:"hedges_total"`
+	HedgeWins      uint64              `json:"hedge_wins_total"`
+	Failovers      uint64              `json:"failovers_total"`
+	RateLimited    uint64              `json:"rate_limited_total"`
+	Replicas       []FleetReplicaStats `json:"replicas"`
+}

@@ -1,0 +1,178 @@
+package obs
+
+// Federation tests: the exposition parser against the registry's own
+// writer (round trip, quote-aware labels, histogram attachment, malformed
+// input), the fleet re-rendering (injected identity labels, the liveness
+// gauge, fleet: counter sums, deterministic family order), and partial
+// failure — a dead target is data, not an error.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseExpositionRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("t_reqs_total", "requests").Add(3)
+	reg.Gauge("t_depth", "queue depth").Set(2.5)
+	reg.CounterVec("t_hits_total", "hits", "route", "code").With("GET /x", "200").Add(7)
+	h := reg.Histogram("t_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	reg.WriteText(&b)
+	fams, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ParsedFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f := byName["t_reqs_total"]; f.Type != "counter" || f.Help != "requests" ||
+		len(f.Samples) != 1 || f.Samples[0].Value != 3 || f.Samples[0].Labels != "" {
+		t.Errorf("t_reqs_total parsed as %+v", f)
+	}
+	if f := byName["t_depth"]; f.Type != "gauge" || len(f.Samples) != 1 || f.Samples[0].Value != 2.5 {
+		t.Errorf("t_depth parsed as %+v", f)
+	}
+	if f := byName["t_hits_total"]; len(f.Samples) != 1 ||
+		f.Samples[0].Labels != `{route="GET /x",code="200"}` || f.Samples[0].Value != 7 {
+		t.Errorf("t_hits_total parsed as %+v", f)
+	}
+	// Histogram _bucket/_sum/_count lines attach to their family.
+	hist := byName["t_seconds"]
+	if hist.Type != "histogram" || len(hist.Samples) < 4 {
+		t.Fatalf("t_seconds parsed as %+v", hist)
+	}
+	var count, sum float64
+	for _, s := range hist.Samples {
+		switch s.Name {
+		case "t_seconds_count":
+			count = s.Value
+		case "t_seconds_sum":
+			sum = s.Value
+		}
+	}
+	if count != 2 || sum != 5.05 {
+		t.Errorf("histogram count %v sum %v, want 2 and 5.05", count, sum)
+	}
+}
+
+func TestParseExpositionMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"novalue",
+		`m{unterminated="x" 1`,
+		"m notafloat",
+	} {
+		if fams, err := ParseExposition(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseExposition(%q) accepted: %+v", bad, fams)
+		}
+	}
+	// Quote-aware label scanning: braces, spaces, and escaped quotes inside
+	// values parse; a trailing timestamp is dropped.
+	fams, err := ParseExposition(strings.NewReader("m{a=\"x} y\",b=\"\\\"q\\\"\"} 4.5 1700000000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 1 || len(fams[0].Samples) != 1 {
+		t.Fatalf("parsed %+v", fams)
+	}
+	s := fams[0].Samples[0]
+	if s.Value != 4.5 || s.Labels != `{a="x} y",b="\"q\""}` {
+		t.Errorf("sample %+v", s)
+	}
+}
+
+// TestFleetExpositionAndPartialFailure scrapes a three-target fleet — the
+// router's registry in-process, one live HTTP replica, one dead — and
+// checks the merged rendering: a paris_fleet_up line per target with the
+// dead one at 0, identity labels on every sample (group/replica suppressed
+// for the router), fleet: sums over counters, and families sorted by name.
+func TestFleetExpositionAndPartialFailure(t *testing.T) {
+	replicaReg := NewRegistry()
+	replicaReg.Counter("paris_lookups_total", "lookups").Add(5)
+	live := httptest.NewServer(MetricsHandler(replicaReg))
+	defer live.Close()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+
+	routerReg := NewRegistry()
+	routerReg.Counter("paris_router_lookups_total", "router lookups").Add(9)
+
+	f := &Federator{Timeout: 2 * time.Second}
+	results := f.Scrape(context.Background(), []ScrapeTarget{
+		{Instance: "router", Group: -1, Replica: -1, Reg: routerReg, Healthy: true},
+		{Instance: "group0/replica0", Group: 0, Replica: 0, URL: live.URL, Healthy: true},
+		{Instance: "group0/replica1", Group: 0, Replica: 1, URL: dead.URL, Healthy: false},
+	})
+	if results[0].Err != nil || results[1].Err != nil {
+		t.Fatalf("healthy scrapes failed: %v / %v", results[0].Err, results[1].Err)
+	}
+	if results[2].Err == nil {
+		t.Fatal("scrape of a dead target reported success")
+	}
+	if fails := Failures(results); len(fails) != 1 || fails[0].Instance != "group0/replica1" {
+		t.Fatalf("failures %+v", fails)
+	}
+	if v, ok := results[1].Value("paris_lookups_total"); !ok || v != 5 {
+		t.Errorf("replica scrape value %v %v", v, ok)
+	}
+
+	var b strings.Builder
+	WriteFleetExposition(&b, results)
+	out := b.String()
+	for _, want := range []string{
+		`paris_fleet_up{instance="router"} 1`,
+		`paris_fleet_up{instance="group0/replica0",group="0",replica="0"} 1`,
+		`paris_fleet_up{instance="group0/replica1",group="0",replica="1"} 0`,
+		`paris_lookups_total{instance="group0/replica0",group="0",replica="0"} 5`,
+		`paris_router_lookups_total{instance="router"} 9`,
+		"fleet:paris_lookups_total 5",
+		"fleet:paris_router_lookups_total 9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet exposition missing %q:\n%s", want, out)
+		}
+	}
+	i1 := strings.Index(out, "# HELP fleet:paris_lookups_total")
+	i2 := strings.Index(out, "# HELP paris_fleet_up")
+	i3 := strings.Index(out, "# HELP paris_lookups_total")
+	if !(i1 >= 0 && i1 < i2 && i2 < i3) {
+		t.Errorf("families not sorted by name (%d, %d, %d):\n%s", i1, i2, i3, out)
+	}
+}
+
+// TestFederatorTimeout pins the per-target deadline: one hung replica
+// delays the scrape by its timeout, not forever, and comes back as a
+// failure while the rest of the fleet still reports.
+func TestFederatorTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer hung.Close()
+	reg := NewRegistry()
+	reg.Counter("ok_total", "x").Inc()
+
+	f := &Federator{Timeout: 50 * time.Millisecond}
+	results := f.Scrape(context.Background(), []ScrapeTarget{
+		{Instance: "fast", Group: -1, Replica: -1, Reg: reg},
+		{Instance: "hung", Group: 0, Replica: 0, URL: hung.URL},
+	})
+	if results[0].Err != nil {
+		t.Errorf("in-process scrape failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("hung target scraped successfully")
+	}
+}

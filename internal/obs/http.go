@@ -131,10 +131,25 @@ func MetricsHandler(reg *Registry) http.Handler {
 // browser at /debug/traces. Keeping it off the public API listener means
 // none of this is ever exposed to lookup traffic.
 func DebugMux(reg *Registry, col *Collector) *http.ServeMux {
+	var traces, traceByID http.Handler
+	if col != nil {
+		traces = TracesHandler(col)
+		traceByID = TraceDumpHandler(col, "")
+	}
+	return DebugMuxWith(reg, traces, traceByID)
+}
+
+// DebugMuxWith is DebugMux with caller-supplied trace handlers: the router
+// mounts its fleet-aware stitching handler at /debug/traces and its
+// fan-out-tagged dump at /debug/traces/{trace}. Either handler may be nil.
+func DebugMuxWith(reg *Registry, traces, traceByID http.Handler) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(reg))
-	if col != nil {
-		mux.Handle("/debug/traces", TracesHandler(col))
+	if traces != nil {
+		mux.Handle("/debug/traces", traces)
+	}
+	if traceByID != nil {
+		mux.Handle("GET /debug/traces/{trace}", traceByID)
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -42,6 +42,10 @@ type SpanRecord struct {
 	Duration time.Duration `json:"duration"`
 	Attrs    []Attr        `json:"attrs,omitempty"`
 	Err      string        `json:"err,omitempty"`
+	// Instance is the process the span was recorded on. Local recorders
+	// leave it empty; the fleet stitcher fills it when merging span sets
+	// fetched from several replicas so an assembled tree shows origin.
+	Instance string `json:"instance,omitempty"`
 }
 
 // Attr returns the value of the named attribute, "" when absent.
@@ -101,6 +105,11 @@ type CollectorConfig struct {
 	MaxFamilies   int // distinct route families tracked (default 64)
 	MaxConvJobs   int // jobs with convergence series (default 64, FIFO evict)
 	MaxConvIters  int // iterations kept per job (default 4096)
+
+	// SLO objectives (see slo.go). Zero values take defaults.
+	SLOErrorObjective   float64 // allowed error fraction (default 0.001)
+	SLOLatencyTargetMS  float64 // latency target in ms (default 250)
+	SLOLatencyObjective float64 // allowed over-target fraction (default 0.01)
 }
 
 func (c *CollectorConfig) defaults() {
@@ -125,6 +134,15 @@ func (c *CollectorConfig) defaults() {
 	if c.MaxConvIters <= 0 {
 		c.MaxConvIters = 4096
 	}
+	if c.SLOErrorObjective <= 0 {
+		c.SLOErrorObjective = 0.001
+	}
+	if c.SLOLatencyTargetMS <= 0 {
+		c.SLOLatencyTargetMS = 250
+	}
+	if c.SLOLatencyObjective <= 0 {
+		c.SLOLatencyObjective = 0.01
+	}
 }
 
 // Root-slowness thresholds are nearest-rank p99 over the family window,
@@ -135,7 +153,7 @@ const (
 	recalcEvery = 32
 )
 
-// routeFamily is the per-route-family slow-trace state.
+// routeFamily is the per-route-family slow-trace and SLO state.
 type routeFamily struct {
 	window    []float64 // ring of recent root durations, ms
 	windowLen int       // filled portion
@@ -143,6 +161,7 @@ type routeFamily struct {
 	sinceCalc int
 	threshold float64 // cached nearest-rank p99 (ms); 0 until minWindow
 	slow      []RetainedTrace
+	slo       [sloNumBuckets]sloBucket // time-bucketed budget accounting
 }
 
 // Collector is the per-process flight recorder. All methods are
@@ -156,6 +175,7 @@ type Collector struct {
 	ringLen    int             // filled portion
 	ringIdx    map[spanRef]int // ring slot of each held span, for parent lookups
 	traceCount map[string]int  // ring spans per trace, to skip retention scans
+	retCount   map[string]int  // retained entries per trace, to skip TraceSpans scans
 	live       map[spanRef]struct{}
 	families   map[string]*routeFamily
 	famOrder   []string
@@ -174,6 +194,7 @@ func NewCollector(cfg CollectorConfig) *Collector {
 		ring:       make([]SpanRecord, cfg.RecentSpans),
 		ringIdx:    make(map[spanRef]int, cfg.RecentSpans),
 		traceCount: make(map[string]int),
+		retCount:   make(map[string]int),
 		live:       make(map[spanRef]struct{}),
 		families:   make(map[string]*routeFamily),
 		errMarks:   make(map[string]struct{}),
@@ -284,6 +305,11 @@ func (c *Collector) Observe(rec SpanRecord) {
 		fam.sinceCalc = 0
 	}
 
+	// SLO accounting: the root's own error, not the trace's errMarks — a
+	// request that absorbed a child failure (cancelled hedge loser, failed
+	// replica before failover won) was still served.
+	c.sloObserveLocked(fam, durMS, rec.Err != "", time.Now().Unix())
+
 	slow := fam.windowLen >= minWindow && durMS > fam.threshold
 	_, isErr := c.errMarks[rec.TraceID]
 	delete(c.errMarks, rec.TraceID)
@@ -299,7 +325,11 @@ func (c *Collector) Observe(rec SpanRecord) {
 			RetainedAt: time.Now(),
 		}
 		fam.slow = append(fam.slow, rt)
+		c.retCount[rec.TraceID]++
 		if len(fam.slow) > c.cfg.SlowPerFamily {
+			for _, ev := range fam.slow[:len(fam.slow)-c.cfg.SlowPerFamily] {
+				c.unretainLocked(ev.TraceID)
+			}
 			fam.slow = fam.slow[len(fam.slow)-c.cfg.SlowPerFamily:]
 		}
 	}
@@ -309,9 +339,23 @@ func (c *Collector) Observe(rec SpanRecord) {
 			Root: rec, Spans: spans, RetainedAt: time.Now(),
 		}
 		c.errs = append(c.errs, rt)
+		c.retCount[rec.TraceID]++
 		if len(c.errs) > c.cfg.ErrorTraces {
+			for _, ev := range c.errs[:len(c.errs)-c.cfg.ErrorTraces] {
+				c.unretainLocked(ev.TraceID)
+			}
 			c.errs = c.errs[len(c.errs)-c.cfg.ErrorTraces:]
 		}
+	}
+}
+
+// unretainLocked drops one retained-entry count for a trace being evicted
+// from a reservoir.
+func (c *Collector) unretainLocked(traceID string) {
+	if n := c.retCount[traceID] - 1; n > 0 {
+		c.retCount[traceID] = n
+	} else {
+		delete(c.retCount, traceID)
 	}
 }
 
@@ -347,6 +391,66 @@ func (c *Collector) traceSpansLocked(root SpanRecord) []SpanRecord {
 			out = append(out, c.ring[slot])
 		}
 	}
+	return out
+}
+
+// TraceSpans returns every span the recorder still holds for one trace —
+// the union of the recent ring and the retained reservoirs, deduplicated by
+// span ID, oldest first. This is the shard side of cross-process trace
+// stitching: GET /debug/traces/{trace} serves it, and the router merges the
+// results of every participant. The trace-ID indexes (traceCount for the
+// ring, retCount for the reservoirs) make the miss case — the overwhelming
+// majority of lookups during a fleet fan-out — two map probes with no scan.
+func (c *Collector) TraceSpans(id string) []SpanRecord {
+	if c == nil || id == "" {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inRing := c.traceCount[id] > 0
+	retained := c.retCount[id] > 0
+	if !inRing && !retained {
+		return nil
+	}
+	var out []SpanRecord
+	seen := make(map[spanRef]struct{}, 8)
+	add := func(spans []SpanRecord) {
+		for _, s := range spans {
+			if s.TraceID != id {
+				continue
+			}
+			k := spanRef{s.TraceID, s.SpanID}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out = append(out, s)
+		}
+	}
+	if retained {
+		for _, rt := range c.errs {
+			if rt.TraceID == id {
+				add(rt.Spans)
+			}
+		}
+		for _, name := range c.famOrder {
+			for _, rt := range c.families[name].slow {
+				if rt.TraceID == id {
+					add(rt.Spans)
+				}
+			}
+		}
+	}
+	if inRing {
+		start := c.ringPos - c.ringLen
+		for i := 0; i < c.ringLen; i++ {
+			slot := (start + i + len(c.ring)) % len(c.ring)
+			if c.ring[slot].TraceID == id {
+				add(c.ring[slot : slot+1])
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
 	return out
 }
 

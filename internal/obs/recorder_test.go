@@ -194,6 +194,57 @@ func TestCollectorConvergenceBounds(t *testing.T) {
 	}
 }
 
+// TestCollectorTraceSpans covers the trace-ID lookup behind
+// GET /debug/traces/{trace}: a miss is two map probes and returns nil, a
+// hit unions the ring and the retained reservoirs without duplicating
+// spans present in both, retention keeps a trace addressable after the
+// ring moves on, and reservoir eviction releases the index entry.
+func TestCollectorTraceSpans(t *testing.T) {
+	var nilC *Collector
+	if got := nilC.TraceSpans("x"); got != nil {
+		t.Fatalf("nil collector returned %v", got)
+	}
+	c := NewCollector(CollectorConfig{RecentSpans: 4, ErrorTraces: 1})
+	if got := c.TraceSpans(""); got != nil {
+		t.Fatalf("empty id returned %v", got)
+	}
+	if got := c.TraceSpans("absent"); got != nil {
+		t.Fatalf("miss returned %v", got)
+	}
+
+	// An errored trace lands in both the ring and the error reservoir; the
+	// union must carry each span once.
+	c.spanStarted(Trace{TraceID: "terr", SpanID: "root"})
+	child := span("shard", "terr", "child", "root", 2)
+	child.Err = "boom"
+	c.Observe(child)
+	c.Observe(span("http", "terr", "root", "", 5))
+	if got := c.TraceSpans("terr"); len(got) != 2 {
+		t.Fatalf("retained+ring union holds %d spans, want 2: %+v", len(got), got)
+	}
+
+	// Flood the ring: the trace leaves it but stays addressable through the
+	// reservoir index.
+	for i := 0; i < 8; i++ {
+		c.Observe(span("s", fmt.Sprintf("fill%d", i), "a", "", 1))
+	}
+	if got := c.TraceSpans("terr"); len(got) != 2 {
+		t.Fatalf("after ring churn %d spans, want 2 from the reservoir", len(got))
+	}
+
+	// A fresh error evicts the old one from the bounded reservoir
+	// (ErrorTraces: 1), which must release the evicted trace's index entry.
+	r := span("http", "gone", "a", "", 1)
+	r.Err = "fail"
+	c.Observe(r)
+	if got := c.TraceSpans("terr"); got != nil {
+		t.Fatalf("evicted trace still indexed: %+v", got)
+	}
+	if got := c.TraceSpans("gone"); len(got) != 1 {
+		t.Fatalf("newest error trace holds %d spans, want 1", len(got))
+	}
+}
+
 func TestAssembleTreesReparenting(t *testing.T) {
 	// The router's recorder saw the http root and its fan-out spans; the
 	// shard's recorder saw its own http span parented on a router span it

@@ -1,0 +1,202 @@
+package obs
+
+// SLO burn-rate tracking. The Collector already sees every root span; this
+// file adds per-route-family, time-bucketed budget accounting on top: each
+// root lands in a 30-second bucket as (requests, errors, over-latency-target)
+// counts, and a report sums the buckets inside two lookback windows (5m and
+// 1h — the classic fast/slow burn pair) into error-rate and latency-budget
+// burn rates. A burn rate of 1.0 means the family is consuming its error
+// budget exactly as fast as the objective allows; much above 1 on the short
+// window is a page, above 1 on the long window is a ticket.
+//
+// Only the root span's own error marks budget burn. Child-span failures the
+// request absorbed — a cancelled hedge loser, a dead replica's refused
+// connection before failover won — are not user-visible errors, so a
+// degraded-but-serving fleet burns zero error budget.
+
+import (
+	"sort"
+	"time"
+)
+
+// SLO bucket geometry: sloBucketSeconds-wide buckets, enough of them to
+// cover the long window plus the current partial bucket.
+const (
+	sloBucketSeconds = 30
+	sloLongSeconds   = 3600
+	sloShortSeconds  = 300
+	sloNumBuckets    = sloLongSeconds/sloBucketSeconds + 1
+)
+
+// sloBucket is one time slice of a family's request accounting.
+type sloBucket struct {
+	stamp  int64 // unix second the bucket starts at; 0 = empty
+	total  int64
+	errors int64
+	slow   int64 // over the latency target
+}
+
+// sloObserveLocked folds one root span into its family's current bucket.
+// Called under the collector lock from Observe's root path: one division,
+// one compare, three adds — nothing the recorder-overhead guard can see.
+func (c *Collector) sloObserveLocked(fam *routeFamily, durMS float64, isErr bool, nowUnix int64) {
+	start := nowUnix - nowUnix%sloBucketSeconds
+	b := &fam.slo[(nowUnix/sloBucketSeconds)%sloNumBuckets]
+	if b.stamp != start {
+		*b = sloBucket{stamp: start}
+	}
+	b.total++
+	if isErr {
+		b.errors++
+	}
+	if durMS > c.cfg.SLOLatencyTargetMS {
+		b.slow++
+	}
+}
+
+// SLOWindowStats is one family's budget accounting over one lookback
+// window. Burn rates are the observed bad fraction divided by the
+// objective's allowance: ErrorBurnRate = (errors/requests) / ErrorObjective,
+// LatencyBurnRate = (slow/requests) / LatencyObjective. Zero requests means
+// zero burn.
+type SLOWindowStats struct {
+	Window          string  `json:"window"` // "5m" or "1h"
+	Requests        int64   `json:"requests"`
+	Errors          int64   `json:"errors"`
+	SlowRequests    int64   `json:"slow_requests"`
+	ErrorRate       float64 `json:"error_rate"`
+	SlowRate        float64 `json:"slow_rate"`
+	ErrorBurnRate   float64 `json:"error_burn_rate"`
+	LatencyBurnRate float64 `json:"latency_burn_rate"`
+}
+
+// SLOFamily is one route family's multi-window burn report.
+type SLOFamily struct {
+	Family  string           `json:"family"`
+	Windows []SLOWindowStats `json:"windows"`
+}
+
+// SLOReport is the GET /v1/slo response of one process.
+type SLOReport struct {
+	Instance         string      `json:"instance,omitempty"`
+	ErrorObjective   float64     `json:"error_objective"`
+	LatencyTargetMS  float64     `json:"latency_target_ms"`
+	LatencyObjective float64     `json:"latency_objective"`
+	Families         []SLOFamily `json:"families"`
+}
+
+// FleetSLO is the router's GET /v1/slo?fleet=1 response: the fleet-wide
+// merge (bucket counts summed across instances per family and window, burn
+// recomputed over the sums) plus each instance's own report and any
+// replicas that could not be reached.
+type FleetSLO struct {
+	SLOReport
+	Instances []SLOReport     `json:"instances,omitempty"`
+	Failures  []ScrapeFailure `json:"failures,omitempty"`
+}
+
+// SLO returns the process's burn-rate report. The instance name rides the
+// report so fleet merges can attribute each slice.
+func (c *Collector) SLO(instance string) SLOReport {
+	return c.sloAt(instance, time.Now().Unix())
+}
+
+func (c *Collector) sloAt(instance string, nowUnix int64) SLOReport {
+	rep := SLOReport{Instance: instance}
+	if c == nil {
+		return rep
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep.ErrorObjective = c.cfg.SLOErrorObjective
+	rep.LatencyTargetMS = c.cfg.SLOLatencyTargetMS
+	rep.LatencyObjective = c.cfg.SLOLatencyObjective
+	for _, name := range c.famOrder {
+		fam := c.families[name]
+		sf := SLOFamily{Family: name}
+		for _, w := range []struct {
+			name string
+			secs int64
+		}{{"5m", sloShortSeconds}, {"1h", sloLongSeconds}} {
+			ws := SLOWindowStats{Window: w.name}
+			for i := range fam.slo {
+				b := &fam.slo[i]
+				if b.stamp == 0 || b.stamp <= nowUnix-w.secs || b.stamp > nowUnix {
+					continue
+				}
+				ws.Requests += b.total
+				ws.Errors += b.errors
+				ws.SlowRequests += b.slow
+			}
+			ws.finish(rep.ErrorObjective, rep.LatencyObjective)
+			sf.Windows = append(sf.Windows, ws)
+		}
+		if sf.Windows[0].Requests == 0 && sf.Windows[1].Requests == 0 {
+			continue // family saw no roots inside the long window
+		}
+		rep.Families = append(rep.Families, sf)
+	}
+	return rep
+}
+
+// finish derives the rate and burn fields from the summed counts.
+func (ws *SLOWindowStats) finish(errObjective, latObjective float64) {
+	if ws.Requests == 0 {
+		return
+	}
+	ws.ErrorRate = float64(ws.Errors) / float64(ws.Requests)
+	ws.SlowRate = float64(ws.SlowRequests) / float64(ws.Requests)
+	if errObjective > 0 {
+		ws.ErrorBurnRate = ws.ErrorRate / errObjective
+	}
+	if latObjective > 0 {
+		ws.LatencyBurnRate = ws.SlowRate / latObjective
+	}
+}
+
+// MergeSLO sums per-instance reports into one fleet-wide view: counts add
+// per (family, window), burn rates are recomputed over the sums using the
+// first report's objectives (the fleet deploys one config). Families come
+// out sorted by name for a deterministic wire format.
+func MergeSLO(reports []SLOReport) SLOReport {
+	out := SLOReport{}
+	type key struct{ family, window string }
+	acc := make(map[key]*SLOWindowStats)
+	famSet := make(map[string][]string) // family -> window order
+	for _, rep := range reports {
+		if out.ErrorObjective == 0 && out.LatencyObjective == 0 {
+			out.ErrorObjective = rep.ErrorObjective
+			out.LatencyTargetMS = rep.LatencyTargetMS
+			out.LatencyObjective = rep.LatencyObjective
+		}
+		for _, sf := range rep.Families {
+			for _, ws := range sf.Windows {
+				k := key{sf.Family, ws.Window}
+				a, ok := acc[k]
+				if !ok {
+					a = &SLOWindowStats{Window: ws.Window}
+					acc[k] = a
+					famSet[sf.Family] = append(famSet[sf.Family], ws.Window)
+				}
+				a.Requests += ws.Requests
+				a.Errors += ws.Errors
+				a.SlowRequests += ws.SlowRequests
+			}
+		}
+	}
+	names := make([]string, 0, len(famSet))
+	for name := range famSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sf := SLOFamily{Family: name}
+		for _, w := range famSet[name] {
+			ws := *acc[key{name, w}]
+			ws.finish(out.ErrorObjective, out.LatencyObjective)
+			sf.Windows = append(sf.Windows, ws)
+		}
+		out.Families = append(out.Families, sf)
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package obs
+
+// SLO burn-rate tests: bucket accounting through the root-observe path,
+// window boundaries against a pinned clock (including stale and
+// future-stamped slots), root-only error attribution, and the fleet merge.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSLOBurnAccounting(t *testing.T) {
+	c := NewCollector(CollectorConfig{})
+	attr := Attr{Key: "route", Value: "GET /v1/sameas"}
+	// 100 roots: 2 errored, 1 over the 250ms latency target.
+	for i := 0; i < 100; i++ {
+		r := span("http", fmt.Sprintf("t%d", i), "a", "", 1, attr)
+		if i < 2 {
+			r.Err = "http 500"
+		}
+		if i == 99 {
+			r.Duration = 300 * time.Millisecond
+		}
+		c.Observe(r)
+	}
+	rep := c.sloAt("me", time.Now().Unix())
+	if rep.Instance != "me" {
+		t.Errorf("instance %q", rep.Instance)
+	}
+	if rep.ErrorObjective != 0.001 || rep.LatencyTargetMS != 250 || rep.LatencyObjective != 0.01 {
+		t.Errorf("default objectives wrong: %+v", rep)
+	}
+	if len(rep.Families) != 1 || rep.Families[0].Family != "GET /v1/sameas" {
+		t.Fatalf("families %+v, want the one route family", rep.Families)
+	}
+	if n := len(rep.Families[0].Windows); n != 2 {
+		t.Fatalf("%d windows, want 2", n)
+	}
+	for _, ws := range rep.Families[0].Windows {
+		if ws.Requests != 100 || ws.Errors != 2 || ws.SlowRequests != 1 {
+			t.Errorf("window %s counts %+v, want 100/2/1", ws.Window, ws)
+		}
+		if ws.ErrorRate != 0.02 || ws.ErrorBurnRate != 20 {
+			t.Errorf("window %s error burn %v at rate %v, want 20 at 0.02", ws.Window, ws.ErrorBurnRate, ws.ErrorRate)
+		}
+		if ws.SlowRate != 0.01 || ws.LatencyBurnRate != 1 {
+			t.Errorf("window %s latency burn %v at rate %v, want 1 at 0.01", ws.Window, ws.LatencyBurnRate, ws.SlowRate)
+		}
+	}
+}
+
+// TestSLOWindowBoundaries pins the clock and fills bucket slots directly:
+// the 5m window must exclude the 1h-only buckets, and slots holding stale
+// (older than the ring covers) or future stamps — a clock that stepped —
+// must count toward neither window.
+func TestSLOWindowBoundaries(t *testing.T) {
+	c := NewCollector(CollectorConfig{})
+	now := int64(30_000_000) // on a bucket boundary
+	c.mu.Lock()
+	fam := c.familyLocked("GET /x")
+	set := func(stamp, total int64) {
+		fam.slo[(stamp/sloBucketSeconds)%sloNumBuckets] = sloBucket{stamp: stamp, total: total}
+	}
+	set(now, 1)      // current bucket: both windows
+	set(now-120, 2)  // inside 5m
+	set(now-600, 4)  // outside 5m, inside 1h
+	set(now-3660, 8) // outside 1h: a stale slot the ring would reuse
+	set(now+60, 16)  // future stamp: excluded
+	c.mu.Unlock()
+
+	rep := c.sloAt("i", now)
+	if len(rep.Families) != 1 {
+		t.Fatalf("families %+v", rep.Families)
+	}
+	short, long := rep.Families[0].Windows[0], rep.Families[0].Windows[1]
+	if short.Window != "5m" || short.Requests != 3 {
+		t.Errorf("5m window saw %d requests, want 3", short.Requests)
+	}
+	if long.Window != "1h" || long.Requests != 7 {
+		t.Errorf("1h window saw %d requests, want 7", long.Requests)
+	}
+
+	// A family whose buckets all aged out is dropped from the report.
+	c.mu.Lock()
+	idle := c.familyLocked("GET /idle")
+	idle.slo[0] = sloBucket{stamp: now - 2*sloLongSeconds, total: 5}
+	c.mu.Unlock()
+	rep = c.sloAt("i", now)
+	for _, f := range rep.Families {
+		if f.Family == "GET /idle" {
+			t.Errorf("idle family reported: %+v", f)
+		}
+	}
+}
+
+// TestSLORootOnlyErrors pins the acceptance property of the degraded
+// fleet: a child-span failure the request absorbed (failover, hedge loser)
+// retains the trace for debugging but burns no error budget — only the
+// root's own outcome is user-visible.
+func TestSLORootOnlyErrors(t *testing.T) {
+	c := NewCollector(CollectorConfig{})
+	c.spanStarted(Trace{TraceID: "t", SpanID: "root"})
+	child := span("shard", "t", "child", "root", 1)
+	child.Err = "connection refused"
+	c.Observe(child)
+	c.Observe(span("http", "t", "root", "", 2, Attr{Key: "route", Value: "GET /v1/sameas"}))
+
+	if errs := c.ErrorTraces(); len(errs) != 1 {
+		t.Fatalf("absorbed failure not retained for debugging: %d traces", len(errs))
+	}
+	rep := c.SLO("x")
+	if len(rep.Families) != 1 {
+		t.Fatalf("families %+v", rep.Families)
+	}
+	for _, ws := range rep.Families[0].Windows {
+		if ws.Errors != 0 || ws.ErrorBurnRate != 0 {
+			t.Errorf("window %s burned budget for an absorbed child failure: %+v", ws.Window, ws)
+		}
+	}
+
+	// Nil collector: a well-formed empty report.
+	var nilC *Collector
+	if rep := nilC.SLO("n"); rep.Instance != "n" || len(rep.Families) != 0 {
+		t.Errorf("nil collector report %+v", rep)
+	}
+}
+
+func TestMergeSLO(t *testing.T) {
+	mk := func(instance, family string, shortReq, shortErr, longReq, longErr int64) SLOReport {
+		return SLOReport{
+			Instance: instance, ErrorObjective: 0.001, LatencyTargetMS: 250, LatencyObjective: 0.01,
+			Families: []SLOFamily{{Family: family, Windows: []SLOWindowStats{
+				{Window: "5m", Requests: shortReq, Errors: shortErr},
+				{Window: "1h", Requests: longReq, Errors: longErr},
+			}}},
+		}
+	}
+	merged := MergeSLO([]SLOReport{
+		mk("a", "GET /y", 100, 1, 1000, 1),
+		mk("b", "GET /y", 300, 0, 3000, 0),
+		mk("c", "GET /x", 50, 0, 500, 0),
+	})
+	if merged.ErrorObjective != 0.001 || merged.LatencyTargetMS != 250 {
+		t.Errorf("objectives not carried: %+v", merged)
+	}
+	// Families sorted by name for a deterministic wire format.
+	if len(merged.Families) != 2 || merged.Families[0].Family != "GET /x" || merged.Families[1].Family != "GET /y" {
+		t.Fatalf("families %+v", merged.Families)
+	}
+	y := merged.Families[1]
+	if y.Windows[0].Requests != 400 || y.Windows[0].Errors != 1 {
+		t.Errorf("5m merge %+v, want 400 requests, 1 error", y.Windows[0])
+	}
+	if got, want := y.Windows[0].ErrorBurnRate, (1.0/400)/0.001; got != want {
+		t.Errorf("5m burn %v, want %v (recomputed over the sums)", got, want)
+	}
+	if y.Windows[1].Requests != 4000 {
+		t.Errorf("1h merge %+v", y.Windows[1])
+	}
+	if empty := MergeSLO(nil); len(empty.Families) != 0 {
+		t.Errorf("empty merge %+v", empty)
+	}
+}

@@ -35,6 +35,93 @@ func TestParseTraceRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestExtractMalformedHeaders table-drives Extract over the header shapes a
+// misbehaving client or truncating proxy produces. The parser is
+// deliberately length-lenient on short-but-valid hex (a truncated ID still
+// parses — it just names a trace nobody holds); everything structurally
+// wrong reports ok=false so the server mints a fresh edge trace instead of
+// erroring.
+func TestExtractMalformedHeaders(t *testing.T) {
+	long := strings.Repeat("a", 65)
+	cases := []struct {
+		name, value string
+		ok          bool
+	}{
+		{"well-formed", "0123456789abcdef-12345678", true},
+		{"minimal", "a-b", true},
+		{"truncated mid-span still hex", "0123456789abcdef-123", true},
+		{"ids at the length cap", strings.Repeat("e", 64) + "-" + strings.Repeat("d", 64), true},
+
+		{"absent", "", false},
+		{"separator only", "-", false},
+		{"no separator", "0123456789abcdef", false},
+		{"truncated at separator", "0123456789abcdef-", false},
+		{"missing trace id", "-12345678", false},
+		{"three ids", "0123-4567-89ab", false},
+		{"doubled separator", "0123--4567", false},
+		{"uppercase hex", "0123456789ABCDEF-12345678", false},
+		{"non-hex trace", "xyz-12345678", false},
+		{"non-hex span", "12ab-nothex!", false},
+		{"over-long trace", long + "-12345678", false},
+		{"over-long span", "12ab-" + long, false},
+		{"leading space", " 0123456789abcdef-12345678", false},
+	}
+	for _, tc := range cases {
+		h := http.Header{}
+		if tc.value != "" {
+			h.Set(TraceHeader, tc.value)
+		}
+		tr, ok := Extract(h)
+		if ok != tc.ok {
+			t.Errorf("%s: Extract(%q) ok=%v, want %v (got %+v)", tc.name, tc.value, ok, tc.ok, tr)
+			continue
+		}
+		if ok && tr.String() != tc.value {
+			t.Errorf("%s: %q does not round-trip: %q", tc.name, tc.value, tr.String())
+		}
+		if !ok && tr != (Trace{}) {
+			t.Errorf("%s: rejected header returned non-zero trace %+v", tc.name, tr)
+		}
+	}
+}
+
+// FuzzTraceHeader throws arbitrary header values at Extract and checks the
+// acceptance invariants: an accepted value yields two non-empty, bounded,
+// lowercase-hex IDs and round-trips exactly through String and ParseTrace;
+// a rejected value yields the zero Trace. CI runs this briefly as a smoke
+// lane on every push.
+func FuzzTraceHeader(f *testing.F) {
+	for _, seed := range []string{
+		"", "-", "--", "0123456789abcdef-12345678", "abc-", "-abc",
+		"a-b-c", "0123456789ABCDEF-12345678", "12ab-nothex!",
+		strings.Repeat("f", 65) + "-ab",
+		strings.Repeat("f", 64) + "-" + strings.Repeat("0", 64),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		h := http.Header{TraceHeader: []string{raw}}
+		tr, ok := Extract(h)
+		if !ok {
+			if tr != (Trace{}) {
+				t.Fatalf("Extract(%q): rejected but returned %+v", raw, tr)
+			}
+			return
+		}
+		if !tr.Valid() || !isHex(tr.TraceID) || !isHex(tr.SpanID) ||
+			len(tr.TraceID) > 64 || len(tr.SpanID) > 64 {
+			t.Fatalf("Extract(%q) accepted invalid trace %+v", raw, tr)
+		}
+		if tr.String() != raw {
+			t.Fatalf("Extract(%q) does not round-trip: %q", raw, tr.String())
+		}
+		again, ok2 := ParseTrace(tr.String())
+		if !ok2 || again != tr {
+			t.Fatalf("re-parse of %q = %+v, %v; want %+v", tr.String(), again, ok2, tr)
+		}
+	})
+}
+
 func TestInjectExtract(t *testing.T) {
 	h := http.Header{}
 	Inject(context.Background(), h) // no trace: no header

@@ -4,10 +4,30 @@ package server
 // /v1/healthz) and per-job fixpoint convergence from the flight recorder.
 
 import (
+	"fmt"
 	"net/http"
 
 	"repro/internal/obs"
 )
+
+// instanceName is how this process identifies itself in fleet-level
+// observability: the shard coordinate when sharded, plain "parisd" when
+// standalone. Replica position within a group is a router-side concept —
+// two replicas of one slice legitimately self-report the same name, and
+// the router's stitcher overrides it with group/replica coordinates.
+func (s *Server) instanceName() string {
+	if s.opts.ShardCount > 0 {
+		return fmt.Sprintf("shard%d/%d", s.opts.ShardIndex, s.opts.ShardCount)
+	}
+	return "parisd"
+}
+
+// handleSLO implements GET /v1/slo: the flight recorder's per-route-family
+// error-rate and latency-budget burn over the 5m/1h windows. With the
+// recorder disabled the report is empty but well-formed.
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.col.SLO(s.instanceName()))
+}
 
 // handleReadyz implements GET /v1/readyz: 200 once the server holds a
 // serving index (a completed alignment, an ingested shard slice, or a

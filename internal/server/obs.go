@@ -68,6 +68,7 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	// Go runtime health (goroutines, heap, GC) refreshes on every scrape
 	// of the registry via its OnScrape hook.
 	obs.NewRuntimeMetrics(reg, "paris")
+	obs.RegisterBuildInfo(reg)
 	return &serverMetrics{
 		http: obs.NewHTTPMetrics(reg, "paris_http"),
 		jobs: &jobMetrics{

@@ -844,6 +844,10 @@ func (s *Server) buildMux() {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
+	mux.HandleFunc("GET /v1/slo", s.handleSLO)
+	// Trace-by-ID on the main listener (not just -debug-addr): the router's
+	// fleet stitcher reaches shards through their API URL.
+	mux.Handle("GET /debug/traces/{trace}", obs.TraceDumpHandler(s.col, s.instanceName()))
 	mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
 	s.mux = mux
 	// Route patterns for the per-route metrics come from the mux itself, so

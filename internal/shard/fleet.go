@@ -1,0 +1,316 @@
+package shard
+
+// The fleet observability plane, centered on the router. Three surfaces
+// over one idea — the router is the only process that knows the whole
+// topology, so it is where per-process telemetry becomes fleet telemetry:
+//
+//   GET /v1/fleet/metrics   every replica's /metrics federated into one
+//                           exposition, instance/group/replica-labeled,
+//                           with fleet:-summed counters and a
+//                           paris_fleet_up gauge per target
+//   GET /v1/fleet/stats     a JSON rollup: per-replica health, snapshot,
+//                           heap, goroutines, traffic, plus the router's
+//                           hedge/failover totals
+//   GET /v1/slo[?fleet=1]   burn-rate report for the router's own route
+//                           families, or the fleet-wide merge of every
+//                           replica's report
+//   GET /debug/traces/{trace} and /debug/traces?fleet=1
+//                           cross-process trace stitching: the router
+//                           fans a trace ID out to the replicas that
+//                           participated, merges their span records with
+//                           its own, and re-assembles one tree
+//
+// Dead replicas are data, not errors: a failed scrape becomes
+// paris_fleet_up 0 and a failures entry, and every endpoint serves partial
+// results from whatever answered.
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/client"
+	"repro/internal/diskstore"
+	"repro/internal/obs"
+)
+
+// instanceName is the router-side identity of one replica. The shard's
+// self-reported name ("shard1/3") cannot distinguish two replicas of the
+// same group, so fleet views use topology coordinates.
+func instanceName(gi, ri int) string {
+	return "group" + strconv.Itoa(gi) + "/replica" + strconv.Itoa(ri)
+}
+
+// federator returns the scraper used by the fleet endpoints, sharing the
+// router's pooled shard transport.
+func (rt *Router) federator() *obs.Federator {
+	return &obs.Federator{Client: rt.httpc}
+}
+
+// fleetTargets enumerates the scrape targets: optionally the router's own
+// registry (scraped in-process, no HTTP), then every replica of every
+// group in topology order.
+func (rt *Router) fleetTargets(includeSelf bool) []obs.ScrapeTarget {
+	var targets []obs.ScrapeTarget
+	if includeSelf {
+		targets = append(targets, obs.ScrapeTarget{
+			Instance: "router", Group: -1, Replica: -1, Reg: rt.reg, Healthy: true,
+		})
+	}
+	for gi, g := range rt.groups {
+		for ri, rep := range g.replicas {
+			targets = append(targets, obs.ScrapeTarget{
+				Instance: instanceName(gi, ri),
+				Group:    gi, Replica: ri,
+				URL:     rep.url + "/metrics",
+				Healthy: rep.healthy.Load(),
+			})
+		}
+	}
+	return targets
+}
+
+// handleFleetMetrics implements GET /v1/fleet/metrics: the federated
+// exposition over the router and every replica.
+func (rt *Router) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	results := rt.federator().Scrape(r.Context(), rt.fleetTargets(true))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WriteFleetExposition(w, results)
+}
+
+// newestHeld is the highest-sequence snapshot a replica listed at its last
+// poll — the "what is this replica serving" column of the fleet rollup.
+func newestHeld(rep *replica) string {
+	m, _ := rep.held.Load().(map[string]bool)
+	best, bestSeq := "", uint64(0)
+	for id := range m {
+		if seq, err := diskstore.ParseSnapshotID(id); err == nil && (best == "" || seq > bestSeq) {
+			best, bestSeq = id, seq
+		}
+	}
+	return best
+}
+
+// handleFleetStats implements GET /v1/fleet/stats: one row per replica
+// from a federated scrape, plus the router's own counters.
+func (rt *Router) handleFleetStats(w http.ResponseWriter, r *http.Request) {
+	results := rt.federator().Scrape(r.Context(), rt.fleetTargets(false))
+	fs := obs.FleetStats{
+		Epoch:       rt.Epoch(),
+		Hedges:      rt.met.hedges.Value(),
+		HedgeWins:   rt.met.hedgeWins.Value(),
+		Failovers:   rt.met.failovers.Value(),
+		RateLimited: rt.met.rateLimited.Value(),
+	}
+	i := 0
+	for gi, g := range rt.groups {
+		for ri, rep := range g.replicas {
+			res := results[i]
+			i++
+			row := obs.FleetReplicaStats{
+				Instance: res.Target.Instance,
+				Group:    gi, Replica: ri,
+				URL:      rep.url,
+				Healthy:  res.Target.Healthy,
+				ScrapeOK: res.Err == nil,
+				Snapshot: newestHeld(rep),
+			}
+			if res.Err != nil {
+				row.Error = res.Err.Error()
+			} else {
+				row.Goroutines, _ = res.Value("paris_go_goroutines")
+				row.HeapInUse, _ = res.Value("paris_go_heap_inuse_bytes")
+				row.Lookups, _ = res.Value("paris_lookups_total")
+				row.Requests = res.Sum("paris_http_requests_total")
+			}
+			fs.Instances++
+			if row.Healthy {
+				fs.Healthy++
+			}
+			if !row.ScrapeOK {
+				fs.ScrapeFailures++
+			}
+			fs.Replicas = append(fs.Replicas, row)
+		}
+	}
+	writeJSON(w, http.StatusOK, fs)
+}
+
+// handleSLO implements GET /v1/slo on the router: its own route families
+// by default, the fleet-wide merge with ?fleet=1 — every replica's
+// /v1/slo fetched concurrently, counts summed per family and window, burn
+// recomputed over the sums. Unreachable replicas land in failures; the
+// merge covers whoever answered.
+func (rt *Router) handleSLO(w http.ResponseWriter, r *http.Request) {
+	local := rt.col.SLO("router")
+	switch r.URL.Query().Get("fleet") {
+	case "", "0", "false":
+		writeJSON(w, http.StatusOK, local)
+		return
+	case "1", "true":
+	default:
+		httpError(w, http.StatusBadRequest, "bad fleet %q", r.URL.Query().Get("fleet"))
+		return
+	}
+	type slot struct {
+		rep  obs.SLOReport
+		fail *obs.ScrapeFailure
+	}
+	ctx := r.Context()
+	var slots []*slot
+	var wg sync.WaitGroup
+	for gi, g := range rt.groups {
+		for ri, rep := range g.replicas {
+			sl := &slot{}
+			slots = append(slots, sl)
+			wg.Add(1)
+			go func(gi, ri int, rep *replica) {
+				defer wg.Done()
+				name := instanceName(gi, ri)
+				got, err := rep.peer.SLO(ctx)
+				if err != nil {
+					sl.fail = &obs.ScrapeFailure{Instance: name, URL: rep.url, Error: err.Error()}
+					return
+				}
+				// Stamp topology coordinates over the shard's self-reported
+				// name: two replicas of one group are indistinguishable by
+				// their own "shardN/M".
+				got.Instance = name
+				sl.rep = got
+			}(gi, ri, rep)
+		}
+	}
+	wg.Wait()
+	out := obs.FleetSLO{Instances: []obs.SLOReport{local}}
+	for _, sl := range slots {
+		if sl.fail != nil {
+			out.Failures = append(out.Failures, *sl.fail)
+			continue
+		}
+		out.Instances = append(out.Instances, sl.rep)
+	}
+	out.SLOReport = obs.MergeSLO(out.Instances)
+	out.SLOReport.Instance = "fleet"
+	writeJSON(w, http.StatusOK, out)
+}
+
+// participants resolves which replicas a trace touched, from the router's
+// own "shard" fan-out spans (each carries shard/replica attrs). When the
+// local recorder no longer holds any fan-out span for the trace, every
+// replica is a candidate — a broader fan-out beats a false "not found".
+func (rt *Router) participants(local []obs.SpanRecord) map[[2]int]bool {
+	set := make(map[[2]int]bool)
+	for i := range local {
+		s := &local[i]
+		if s.Name != "shard" {
+			continue
+		}
+		gi, err1 := strconv.Atoi(s.Attr("shard"))
+		ri, err2 := strconv.Atoi(s.Attr("replica"))
+		if err1 == nil && err2 == nil && gi >= 0 && gi < len(rt.groups) && ri >= 0 && ri < len(rt.groups[gi].replicas) {
+			set[[2]int{gi, ri}] = true
+		}
+	}
+	if len(set) == 0 {
+		for gi, g := range rt.groups {
+			for ri := range g.replicas {
+				set[[2]int{gi, ri}] = true
+			}
+		}
+	}
+	return set
+}
+
+// fleetTraceSpans is the router's obs.Stitcher: the local span set tagged
+// "router", merged with GET /debug/traces/{trace} from every participating
+// replica, each fetched span tagged with its topology coordinates. A 404
+// (the replica no longer holds the trace, or never saw it) is a zero-span
+// fetch, not a failure.
+func (rt *Router) fleetTraceSpans(ctx context.Context, traceID string) ([]obs.SpanRecord, []obs.TraceFetch) {
+	spans := rt.col.TraceSpans(traceID)
+	for i := range spans {
+		spans[i].Instance = "router"
+	}
+	want := rt.participants(spans)
+	type fetchRes struct {
+		gi, ri int
+		spans  []obs.SpanRecord
+		fetch  obs.TraceFetch
+	}
+	results := make([]fetchRes, 0, len(want))
+	for gi, g := range rt.groups {
+		for ri := range g.replicas {
+			if want[[2]int{gi, ri}] {
+				results = append(results, fetchRes{gi: gi, ri: ri})
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(res *fetchRes) {
+			defer wg.Done()
+			name := instanceName(res.gi, res.ri)
+			res.fetch = obs.TraceFetch{Instance: name}
+			dump, err := rt.groups[res.gi].replicas[res.ri].peer.TraceTree(ctx, traceID)
+			if err != nil {
+				if !client.IsNotFound(err) {
+					res.fetch.Error = err.Error()
+				}
+				return
+			}
+			res.fetch.Spans = len(dump.Spans)
+			res.spans = dump.Spans
+			for j := range res.spans {
+				res.spans[j].Instance = name
+			}
+		}(&results[i])
+	}
+	wg.Wait()
+	fetches := make([]obs.TraceFetch, 0, len(results))
+	for i := range results {
+		spans = append(spans, results[i].spans...)
+		fetches = append(fetches, results[i].fetch)
+	}
+	return spans, fetches
+}
+
+// handleTraceByID implements the router's GET /debug/traces/{trace}: the
+// stitched cross-process dump, 404 only when no process holds anything.
+func (rt *Router) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("trace")
+	if !isHexID(id) || len(id) > 64 {
+		httpError(w, http.StatusBadRequest, "bad trace id")
+		return
+	}
+	spans, _ := rt.fleetTraceSpans(r.Context(), id)
+	if len(spans) == 0 {
+		httpError(w, http.StatusNotFound, "trace not found")
+		return
+	}
+	writeJSON(w, http.StatusOK, obs.TraceDump{Trace: id, Instance: "router", Spans: spans})
+}
+
+// isHexID mirrors the obs-side trace ID validation.
+func isHexID(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// tracesHandler is the router's fleet-aware /debug/traces: the plain
+// recorder browser by default, cross-process stitching with ?fleet=1.
+func (rt *Router) tracesHandler() http.Handler {
+	return obs.NewTracesHandler(rt.col, rt.fleetTraceSpans)
+}
+
+// DebugMux is the router's -debug-addr surface: metrics, pprof, and the
+// fleet-aware trace browser (obs.DebugMux plus ?fleet=1 stitching).
+func (rt *Router) DebugMux() *http.ServeMux {
+	return obs.DebugMuxWith(rt.reg, rt.tracesHandler(), http.HandlerFunc(rt.handleTraceByID))
+}

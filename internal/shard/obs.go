@@ -37,6 +37,7 @@ func newRouterMetrics(reg *obs.Registry) *routerMetrics {
 	// Go runtime health, refreshed on every scrape (same families as the
 	// aligner/shard daemons, under the router's prefix).
 	obs.NewRuntimeMetrics(reg, "paris_router")
+	obs.RegisterBuildInfo(reg)
 	return &routerMetrics{
 		http: obs.NewHTTPMetrics(reg, "paris_router_http"),
 		shardSeconds: reg.HistogramVec("paris_router_shard_request_seconds",

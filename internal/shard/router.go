@@ -315,6 +315,14 @@ func (rt *Router) buildMux() {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready", "epoch": epoch})
 	})
+	mux.HandleFunc("GET /v1/fleet/metrics", rt.handleFleetMetrics)
+	mux.HandleFunc("GET /v1/fleet/stats", rt.handleFleetStats)
+	mux.HandleFunc("GET /v1/slo", rt.handleSLO)
+	// The trace surfaces also live on the main listener: the client's
+	// TraceTree and the fleet walkthrough reach the router without a
+	// -debug-addr, and shards expose the same by-ID route for stitching.
+	mux.Handle("GET /debug/traces", rt.tracesHandler())
+	mux.HandleFunc("GET /debug/traces/{trace}", rt.handleTraceByID)
 	mux.Handle("GET /metrics", obs.MetricsHandler(rt.reg))
 	rt.mux = mux
 	route := func(r *http.Request) string {

@@ -5,15 +5,23 @@ package paris
 // services — one with Options.DisableRecorder — serve the same published
 // snapshot, and interleaved timing rounds assert the recorded path stays
 // within 5% of the bare one (plus a small absolute epsilon so sub-µs
-// scheduler noise cannot fail the build). BenchmarkSameAsLookupNoRecorder
-// gives the CI bench smoke the same A/B as named artifacts.
+// scheduler noise cannot fail the build). The recorded side carries the
+// whole per-span pipeline — the recent ring, slow/error retention, the
+// trace-ID index behind GET /debug/traces/{trace}, and SLO bucket
+// accounting — so the 5% bound covers all of it, and the guard first
+// proves those features are actually live on the handler it times.
+// BenchmarkSameAsLookupNoRecorder gives the CI bench smoke the same A/B as
+// named artifacts.
 
 import (
+	"bytes"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -47,6 +55,12 @@ func newLookupPair(tb testing.TB) (withRec, without http.Handler, urls []string)
 	return build(false), build(true), urls
 }
 
+// containsFamily reports whether a /v1/slo body carries the lookup route's
+// burn report.
+func containsFamily(body []byte) bool {
+	return bytes.Contains(body, []byte(`"family":"GET /v1/sameas"`))
+}
+
 // timeLookups drives iters sequential requests and returns the per-request
 // cost.
 func timeLookups(tb testing.TB, h http.Handler, urls []string, iters int) time.Duration {
@@ -64,6 +78,30 @@ func timeLookups(tb testing.TB, h http.Handler, urls []string, iters int) time.D
 
 func TestRecorderOverheadOnLookupPath(t *testing.T) {
 	withRec, without, urls := newLookupPair(t)
+
+	// The guard is only meaningful if the timed path exercises the full
+	// recorder: a traced request must land in the trace-ID index (served by
+	// GET /debug/traces/{trace}) on the recorded side and 404 on the bare
+	// one, and the recorded side must be filling SLO buckets.
+	tr := obs.NewTrace()
+	probe := httptest.NewRequest(http.MethodGet, urls[0], nil)
+	probe.Header.Set(obs.TraceHeader, tr.String())
+	withRec.ServeHTTP(httptest.NewRecorder(), probe)
+	for _, tc := range []struct {
+		h    http.Handler
+		want int
+	}{{withRec, http.StatusOK}, {without, http.StatusNotFound}} {
+		w := httptest.NewRecorder()
+		tc.h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/debug/traces/"+tr.TraceID, nil))
+		if w.Code != tc.want {
+			t.Fatalf("trace-ID lookup = %d, want %d", w.Code, tc.want)
+		}
+	}
+	w := httptest.NewRecorder()
+	withRec.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/slo", nil))
+	if w.Code != http.StatusOK || !containsFamily(w.Body.Bytes()) {
+		t.Fatalf("recorded side has no SLO accounting: %d %s", w.Code, w.Body)
+	}
 
 	const warmup, iters, rounds = 500, 2000, 7
 	timeLookups(t, withRec, urls, warmup)
